@@ -1,0 +1,284 @@
+//! Beaver triple generation (paper §V-B.4, after Delphi).
+//!
+//! In cryptographic neural-network inference, each linear layer consumes a
+//! multiplication triple generated in a preprocessing phase: the client
+//! samples a random mask `r` and sends `[[r]]`; the server (holding the
+//! layer matrix `W`) homomorphically computes `[[W·r − s]]` for a random
+//! share `s` and returns it. The client decrypts `c = W·r − s`, giving the
+//! additive sharing `W·r = c + s` — one matrix-vector triple per layer
+//! evaluation, so "a large number of triples need to be generated" and the
+//! HMVP dominates.
+//!
+//! Two generation paths mirror the paper's comparison:
+//! * [`BeaverGenerator::generate`] — coefficient-encoded HMVP (CHAM),
+//! * Delphi's original batch-encoded (rotate-and-sum) path, exposed via
+//!   [`BeaverGenerator::generate_batch_baseline`] for the Fig. 7c shape.
+
+use crate::protocol::{rlwe_ciphertext_bytes, Role, Transcript};
+use crate::secretshare;
+use crate::Result;
+use cham_he::baseline::BatchHmvp;
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, SecretKey};
+use cham_he::params::ChamParams;
+use rand::Rng;
+
+/// One generated triple: the client's view `(r, c)` and the server's view
+/// `(W, s)` with the invariant `W·r = c + s (mod t)`.
+#[derive(Debug, Clone)]
+pub struct BeaverTriple {
+    /// Client's random mask.
+    pub r: Vec<u64>,
+    /// Client's decrypted share `c = W·r − s`.
+    pub c: Vec<u64>,
+    /// Server's random share.
+    pub s: Vec<u64>,
+}
+
+impl BeaverTriple {
+    /// Checks the triple invariant against the generating matrix.
+    ///
+    /// # Errors
+    /// Shape errors from the matrix product.
+    pub fn verify(&self, w: &Matrix, t: &cham_math::Modulus) -> Result<bool> {
+        let wr = w.mul_vector_mod(&self.r, t).map_err(crate::AppError::He)?;
+        let rec = secretshare::reconstruct_vector(&self.c, &self.s, t);
+        Ok(wr == rec)
+    }
+}
+
+/// Generates Beaver triples for a fixed layer matrix under the client's
+/// key pair.
+pub struct BeaverGenerator {
+    params: ChamParams,
+    hmvp: Hmvp,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    gkeys: GaloisKeys,
+    /// Client-side secret key (needed to mint extra rotation keys for the
+    /// batch baseline; in the live protocol those ship with the public
+    /// key material).
+    client_sk: SecretKey,
+}
+
+impl std::fmt::Debug for BeaverGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BeaverGenerator")
+            .field("degree", &self.params.degree())
+            .finish()
+    }
+}
+
+impl BeaverGenerator {
+    /// Sets up keys for a parameter set (the client role owns the secret
+    /// key; the server sees only the public and Galois keys).
+    ///
+    /// # Errors
+    /// Keygen failures from the HE layer.
+    pub fn new<R: Rng + ?Sized>(params: &ChamParams, rng: &mut R) -> Result<Self> {
+        let sk = SecretKey::generate(params, rng);
+        let encryptor = Encryptor::new(params, &sk);
+        let decryptor = Decryptor::new(params, &sk);
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), rng)?;
+        Ok(Self {
+            params: params.clone(),
+            hmvp: Hmvp::new(params),
+            encryptor,
+            decryptor,
+            gkeys,
+            client_sk: sk,
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &ChamParams {
+        &self.params
+    }
+
+    /// Generates `count` triples for layer matrix `w` via coefficient-
+    /// encoded HMVP, logging communication into `transcript`.
+    ///
+    /// # Errors
+    /// Shape failures from the HMVP layer.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        w: &Matrix,
+        count: usize,
+        transcript: &mut Transcript,
+        rng: &mut R,
+    ) -> Result<Vec<BeaverTriple>> {
+        let t = self.params.plain_modulus();
+        let em = self.hmvp.encode_matrix(w)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Client: random mask, encrypted.
+            let r: Vec<u64> = (0..w.cols()).map(|_| rng.gen_range(0..t.value())).collect();
+            let cts = self.hmvp.encrypt_vector(&r, &self.encryptor, rng)?;
+            for ct in &cts {
+                transcript.send(
+                    Role::PartyA,
+                    Role::PartyB,
+                    "[[r]]",
+                    rlwe_ciphertext_bytes(ct),
+                );
+            }
+            // Server: HMVP, then subtract its random share from the packed
+            // result. The packed plaintext holds 2^h·(W·r)_j at stride
+            // positions, so s must be pre-scaled by 2^h.
+            let result = self.hmvp.multiply(&em, &cts, &self.gkeys)?;
+            let s: Vec<u64> = (0..w.rows()).map(|_| rng.gen_range(0..t.value())).collect();
+            let mut masked = result;
+            let mut offset = 0usize;
+            for packed in &mut masked.packed {
+                let stride = packed.stride(&self.params);
+                let two_h = t.pow(2, packed.log_count as u64);
+                let mut mask_vals = vec![0u64; self.params.degree()];
+                for j in 0..packed.count {
+                    let s_j = s.get(offset + j).copied().unwrap_or(0);
+                    mask_vals[j * stride] = t.mul(two_h, s_j);
+                }
+                offset += packed.count;
+                let pt_mask = cham_he::encoding::Plaintext::from_values(mask_vals);
+                let neg_mask_ct = cham_he::ops::add_plain(
+                    &packed.ciphertext,
+                    &negate_plaintext(&pt_mask, t),
+                    &self.params,
+                )?;
+                packed.ciphertext = neg_mask_ct;
+                transcript.send(
+                    Role::PartyB,
+                    Role::PartyA,
+                    "[[Wr - s]]",
+                    rlwe_ciphertext_bytes(&packed.ciphertext),
+                );
+            }
+            // Client: decrypt c = W·r − s.
+            let c = self.hmvp.decrypt_result(&masked, &self.decryptor)?;
+            out.push(BeaverTriple { r, c, s });
+        }
+        Ok(out)
+    }
+
+    /// Delphi's original batch-encoded path (rotate-and-sum), restricted
+    /// to the baseline's `N/2` capacity. Returns the triples plus the
+    /// rotation count actually spent — the cost driver Fig. 7c compares.
+    ///
+    /// # Errors
+    /// Shape failures; capacity overflows.
+    pub fn generate_batch_baseline<R: Rng + ?Sized>(
+        &self,
+        w: &Matrix,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<(Vec<BeaverTriple>, usize)> {
+        let t = self.params.plain_modulus();
+        let batch = BatchHmvp::new(&self.params)?;
+        // Rotation keys for the fold (in the live protocol these ship with
+        // the client's public key material).
+        let rot_keys = {
+            let mut keys = self.gkeys.clone();
+            for k in batch.rotate_sum_galois_indices() {
+                if !keys.contains(k) {
+                    let fresh = GaloisKeys::generate(&self.client_sk, &[k], rng)?;
+                    keys.insert(k, fresh.get(k)?.clone());
+                }
+            }
+            keys
+        };
+        let mut rotations = 0usize;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let r: Vec<u64> = (0..w.cols()).map(|_| rng.gen_range(0..t.value())).collect();
+            let ct_r = batch.encrypt_vector(&r, &self.encryptor, rng)?;
+            let row_cts = batch.rotate_and_sum(w, &ct_r, &rot_keys)?;
+            rotations += w.rows() * batch.rotate_sum_galois_indices().len();
+            let s: Vec<u64> = (0..w.rows()).map(|_| rng.gen_range(0..t.value())).collect();
+            let mut c = Vec::with_capacity(w.rows());
+            for (i, ct) in row_cts.iter().enumerate() {
+                let vals = batch.decode(&self.decryptor, ct)?;
+                c.push(t.sub(vals[0], s[i]));
+            }
+            out.push(BeaverTriple { r, c, s });
+        }
+        Ok((out, rotations))
+    }
+}
+
+/// Negates a plaintext coefficient-wise (helper for `[[Wr]] − s`).
+fn negate_plaintext(
+    pt: &cham_he::encoding::Plaintext,
+    t: &cham_math::Modulus,
+) -> cham_he::encoding::Plaintext {
+    cham_he::encoding::Plaintext::from_values(pt.values().iter().map(|&v| t.neg(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (ChamParams, BeaverGenerator, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+        let params = ChamParams::insecure_test_default().unwrap();
+        let generator = BeaverGenerator::new(&params, &mut rng).unwrap();
+        (params, generator, rng)
+    }
+
+    #[test]
+    fn triples_verify() {
+        let (params, generator, mut rng) = setup();
+        let t = params.plain_modulus();
+        let w = Matrix::random(16, 32, t.value(), &mut rng);
+        let mut transcript = Transcript::new();
+        let triples = generator
+            .generate(&w, 3, &mut transcript, &mut rng)
+            .unwrap();
+        assert_eq!(triples.len(), 3);
+        for tr in &triples {
+            assert!(tr.verify(&w, t).unwrap());
+        }
+        assert!(transcript.total_bytes() > 0);
+    }
+
+    #[test]
+    fn triples_are_fresh_randomness() {
+        let (_, generator, mut rng) = setup();
+        let w = Matrix::random(4, 8, 65537, &mut rng);
+        let mut transcript = Transcript::new();
+        let triples = generator
+            .generate(&w, 2, &mut transcript, &mut rng)
+            .unwrap();
+        assert_ne!(triples[0].r, triples[1].r);
+        assert_ne!(triples[0].s, triples[1].s);
+    }
+
+    #[test]
+    fn shares_hide_the_product() {
+        // Neither c nor s alone equals W·r.
+        let (params, generator, mut rng) = setup();
+        let t = params.plain_modulus();
+        let w = Matrix::random(8, 8, t.value(), &mut rng);
+        let mut transcript = Transcript::new();
+        let tr = &generator
+            .generate(&w, 1, &mut transcript, &mut rng)
+            .unwrap()[0];
+        let wr = w.mul_vector_mod(&tr.r, t).unwrap();
+        assert_ne!(tr.c, wr);
+        assert_ne!(tr.s, wr);
+    }
+
+    #[test]
+    fn tall_matrix_triples() {
+        // rows > N forces multiple packed outputs through the mask path.
+        let (params, generator, mut rng) = setup();
+        let t = params.plain_modulus();
+        let w = Matrix::random(300, 16, t.value(), &mut rng);
+        let mut transcript = Transcript::new();
+        let tr = &generator
+            .generate(&w, 1, &mut transcript, &mut rng)
+            .unwrap()[0];
+        assert!(tr.verify(&w, t).unwrap());
+        assert_eq!(tr.c.len(), 300);
+    }
+}

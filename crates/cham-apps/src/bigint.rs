@@ -1,0 +1,552 @@
+//! Minimal arbitrary-precision unsigned arithmetic.
+//!
+//! Supports exactly what [`crate::paillier`] needs: add/sub/cmp, schoolbook
+//! multiplication, shift-subtract division, modular exponentiation, modular
+//! inverse, gcd/lcm, Miller–Rabin, and random prime generation. Limbs are
+//! little-endian `u64`. Performance is deliberately simple — Paillier is
+//! the *slow baseline* of Fig. 7 (FATE's original algorithm), and the
+//! in-repo implementation avoids an out-of-policy dependency (DESIGN.md).
+
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// An unsigned big integer (little-endian `u64` limbs, no leading zeros).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        Self { limbs: vec![] }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Self::from_u64(1)
+    }
+
+    /// From a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            Self { limbs: vec![v] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut s = Self {
+            limbs: vec![lo, hi],
+        };
+        s.normalize();
+        s
+    }
+
+    /// To `u128`, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True when odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
+    /// Bit length.
+    pub fn bits(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() as u32 - 1) * 64 + (64 - top.leading_zeros()),
+        }
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Comparison.
+    pub fn cmp_big(&self, other: &Self) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    /// Panics if `other > self` (unsigned underflow).
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(
+            self.cmp_big(other) != Ordering::Less,
+            "bigint subtraction underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `self × other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: u32) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = (bits / 64) as usize;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by one bit.
+    pub fn shr1(&self) -> Self {
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut carry = 0u64;
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            out[i] = (l >> 1) | (carry << 63);
+            carry = l & 1;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// `(self / other, self % other)` by shift-subtract long division.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    pub fn div_rem(&self, other: &Self) -> (Self, Self) {
+        assert!(!other.is_zero(), "bigint division by zero");
+        if self.cmp_big(other) == Ordering::Less {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.bits() - other.bits();
+        let mut divisor = other.shl(shift);
+        let mut rem = self.clone();
+        let mut quot_bits = vec![false; shift as usize + 1];
+        for i in (0..=shift).rev() {
+            if rem.cmp_big(&divisor) != Ordering::Less {
+                rem = rem.sub(&divisor);
+                quot_bits[i as usize] = true;
+            }
+            divisor = divisor.shr1();
+        }
+        let mut quot = Self::zero();
+        let limbs = quot_bits.len().div_ceil(64);
+        let mut out = vec![0u64; limbs];
+        for (i, &b) in quot_bits.iter().enumerate() {
+            if b {
+                out[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        quot.limbs = out;
+        quot.normalize();
+        (quot, rem)
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// `self · other mod m`.
+    pub fn mul_mod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `self^exp mod m` by square-and-multiply.
+    pub fn mod_pow(&self, exp: &Self, m: &Self) -> Self {
+        if m.cmp_big(&Self::one()) == Ordering::Equal {
+            return Self::zero();
+        }
+        let mut base = self.rem(m);
+        let mut acc = Self::one();
+        for i in 0..exp.bits() {
+            if exp.limbs[i as usize / 64] >> (i % 64) & 1 == 1 {
+                acc = acc.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Least common multiple.
+    pub fn lcm(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        self.mul(other).div_rem(&self.gcd(other)).0
+    }
+
+    /// Modular inverse, when it exists.
+    pub fn mod_inverse(&self, m: &Self) -> Option<Self> {
+        // Extended Euclid with sign tracking over (value, negative?) pairs.
+        let (mut r0, mut r1) = (m.clone(), self.rem(m));
+        let (mut t0, mut t1) = ((Self::zero(), false), (Self::one(), false));
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // t2 = t0 − q·t1 with signs.
+            let qt1 = (q.mul(&t1.0), t1.1);
+            let t2 = signed_sub(&t0, &qt1);
+            r0 = r1;
+            r1 = r;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0.cmp_big(&Self::one()) != Ordering::Equal {
+            return None;
+        }
+        // Map t0 into [0, m).
+        let v = if t0.1 {
+            m.sub(&t0.0.rem(m))
+        } else {
+            t0.0.rem(m)
+        };
+        Some(v.rem(m))
+    }
+
+    /// Uniform random value below `bound` (rejection sampling).
+    ///
+    /// # Panics
+    /// Panics when `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(bound: &Self, rng: &mut R) -> Self {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let limbs = bound.limbs.len();
+        let top_bits = bound.bits() % 64;
+        loop {
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            if top_bits != 0 {
+                if let Some(top) = v.last_mut() {
+                    *top &= (1u64 << top_bits) - 1;
+                }
+            }
+            let mut c = Self { limbs: v };
+            c.normalize();
+            if c.cmp_big(bound) == Ordering::Less {
+                return c;
+            }
+        }
+    }
+
+    /// Miller–Rabin with `rounds` random bases.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rounds: usize, rng: &mut R) -> bool {
+        if self.bits() <= 64 {
+            return cham_math::primality::is_prime(self.to_u128().expect("fits") as u64);
+        }
+        if !self.is_odd() {
+            return false;
+        }
+        // Trial division by small primes.
+        for p in [3u64, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
+            if self.rem(&Self::from_u64(p)).is_zero() {
+                return false;
+            }
+        }
+        let one = Self::one();
+        let n_minus_1 = self.sub(&one);
+        let mut d = n_minus_1.clone();
+        let mut r = 0u32;
+        while !d.is_odd() {
+            d = d.shr1();
+            r += 1;
+        }
+        'witness: for _ in 0..rounds {
+            let a =
+                Self::random_below(&n_minus_1.sub(&Self::from_u64(2)), rng).add(&Self::from_u64(2));
+            let mut x = a.mod_pow(&d, self);
+            if x.cmp_big(&one) == Ordering::Equal || x.cmp_big(&n_minus_1) == Ordering::Equal {
+                continue;
+            }
+            for _ in 0..r - 1 {
+                x = x.mul_mod(&x, self);
+                if x.cmp_big(&n_minus_1) == Ordering::Equal {
+                    continue 'witness;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Generates a random prime of exactly `bits` bits.
+    ///
+    /// # Panics
+    /// Panics when `bits < 8`.
+    pub fn random_prime<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Self {
+        assert!(bits >= 8, "prime size too small");
+        loop {
+            let mut c = Self::random_below(&Self::one().shl(bits), rng);
+            // Force top and bottom bits.
+            let limbs = (bits as usize).div_ceil(64);
+            c.limbs.resize(limbs, 0);
+            c.limbs[(bits as usize - 1) / 64] |= 1u64 << ((bits as usize - 1) % 64);
+            c.limbs[0] |= 1;
+            c.normalize();
+            if c.is_probable_prime(12, rng) {
+                return c;
+            }
+        }
+    }
+}
+
+/// `a − b` over signed pairs `(magnitude, negative?)`.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        // a − b with both positive.
+        (false, false) => {
+            if a.0.cmp_big(&b.0) != Ordering::Less {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        // a − (−b) = a + b.
+        (false, true) => (a.0.add(&b.0), false),
+        // (−a) − b = −(a + b).
+        (true, false) => (a.0.add(&b.0), true),
+        // (−a) − (−b) = b − a.
+        (true, true) => {
+            if b.0.cmp_big(&a.0) != Ordering::Less {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn u128_roundtrip_and_arith() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let a: u128 = rng.gen::<u128>() >> 1;
+            let b: u128 = rng.gen::<u128>() >> 1;
+            let ba = BigUint::from_u128(a);
+            let bb = BigUint::from_u128(b);
+            assert_eq!(ba.add(&bb).to_u128().unwrap(), a + b);
+            if a >= b {
+                assert_eq!(ba.sub(&bb).to_u128().unwrap(), a - b);
+            }
+            let (hi, lo) = (a >> 64, a & u64::MAX as u128);
+            let _ = (hi, lo);
+        }
+    }
+
+    #[test]
+    fn mul_div_consistency() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let a = BigUint::from_u128(rng.gen());
+            let b = BigUint::from_u64(rng.gen_range(1..u64::MAX));
+            let prod = a.mul(&b);
+            let (q, r) = prod.div_rem(&b);
+            assert_eq!(q.cmp_big(&a), Ordering::Equal);
+            assert!(r.is_zero());
+            // (a*b + c) / b == a rem c for c < b
+            let c = BigUint::from_u64(rng.gen_range(0..b.to_u128().unwrap() as u64));
+            let (q2, r2) = prod.add(&c).div_rem(&b);
+            assert_eq!(q2.cmp_big(&a), Ordering::Equal);
+            assert_eq!(r2.cmp_big(&c), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn mod_pow_matches_u128_oracle() {
+        let mut rng = rng();
+        let m = 0xFFFF_FFFF_FFFF_FFC5u64; // < 2^64
+        for _ in 0..50 {
+            let base = rng.gen::<u64>() % m;
+            let exp = rng.gen::<u32>() as u64;
+            let got =
+                BigUint::from_u64(base).mod_pow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+            // u128-safe oracle.
+            let mut acc = 1u128;
+            let mut b = base as u128;
+            let mut e = exp;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = acc * b % m as u128;
+                }
+                b = b * b % m as u128;
+                e >>= 1;
+            }
+            assert_eq!(got.to_u128().unwrap(), acc);
+        }
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        let a = BigUint::from_u64(12);
+        let b = BigUint::from_u64(18);
+        assert_eq!(a.gcd(&b).to_u128().unwrap(), 6);
+        assert_eq!(a.lcm(&b).to_u128().unwrap(), 36);
+        assert!(BigUint::zero().gcd(&a).cmp_big(&a) == Ordering::Equal);
+    }
+
+    #[test]
+    fn mod_inverse_works() {
+        let mut rng = rng();
+        let m = BigUint::from_u64(65537);
+        for _ in 0..100 {
+            let a = BigUint::from_u64(rng.gen_range(1..65537));
+            let inv = a.mod_inverse(&m).unwrap();
+            assert_eq!(a.mul_mod(&inv, &m).to_u128().unwrap(), 1);
+        }
+        // Non-invertible.
+        let m2 = BigUint::from_u64(100);
+        assert!(BigUint::from_u64(10).mod_inverse(&m2).is_none());
+    }
+
+    #[test]
+    fn primality() {
+        let mut rng = rng();
+        assert!(BigUint::from_u64(65537).is_probable_prime(10, &mut rng));
+        assert!(!BigUint::from_u64(65535).is_probable_prime(10, &mut rng));
+        // 2^89 − 1 is a Mersenne prime.
+        let m89 = BigUint::one().shl(89).sub(&BigUint::one());
+        assert!(m89.is_probable_prime(10, &mut rng));
+        let m90 = BigUint::one().shl(90).sub(&BigUint::one());
+        assert!(!m90.is_probable_prime(10, &mut rng));
+    }
+
+    #[test]
+    fn random_prime_has_requested_size() {
+        let mut rng = rng();
+        let p = BigUint::random_prime(96, &mut rng);
+        assert_eq!(p.bits(), 96);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_u64(0b1011);
+        assert_eq!(a.shl(4).to_u128().unwrap(), 0b1011_0000);
+        assert_eq!(a.shl(64).to_u128().unwrap(), 0b1011u128 << 64);
+        assert_eq!(a.shr1().to_u128().unwrap(), 0b101);
+        assert!(BigUint::zero().shl(100).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        BigUint::from_u64(1).div_rem(&BigUint::zero());
+    }
+}

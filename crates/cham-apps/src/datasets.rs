@@ -1,0 +1,143 @@
+//! Seeded synthetic datasets for the HeteroLR sweeps (Fig. 7a/7b).
+//!
+//! The paper evaluates HeteroLR over dataset *shapes* (rows × columns up to
+//! 8192 × 8192); its production data is proprietary, so we substitute a
+//! separable logistic model with label noise (DESIGN.md, Substitutions).
+//! Columns are split vertically between parties A and B, matching FATE's
+//! "overlapping samples provided by two parties".
+
+use rand::Rng;
+
+/// A vertically-partitioned binary-classification dataset.
+#[derive(Debug, Clone)]
+pub struct VerticalDataset {
+    /// Party A's feature block, `samples × features_a`, values in [−1, 1].
+    pub features_a: Vec<Vec<f64>>,
+    /// Party B's feature block, `samples × features_b`.
+    pub features_b: Vec<Vec<f64>>,
+    /// Labels in {0, 1} (held by party B).
+    pub labels: Vec<f64>,
+    /// The generating weights (for diagnostics only).
+    pub true_weights: Vec<f64>,
+}
+
+impl VerticalDataset {
+    /// Generates a separable dataset: `y = 1[σ(x·w) > 0.5]`, with `flip`
+    /// fraction of labels flipped.
+    ///
+    /// # Panics
+    /// Panics when any dimension is zero or `flip` is outside `[0, 1)`.
+    pub fn generate<R: Rng + ?Sized>(
+        samples: usize,
+        features_a: usize,
+        features_b: usize,
+        flip: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            samples > 0 && features_a > 0 && features_b > 0,
+            "empty dataset"
+        );
+        assert!((0.0..1.0).contains(&flip), "flip fraction out of range");
+        let d = features_a + features_b;
+        let true_weights: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut fa = Vec::with_capacity(samples);
+        let mut fb = Vec::with_capacity(samples);
+        let mut labels = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let z: f64 = x.iter().zip(&true_weights).map(|(a, w)| a * w).sum();
+            let p = 1.0 / (1.0 + (-4.0 * z).exp());
+            let mut y = if p > 0.5 { 1.0 } else { 0.0 };
+            if rng.gen_bool(flip) {
+                y = 1.0 - y;
+            }
+            fa.push(x[..features_a].to_vec());
+            fb.push(x[features_a..].to_vec());
+            labels.push(y);
+        }
+        Self {
+            features_a: fa,
+            features_b: fb,
+            labels,
+            true_weights,
+        }
+    }
+
+    /// Number of samples.
+    pub fn samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Classification accuracy of a joint weight vector (A's weights then
+    /// B's weights) on this dataset.
+    ///
+    /// # Panics
+    /// Panics when the weight length differs from the total feature count.
+    pub fn accuracy(&self, weights_a: &[f64], weights_b: &[f64]) -> f64 {
+        assert_eq!(weights_a.len(), self.features_a[0].len(), "A weight shape");
+        assert_eq!(weights_b.len(), self.features_b[0].len(), "B weight shape");
+        let correct = (0..self.samples())
+            .filter(|&i| {
+                let z: f64 = self.features_a[i]
+                    .iter()
+                    .zip(weights_a)
+                    .map(|(x, w)| x * w)
+                    .sum::<f64>()
+                    + self.features_b[i]
+                        .iter()
+                        .zip(weights_b)
+                        .map(|(x, w)| x * w)
+                        .sum::<f64>();
+                let pred = if z > 0.0 { 1.0 } else { 0.0 };
+                pred == self.labels[i]
+            })
+            .count();
+        correct as f64 / self.samples() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = VerticalDataset::generate(100, 4, 6, 0.05, &mut rng);
+        assert_eq!(d.samples(), 100);
+        assert_eq!(d.features_a[0].len(), 4);
+        assert_eq!(d.features_b[0].len(), 6);
+        assert_eq!(d.true_weights.len(), 10);
+        assert!(d.labels.iter().all(|&y| y == 0.0 || y == 1.0));
+        assert!(d
+            .features_a
+            .iter()
+            .flatten()
+            .all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn true_weights_achieve_high_accuracy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let d = VerticalDataset::generate(500, 5, 5, 0.0, &mut rng);
+        let acc = d.accuracy(&d.true_weights[..5], &d.true_weights[5..]);
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn label_noise_reduces_accuracy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let noisy = VerticalDataset::generate(500, 5, 5, 0.3, &mut rng);
+        let acc = noisy.accuracy(&noisy.true_weights[..5], &noisy.true_weights[5..]);
+        assert!(acc < 0.9, "acc {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn zero_samples_panic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        VerticalDataset::generate(0, 1, 1, 0.0, &mut rng);
+    }
+}

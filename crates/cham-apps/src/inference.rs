@@ -1,0 +1,324 @@
+//! Cryptographic inference online phase (Delphi-style), consuming the
+//! Beaver triples of [`crate::beaver`].
+//!
+//! Preprocessing gave the client `(r, c)` and the server `(W, s)` with
+//! `W·r = c + s (mod t)`. Online, a linear layer costs **no cryptography**:
+//!
+//! 1. the client sends the masked input `x − r`,
+//! 2. the server answers with its share `W·(x − r) + s = W·x − c`,
+//! 3. the client adds `c`, recovering `W·x` — while the server learned
+//!    nothing about `x` (it saw only the one-time-pad `x − r`).
+//!
+//! Non-linear layers: Delphi evaluates ReLU in garbled circuits; a GC
+//! engine is out of scope here, so [`MlpInference`] reconstructs
+//! activations at the *client* between layers (the client learns its own
+//! intermediate activations — acceptable in Delphi's client-aided variants
+//! and documented as the substitution in DESIGN.md). The linear layers —
+//! the part CHAM accelerates — keep Delphi's exact algebra.
+
+use crate::beaver::{BeaverGenerator, BeaverTriple};
+use crate::fixed::FixedCodec;
+use crate::protocol::{Role, Transcript};
+use crate::{AppError, Result};
+use cham_he::hmvp::Matrix;
+use cham_math::Modulus;
+use rand::Rng;
+
+/// One linear layer's online protocol state.
+#[derive(Debug, Clone)]
+pub struct LinearLayer {
+    w: Matrix,
+    triple: BeaverTriple,
+    t: Modulus,
+}
+
+impl LinearLayer {
+    /// Binds a layer matrix to a fresh triple.
+    ///
+    /// # Errors
+    /// [`AppError::ShapeMismatch`] when the triple's dimensions disagree
+    /// with the matrix.
+    pub fn new(w: Matrix, triple: BeaverTriple, t: Modulus) -> Result<Self> {
+        if triple.r.len() != w.cols() || triple.c.len() != w.rows() {
+            return Err(AppError::ShapeMismatch {
+                expected: w.cols(),
+                got: triple.r.len(),
+            });
+        }
+        Ok(Self { w, triple, t })
+    }
+
+    /// Client step 1: mask the input with the triple's `r`.
+    ///
+    /// # Errors
+    /// [`AppError::ShapeMismatch`] on input length mismatch.
+    pub fn client_mask(&self, x: &[u64]) -> Result<Vec<u64>> {
+        if x.len() != self.w.cols() {
+            return Err(AppError::ShapeMismatch {
+                expected: self.w.cols(),
+                got: x.len(),
+            });
+        }
+        Ok(x.iter()
+            .zip(&self.triple.r)
+            .map(|(&xi, &ri)| self.t.sub(self.t.reduce(xi), ri))
+            .collect())
+    }
+
+    /// Server step: evaluate on the masked input and blind with `s`.
+    ///
+    /// # Errors
+    /// Shape errors from the matrix product.
+    pub fn server_eval(&self, x_masked: &[u64]) -> Result<Vec<u64>> {
+        let wx = self
+            .w
+            .mul_vector_mod(x_masked, &self.t)
+            .map_err(AppError::He)?;
+        Ok(wx
+            .iter()
+            .zip(&self.triple.s)
+            .map(|(&v, &si)| self.t.add(v, si))
+            .collect())
+    }
+
+    /// Client step 2: unblind with `c`, recovering `W·x`.
+    ///
+    /// # Errors
+    /// [`AppError::ShapeMismatch`] on length mismatch.
+    pub fn client_unmask(&self, server_share: &[u64]) -> Result<Vec<u64>> {
+        if server_share.len() != self.w.rows() {
+            return Err(AppError::ShapeMismatch {
+                expected: self.w.rows(),
+                got: server_share.len(),
+            });
+        }
+        Ok(server_share
+            .iter()
+            .zip(&self.triple.c)
+            .map(|(&v, &ci)| self.t.add(v, ci))
+            .collect())
+    }
+
+    /// The full three-message exchange, with transcript accounting.
+    ///
+    /// # Errors
+    /// Shape errors from the three steps.
+    pub fn evaluate(&self, x: &[u64], transcript: &mut Transcript) -> Result<Vec<u64>> {
+        let masked = self.client_mask(x)?;
+        transcript.send(Role::PartyA, Role::PartyB, "x - r", masked.len() * 8);
+        let share = self.server_eval(&masked)?;
+        transcript.send(Role::PartyB, Role::PartyA, "W(x-r) + s", share.len() * 8);
+        self.client_unmask(&share)
+    }
+}
+
+/// A quantized multi-layer perceptron evaluated with Delphi's online
+/// protocol (linear layers) and client-side ReLU (the GC substitution).
+pub struct MlpInference {
+    layers: Vec<LinearLayer>,
+    codec: FixedCodec,
+}
+
+impl std::fmt::Debug for MlpInference {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlpInference")
+            .field("layers", &self.layers.len())
+            .finish()
+    }
+}
+
+impl MlpInference {
+    /// Builds the protocol state: one triple per layer, generated through
+    /// the full HE preprocessing path.
+    ///
+    /// # Errors
+    /// Propagates preprocessing failures.
+    pub fn setup<R: Rng + ?Sized>(
+        weights: Vec<Matrix>,
+        generator: &BeaverGenerator,
+        codec: FixedCodec,
+        transcript: &mut Transcript,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let t = *generator.params().plain_modulus();
+        let layers = weights
+            .into_iter()
+            .map(|w| {
+                let triple = generator
+                    .generate(&w, 1, transcript, rng)?
+                    .pop()
+                    .expect("one triple requested");
+                LinearLayer::new(w, triple, t)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { layers, codec })
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs inference on a fixed-point input vector.
+    ///
+    /// Values are re-quantized to the base scale between layers (the ReLU
+    /// + rescale the client performs on its reconstructed activations).
+    ///
+    /// # Errors
+    /// Shape/overflow errors.
+    pub fn infer(&self, x: &[f64], transcript: &mut Transcript) -> Result<Vec<f64>> {
+        let t = self.codec.modulus();
+        let mut act: Vec<u64> = self.codec.encode_vec(x)?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = layer.evaluate(&act, transcript)?;
+            // Client-side: decode at scale 2 (input scale × weight scale),
+            // apply ReLU except after the last layer, re-encode at scale 1.
+            let vals: Vec<f64> = out
+                .iter()
+                .map(|&v| self.codec.decode_scaled(v, 2))
+                .collect();
+            let activated: Vec<f64> = if i + 1 < self.layers.len() {
+                vals.into_iter().map(|v| v.max(0.0)).collect()
+            } else {
+                vals
+            };
+            if i + 1 < self.layers.len() {
+                act = self.codec.encode_vec(&activated)?;
+            } else {
+                return Ok(activated);
+            }
+            let _ = t;
+        }
+        // Zero-layer network: identity.
+        Ok(x.to_vec())
+    }
+
+    /// Plain (cleartext) reference inference with the same quantization.
+    ///
+    /// # Errors
+    /// Shape/overflow errors.
+    pub fn infer_plain(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let t = self.codec.modulus();
+        let mut act: Vec<u64> = self.codec.encode_vec(x)?;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let out = layer.w.mul_vector_mod(&act, t).map_err(AppError::He)?;
+            let vals: Vec<f64> = out
+                .iter()
+                .map(|&v| self.codec.decode_scaled(v, 2))
+                .collect();
+            let activated: Vec<f64> = if i + 1 < self.layers.len() {
+                vals.into_iter().map(|v| v.max(0.0)).collect()
+            } else {
+                return Ok(vals);
+            };
+            act = self.codec.encode_vec(&activated)?;
+        }
+        Ok(x.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_he::params::{ChamParams, ChamParamsBuilder};
+    use rand::SeedableRng;
+
+    fn setup() -> (ChamParams, BeaverGenerator, FixedCodec, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(606);
+        // A larger plaintext modulus gives the fixed-point products room.
+        let params = ChamParamsBuilder::new()
+            .degree(256)
+            .plain_modulus((1 << 24) + 1)
+            .build()
+            .unwrap();
+        let generator = BeaverGenerator::new(&params, &mut rng).unwrap();
+        let codec = FixedCodec::new(*params.plain_modulus(), 6).unwrap();
+        (params, generator, codec, rng)
+    }
+
+    #[test]
+    fn linear_layer_online_is_exact() {
+        let (params, generator, _, mut rng) = setup();
+        let t = *params.plain_modulus();
+        let w = Matrix::random(8, 16, 1000, &mut rng);
+        let mut transcript = Transcript::new();
+        let triple = generator
+            .generate(&w, 1, &mut transcript, &mut rng)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let layer = LinearLayer::new(w.clone(), triple, t).unwrap();
+        let x: Vec<u64> = (0..16).map(|_| rng.gen_range(0..1000)).collect();
+        let got = layer.evaluate(&x, &mut transcript).unwrap();
+        assert_eq!(got, w.mul_vector_mod(&x, &t).unwrap());
+    }
+
+    #[test]
+    fn server_view_is_masked() {
+        // The masked input must differ from x in (essentially) every
+        // position — the server sees a one-time pad.
+        let (params, generator, _, mut rng) = setup();
+        let t = *params.plain_modulus();
+        let w = Matrix::random(4, 64, 1000, &mut rng);
+        let mut transcript = Transcript::new();
+        let triple = generator
+            .generate(&w, 1, &mut transcript, &mut rng)
+            .unwrap()
+            .pop()
+            .unwrap();
+        let layer = LinearLayer::new(w, triple, t).unwrap();
+        let x: Vec<u64> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
+        let masked = layer.client_mask(&x).unwrap();
+        let agree = masked.iter().zip(&x).filter(|(m, x)| m == x).count();
+        assert!(agree <= 2, "{agree} positions leak");
+    }
+
+    #[test]
+    fn mlp_matches_plain_reference() {
+        let (_, generator, codec, mut rng) = setup();
+        // Small 2-layer MLP with tame weights (|w| <= 2 at 6 fractional
+        // bits => entries within ±128 in the ring).
+        let quant = |rows: usize, cols: usize, rng: &mut rand::rngs::StdRng| {
+            let data: Vec<u64> = (0..rows * cols)
+                .map(|_| {
+                    let v: i64 = rng.gen_range(-128..=128);
+                    codec.modulus().from_signed(v)
+                })
+                .collect();
+            Matrix::from_data(rows, cols, data).unwrap()
+        };
+        let w1 = quant(6, 8, &mut rng);
+        let w2 = quant(3, 6, &mut rng);
+        let mut transcript = Transcript::new();
+        let mlp = MlpInference::setup(vec![w1, w2], &generator, codec, &mut transcript, &mut rng)
+            .unwrap();
+        assert_eq!(mlp.layer_count(), 2);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 - 4.0) / 4.0).collect();
+        let online = mlp.infer(&x, &mut transcript).unwrap();
+        let plain = mlp.infer_plain(&x).unwrap();
+        assert_eq!(online.len(), 3);
+        for (a, b) in online.iter().zip(&plain) {
+            assert!((a - b).abs() < 1e-9, "online {a} vs plain {b}");
+        }
+        assert!(transcript.total_bytes() > 0);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let (params, generator, _, mut rng) = setup();
+        let t = *params.plain_modulus();
+        let w = Matrix::random(4, 8, 100, &mut rng);
+        let mut transcript = Transcript::new();
+        let triple = generator
+            .generate(&w, 1, &mut transcript, &mut rng)
+            .unwrap()
+            .pop()
+            .unwrap();
+        // Triple from a different shape is rejected.
+        let other = Matrix::random(4, 9, 100, &mut rng);
+        assert!(LinearLayer::new(other, triple.clone(), t).is_err());
+        let layer = LinearLayer::new(w, triple, t).unwrap();
+        assert!(layer.client_mask(&[1, 2]).is_err());
+        assert!(layer.client_unmask(&[1, 2, 3]).is_err());
+    }
+}

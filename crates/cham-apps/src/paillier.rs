@@ -1,0 +1,304 @@
+//! Paillier additively-homomorphic encryption — FATE's original algorithm
+//! and the "existing work" baseline of the HeteroLR evaluation (§V-B.3:
+//! "The framework of FATE originally uses Paillier, a semi-HE algorithm.
+//! In this work, we replaced Paillier with B/FV").
+//!
+//! Uses the `g = n + 1` subgroup so encryption is
+//! `c = (1 + m·n) · r^n mod n²` — one modular exponentiation per
+//! encryption, and one per scalar multiply, which is precisely why Paillier
+//! matvec is orders of magnitude slower than coefficient-encoded B/FV.
+
+use crate::bigint::BigUint;
+use crate::{AppError, Result};
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// A Paillier public key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// A Paillier private key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierPrivateKey {
+    public: PaillierPublicKey,
+    lambda: BigUint,
+    mu: BigUint,
+}
+
+/// A Paillier ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierCiphertext(BigUint);
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Encrypts `m < n`.
+    ///
+    /// # Errors
+    /// [`AppError::OutOfRange`] when `m ≥ n`.
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<PaillierCiphertext> {
+        if m.cmp_big(&self.n) != Ordering::Less {
+            return Err(AppError::OutOfRange("paillier plaintext must be below n"));
+        }
+        // r coprime to n (overwhelmingly likely; retry otherwise).
+        let r = loop {
+            let r = BigUint::random_below(&self.n, rng);
+            if !r.is_zero() && r.gcd(&self.n).cmp_big(&BigUint::one()) == Ordering::Equal {
+                break r;
+            }
+        };
+        // c = (1 + m·n) · r^n mod n².
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        Ok(PaillierCiphertext(gm.mul_mod(&rn, &self.n_squared)))
+    }
+
+    /// Encrypts a `u64` convenience value.
+    ///
+    /// # Errors
+    /// Same as [`Self::encrypt`].
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, m: u64, rng: &mut R) -> Result<PaillierCiphertext> {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Homomorphic addition: `E(a)·E(b) = E(a+b)`.
+    pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mul_mod(&b.0, &self.n_squared))
+    }
+
+    /// Homomorphic plaintext addition: `E(a)·g^b = E(a+b)`.
+    pub fn add_plain(&self, a: &PaillierCiphertext, b: &BigUint) -> PaillierCiphertext {
+        let gb = BigUint::one().add(&b.mul(&self.n)).rem(&self.n_squared);
+        PaillierCiphertext(a.0.mul_mod(&gb, &self.n_squared))
+    }
+
+    /// Homomorphic scalar multiplication: `E(a)^k = E(k·a)`.
+    pub fn mul_scalar(&self, a: &PaillierCiphertext, k: &BigUint) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mod_pow(k, &self.n_squared))
+    }
+}
+
+impl PaillierPrivateKey {
+    /// Generates a keypair with an `n` of roughly `bits` bits.
+    ///
+    /// # Panics
+    /// Panics for `bits < 32`.
+    pub fn generate<R: Rng + ?Sized>(bits: u32, rng: &mut R) -> Self {
+        assert!(bits >= 32, "modulus too small");
+        loop {
+            let p = BigUint::random_prime(bits / 2, rng);
+            let q = BigUint::random_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let n_squared = n.mul(&n);
+            let lambda = p.sub(&BigUint::one()).lcm(&q.sub(&BigUint::one()));
+            // μ = L(g^λ mod n²)^{-1} mod n, with g = n+1:
+            // g^λ = (1+n)^λ ≡ 1 + λn (mod n²), so L(g^λ) = λ mod n.
+            let Some(mu) = lambda.rem(&n).mod_inverse(&n) else {
+                continue;
+            };
+            let public = PaillierPublicKey { n, n_squared };
+            return Self { public, lambda, mu };
+        }
+    }
+
+    /// The public half.
+    pub fn public_key(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
+        let n = &self.public.n;
+        let x = c.0.mod_pow(&self.lambda, &self.public.n_squared);
+        // L(x) = (x − 1)/n.
+        let l = x.sub(&BigUint::one()).div_rem(n).0;
+        l.mul_mod(&self.mu, n)
+    }
+
+    /// Decrypts into a centred `i128` (values above `n/2` are negative).
+    pub fn decrypt_signed(&self, c: &PaillierCiphertext) -> i128 {
+        let v = self.decrypt(c);
+        let n = &self.public.n;
+        let half = n.shr1();
+        if v.cmp_big(&half) == Ordering::Greater {
+            -(n.sub(&v).to_u128().expect("centred value fits i128") as i128)
+        } else {
+            v.to_u128().expect("centred value fits i128") as i128
+        }
+    }
+}
+
+/// A Paillier-encrypted vector with element-wise homomorphic ops — the
+/// shape FATE's HeteroLR uses (one ciphertext per element).
+#[derive(Debug, Clone)]
+pub struct PaillierVector {
+    /// Element ciphertexts.
+    pub elements: Vec<PaillierCiphertext>,
+}
+
+impl PaillierVector {
+    /// Encrypts a signed vector (negatives wrap mod `n`).
+    ///
+    /// # Errors
+    /// Propagates range failures.
+    pub fn encrypt<R: Rng + ?Sized>(
+        pk: &PaillierPublicKey,
+        values: &[i64],
+        rng: &mut R,
+    ) -> Result<Self> {
+        let n = pk.modulus();
+        let elements = values
+            .iter()
+            .map(|&v| {
+                let m = if v >= 0 {
+                    BigUint::from_u64(v as u64)
+                } else {
+                    n.sub(&BigUint::from_u64(v.unsigned_abs()))
+                };
+                pk.encrypt(&m, rng)
+            })
+            .collect::<Result<_>>()?;
+        Ok(Self { elements })
+    }
+
+    /// Matrix–(encrypted)vector product: `out_i = Σ_j A[i][j]·E(v_j)` via
+    /// scalar-mult and adds — `rows × cols` modular exponentiations, the
+    /// cost the paper's Fig. 7 "matvec" bar measures for FATE.
+    ///
+    /// # Errors
+    /// [`AppError::ShapeMismatch`] when the matrix width differs.
+    pub fn matvec(&self, pk: &PaillierPublicKey, rows: &[Vec<i64>]) -> Result<Self> {
+        let n = pk.modulus();
+        let elements = rows
+            .iter()
+            .map(|row| {
+                if row.len() != self.elements.len() {
+                    return Err(AppError::ShapeMismatch {
+                        expected: self.elements.len(),
+                        got: row.len(),
+                    });
+                }
+                let mut acc: Option<PaillierCiphertext> = None;
+                for (a, ct) in row.iter().zip(&self.elements) {
+                    if *a == 0 {
+                        continue;
+                    }
+                    let k = if *a >= 0 {
+                        BigUint::from_u64(*a as u64)
+                    } else {
+                        n.sub(&BigUint::from_u64(a.unsigned_abs()))
+                    };
+                    let term = pk.mul_scalar(ct, &k);
+                    acc = Some(match acc {
+                        Some(x) => pk.add(&x, &term),
+                        None => term,
+                    });
+                }
+                match acc {
+                    Some(x) => Ok(x),
+                    // All-zero row: encrypt-free zero via g^0·1^n = 1.
+                    None => Ok(PaillierCiphertext(BigUint::one())),
+                }
+            })
+            .collect::<Result<_>>()?;
+        Ok(Self { elements })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn keys() -> (PaillierPrivateKey, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        // Small modulus for test speed; see DESIGN.md for production sizes.
+        let sk = PaillierPrivateKey::generate(128, &mut rng);
+        (sk, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        for m in [0u64, 1, 42, 65535, 1 << 40] {
+            let ct = pk.encrypt_u64(m, &mut rng).unwrap();
+            assert_eq!(sk.decrypt(&ct).to_u128().unwrap(), m as u128);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let a = pk.encrypt_u64(7, &mut rng).unwrap();
+        let b = pk.encrypt_u64(7, &mut rng).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(sk.decrypt(&a), sk.decrypt(&b));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let a = pk.encrypt_u64(1234, &mut rng).unwrap();
+        let b = pk.encrypt_u64(8765, &mut rng).unwrap();
+        assert_eq!(sk.decrypt(&pk.add(&a, &b)).to_u128().unwrap(), 9999);
+        let c = pk.add_plain(&a, &BigUint::from_u64(1));
+        assert_eq!(sk.decrypt(&c).to_u128().unwrap(), 1235);
+        let d = pk.mul_scalar(&a, &BigUint::from_u64(3));
+        assert_eq!(sk.decrypt(&d).to_u128().unwrap(), 3702);
+    }
+
+    #[test]
+    fn rejects_oversized_plaintext() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let too_big = pk.modulus().clone();
+        assert!(pk.encrypt(&too_big, &mut rng).is_err());
+    }
+
+    #[test]
+    fn signed_decryption() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let v = PaillierVector::encrypt(&pk, &[-5, 0, 7], &mut rng).unwrap();
+        assert_eq!(sk.decrypt_signed(&v.elements[0]), -5);
+        assert_eq!(sk.decrypt_signed(&v.elements[1]), 0);
+        assert_eq!(sk.decrypt_signed(&v.elements[2]), 7);
+    }
+
+    #[test]
+    fn matvec_matches_plain() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let v = vec![3i64, -2, 5, 1];
+        let rows = vec![vec![1i64, 2, 3, 4], vec![0, 0, 0, 0], vec![-1, 1, -1, 1]];
+        let enc = PaillierVector::encrypt(&pk, &v, &mut rng).unwrap();
+        let out = enc.matvec(&pk, &rows).unwrap();
+        let expect: Vec<i128> = rows
+            .iter()
+            .map(|r| r.iter().zip(&v).map(|(&a, &x)| a as i128 * x as i128).sum())
+            .collect();
+        for (ct, e) in out.elements.iter().zip(&expect) {
+            assert_eq!(sk.decrypt_signed(ct), *e);
+        }
+    }
+
+    #[test]
+    fn matvec_shape_mismatch() {
+        let (sk, mut rng) = keys();
+        let pk = sk.public_key().clone();
+        let enc = PaillierVector::encrypt(&pk, &[1, 2], &mut rng).unwrap();
+        assert!(enc.matvec(&pk, &[vec![1, 2, 3]]).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Additive secret sharing over `Z_t` — the two-party model of §II-F:
+//! "party A owns a share of a vector and party B owns the other share".
+
+use cham_math::Modulus;
+use rand::Rng;
+
+/// Splits `value` into two additive shares mod `t`.
+pub fn share_scalar<R: Rng + ?Sized>(value: u64, t: &Modulus, rng: &mut R) -> (u64, u64) {
+    let v = t.reduce(value);
+    let a = rng.gen_range(0..t.value());
+    (a, t.sub(v, a))
+}
+
+/// Splits a vector into two additive share vectors mod `t`.
+pub fn share_vector<R: Rng + ?Sized>(
+    values: &[u64],
+    t: &Modulus,
+    rng: &mut R,
+) -> (Vec<u64>, Vec<u64>) {
+    values.iter().map(|&v| share_scalar(v, t, rng)).unzip()
+}
+
+/// Recombines two shares.
+pub fn reconstruct_scalar(a: u64, b: u64, t: &Modulus) -> u64 {
+    t.add(t.reduce(a), t.reduce(b))
+}
+
+/// Recombines two share vectors.
+///
+/// # Panics
+/// Panics when the share vectors have different lengths.
+pub fn reconstruct_vector(a: &[u64], b: &[u64], t: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "share length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| reconstruct_scalar(x, y, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Modulus::new(65537).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let v = rng.gen_range(0..t.value());
+            let (a, b) = share_scalar(v, &t, &mut rng);
+            assert_eq!(reconstruct_scalar(a, b, &t), v);
+        }
+    }
+
+    #[test]
+    fn vector_roundtrip_and_hiding() {
+        let t = Modulus::new(65537).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let v: Vec<u64> = (0..256).map(|_| rng.gen_range(0..t.value())).collect();
+        let (a, b) = share_vector(&v, &t, &mut rng);
+        assert_eq!(reconstruct_vector(&a, &b, &t), v);
+        // A share alone looks uniform: it should differ from the secret in
+        // (almost) all positions.
+        let agree = a.iter().zip(&v).filter(|(x, y)| x == y).count();
+        assert!(agree < 8, "share leaks: {agree} positions agree");
+    }
+
+    #[test]
+    fn shares_are_additive() {
+        // share(x) + share(y) reconstructs x + y — the property HMVP's
+        // linearity relies on in the two-party protocol.
+        let t = Modulus::new(65537).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let (x, y) = (12345u64, 54321u64);
+        let (x1, x2) = share_scalar(x, &t, &mut rng);
+        let (y1, y2) = share_scalar(y, &t, &mut rng);
+        let s1 = t.add(x1, y1);
+        let s2 = t.add(x2, y2);
+        assert_eq!(reconstruct_scalar(s1, s2, &t), t.add(x, y));
+    }
+
+    #[test]
+    #[should_panic(expected = "share length mismatch")]
+    fn mismatched_lengths_panic() {
+        let t = Modulus::new(65537).unwrap();
+        reconstruct_vector(&[1, 2], &[3], &t);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the application layer: bignum arithmetic vs a
+//! u128 oracle, Paillier homomorphisms, fixed-point codecs, and protocol
+//! invariants.
+
+use cham_apps::bigint::BigUint;
+use cham_apps::fixed::FixedCodec;
+use cham_apps::paillier::{PaillierPrivateKey, PaillierVector};
+use cham_apps::secretshare;
+use cham_math::Modulus;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+fn paillier() -> &'static PaillierPrivateKey {
+    static KEY: OnceLock<PaillierPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xABCD);
+        PaillierPrivateKey::generate(128, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- bignum vs u128 oracle ---
+
+    #[test]
+    fn bigint_add_sub_mul(a in any::<u64>(), b in any::<u64>()) {
+        let ba = BigUint::from_u64(a);
+        let bb = BigUint::from_u64(b);
+        prop_assert_eq!(ba.add(&bb).to_u128().unwrap(), a as u128 + b as u128);
+        prop_assert_eq!(ba.mul(&bb).to_u128().unwrap(), a as u128 * b as u128);
+        if a >= b {
+            prop_assert_eq!(ba.sub(&bb).to_u128().unwrap(), (a - b) as u128);
+        }
+    }
+
+    #[test]
+    fn bigint_div_rem(a in any::<u128>(), b in 1..u64::MAX) {
+        let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u64(b));
+        prop_assert_eq!(q.to_u128().unwrap(), a / b as u128);
+        prop_assert_eq!(r.to_u128().unwrap(), a % b as u128);
+    }
+
+    #[test]
+    fn bigint_mod_pow_small(base in 1u64..1000, exp in 0u64..64, m in 3u64..10_000) {
+        let m = m | 1; // odd
+        let got = BigUint::from_u64(base)
+            .mod_pow(&BigUint::from_u64(exp), &BigUint::from_u64(m));
+        let mut acc = 1u128;
+        for _ in 0..exp {
+            acc = acc * base as u128 % m as u128;
+        }
+        prop_assert_eq!(got.to_u128().unwrap(), acc);
+    }
+
+    #[test]
+    fn bigint_shift_roundtrip(a in any::<u64>(), s in 0u32..64) {
+        let shifted = BigUint::from_u64(a).shl(s);
+        let mut back = shifted;
+        for _ in 0..s {
+            back = back.shr1();
+        }
+        prop_assert_eq!(back.to_u128().unwrap(), a as u128);
+    }
+
+    #[test]
+    fn bigint_cmp_is_total_order(a in any::<u128>(), b in any::<u128>()) {
+        let ba = BigUint::from_u128(a);
+        let bb = BigUint::from_u128(b);
+        let expect = a.cmp(&b);
+        prop_assert_eq!(ba.cmp_big(&bb), expect);
+        prop_assert_eq!(bb.cmp_big(&ba), expect.reverse());
+        prop_assert_eq!(ba.cmp_big(&ba), Ordering::Equal);
+    }
+
+    // --- secret sharing ---
+
+    #[test]
+    fn shares_reconstruct(v in 0u64..65537, seed in any::<u64>()) {
+        let t = Modulus::new(65537).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (a, b) = secretshare::share_scalar(v, &t, &mut rng);
+        prop_assert_eq!(secretshare::reconstruct_scalar(a, b, &t), v);
+    }
+
+    // --- fixed point ---
+
+    #[test]
+    fn fixed_roundtrip_error_is_half_ulp(x in -100.0f64..100.0) {
+        let codec = FixedCodec::new(Modulus::new((1 << 24) + 1).unwrap(), 8).unwrap();
+        let v = codec.encode(x).unwrap();
+        let back = codec.decode(v);
+        prop_assert!((back - x).abs() <= 0.5 / codec.scale() as f64 + 1e-12);
+    }
+
+    #[test]
+    fn fixed_addition_is_exact(x in -50.0f64..50.0, y in -50.0f64..50.0) {
+        let t = Modulus::new((1 << 24) + 1).unwrap();
+        let codec = FixedCodec::new(t, 8).unwrap();
+        let sum = t.add(codec.encode(x).unwrap(), codec.encode(y).unwrap());
+        let back = codec.decode(sum);
+        let direct = codec.decode(codec.encode(x).unwrap()) + codec.decode(codec.encode(y).unwrap());
+        prop_assert!((back - direct).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    // Paillier exponentiations are slow; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn paillier_is_additively_homomorphic(a in 0u64..1_000_000, b in 0u64..1_000_000, seed in any::<u64>()) {
+        let sk = paillier();
+        let pk = sk.public_key().clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a, &mut rng).unwrap();
+        let cb = pk.encrypt_u64(b, &mut rng).unwrap();
+        prop_assert_eq!(
+            sk.decrypt(&pk.add(&ca, &cb)).to_u128().unwrap(),
+            (a + b) as u128
+        );
+    }
+
+    #[test]
+    fn paillier_scalar_mul(a in 0u64..100_000, k in 0u64..1000, seed in any::<u64>()) {
+        let sk = paillier();
+        let pk = sk.public_key().clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a, &mut rng).unwrap();
+        let ck = pk.mul_scalar(&ca, &BigUint::from_u64(k));
+        prop_assert_eq!(sk.decrypt(&ck).to_u128().unwrap(), a as u128 * k as u128);
+    }
+
+    #[test]
+    fn paillier_matvec_matches_plain(seed in any::<u64>()) {
+        let sk = paillier();
+        let pk = sk.public_key().clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let v: Vec<i64> = (0..4).map(|_| rng.gen_range(-100..100)).collect();
+        let rows: Vec<Vec<i64>> = (0..3)
+            .map(|_| (0..4).map(|_| rng.gen_range(-100..100)).collect())
+            .collect();
+        let enc = PaillierVector::encrypt(&pk, &v, &mut rng).unwrap();
+        let out = enc.matvec(&pk, &rows).unwrap();
+        for (i, row) in rows.iter().enumerate() {
+            let expect: i128 = row.iter().zip(&v).map(|(&a, &x)| a as i128 * x as i128).sum();
+            prop_assert_eq!(sk.decrypt_signed(&out.elements[i]), expect);
+        }
+    }
+}

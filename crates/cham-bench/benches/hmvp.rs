@@ -1,0 +1,57 @@
+//! HMVP algorithm comparison (DESIGN.md ablation): coefficient-encoded
+//! (Alg. 1, `O(m)`) vs batch rotate-and-sum (`O(m log N)`) vs the diagonal
+//! method, at a reduced `N = 256` so the baselines finish in bench time.
+
+use cham_he::baseline::BatchHmvp;
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, SecretKey};
+use cham_he::params::ChamParams;
+use cham_he::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_hmvp(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let params = ChamParams::insecure_test_default().unwrap();
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let t = params.plain_modulus().value();
+    let (m, n) = (16usize, 64usize);
+    let a = Matrix::random(m, n, t, &mut rng);
+    let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+
+    let hmvp = Hmvp::new(&params);
+    let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+    let em = hmvp.encode_matrix(&a).unwrap();
+
+    let batch = BatchHmvp::new(&params).unwrap();
+    let rot_keys = GaloisKeys::generate(
+        &sk,
+        &batch
+            .rotate_sum_galois_indices()
+            .into_iter()
+            .chain([3usize])
+            .collect::<Vec<_>>(),
+        &mut rng,
+    )
+    .unwrap();
+    let ct_batch = batch.encrypt_vector(&v, &enc, &mut rng).unwrap();
+    let ct_repl = batch.encrypt_vector_replicated(&v, &enc, &mut rng).unwrap();
+
+    let mut group = c.benchmark_group("hmvp_16x64_n256");
+    group.sample_size(10);
+    group.bench_function("coefficient_encoded", |b| {
+        b.iter(|| hmvp.multiply(&em, &cts, &gkeys).unwrap())
+    });
+    group.bench_function("batch_rotate_and_sum", |b| {
+        b.iter(|| batch.rotate_and_sum(&a, &ct_batch, &rot_keys).unwrap())
+    });
+    group.bench_function("batch_diagonal", |b| {
+        b.iter(|| batch.diagonal(&a, &ct_repl, &rot_keys).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hmvp);
+criterion_main!(benches);

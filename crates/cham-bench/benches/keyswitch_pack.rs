@@ -1,0 +1,45 @@
+//! Key-switch and packing micro-benchmarks at the paper's `N = 4096`
+//! parameters — the software-side costs of pipeline stages 5–9.
+
+use cham_bench::bench_rng;
+use cham_he::extract::{extract_lwe, lwe_to_rlwe};
+use cham_he::keys::{GaloisKeys, KeySwitchKey, SecretKey};
+use cham_he::ops::keyswitch_mask;
+use cham_he::pack::{pack_lwes, pack_two};
+use cham_he::params::ChamParams;
+use cham_he::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+
+fn bench_keyswitch_pack(c: &mut Criterion) {
+    let mut rng = bench_rng();
+    let params = ChamParams::cham_default().unwrap();
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let coder = CoeffEncoder::new(&params);
+    let t = params.plain_modulus().value();
+    let v: Vec<u64> = (0..params.degree()).map(|_| rng.gen_range(0..t)).collect();
+    let ct = enc.encrypt(&coder.encode_vector(&v).unwrap(), &mut rng);
+    let ksk = KeySwitchKey::generate(&sk, sk.coeffs(), &mut rng).unwrap();
+    let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+    let lwe = extract_lwe(&ct, 0).unwrap();
+    let as_rlwe = lwe_to_rlwe(&lwe);
+
+    let mut group = c.benchmark_group("keyswitch_pack");
+    group.sample_size(10);
+    group.bench_function("keyswitch_4096", |b| {
+        b.iter(|| keyswitch_mask(ct.a(), &ksk, &params).unwrap())
+    });
+    group.bench_function("extract_lwe", |b| b.iter(|| extract_lwe(&ct, 0).unwrap()));
+    group.bench_function("pack_two", |b| {
+        b.iter(|| pack_two(1, &as_rlwe, &as_rlwe, &gkeys, &params).unwrap())
+    });
+    let lwes16: Vec<_> = (0..16).map(|_| lwe.clone()).collect();
+    group.bench_function("pack_16_lwes", |b| {
+        b.iter(|| pack_lwes(&lwes16, &gkeys, &params).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_keyswitch_pack);
+criterion_main!(benches);

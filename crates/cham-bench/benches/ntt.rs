@@ -1,0 +1,68 @@
+//! NTT micro-benchmarks (DESIGN.md ablation: constant-geometry vs
+//! iterative dataflow; both against the schoolbook oracle at small sizes).
+
+use cham_math::karatsuba::negacyclic_mul_karatsuba;
+use cham_math::modulus::{Modulus, Q0};
+use cham_math::ntt::{negacyclic_mul_schoolbook, NttTable};
+use cham_math::ntt_cg::CgNttTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let q = Modulus::new(Q0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        let it = NttTable::new(n, q).unwrap();
+        let cg = CgNttTable::new(n, q).unwrap();
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        group.bench_with_input(BenchmarkId::new("iterative_forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = a.clone();
+                it.forward(&mut x);
+                x
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("constant_geometry_forward", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut x = a.clone();
+                    cg.forward(&mut x);
+                    x
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("iterative_inverse", n), &n, |b, _| {
+            let f = it.forward_to_vec(&a);
+            b.iter(|| it.inverse_to_vec(&f))
+        });
+    }
+    // Schoolbook only at a tiny size (O(N^2)).
+    let n = 256usize;
+    let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    let b2: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    group.bench_function("schoolbook_mul_256", |b| {
+        b.iter(|| negacyclic_mul_schoolbook(&a, &b2, &q))
+    });
+    group.bench_function("karatsuba_mul_256", |b| {
+        b.iter(|| negacyclic_mul_karatsuba(&a, &b2, &q))
+    });
+    // Full negacyclic multiply via NTT at the same size, for the
+    // schoolbook/Karatsuba/NTT crossover picture.
+    let t256 = NttTable::new(256, q).unwrap();
+    group.bench_function("ntt_mul_256", |b| {
+        b.iter(|| {
+            let fa = t256.forward_to_vec(&a);
+            let fb = t256.forward_to_vec(&b2);
+            let fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+            t256.inverse_to_vec(&fc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Polynomial-processing-unit micro-benchmarks, including the modular-
+//! reduction ablation: Barrett vs the hardware shift-add fold (the CHAM
+//! low-Hamming-modulus trick, §IV-A.3).
+
+use cham_math::modulus::{Modulus, Q0};
+use cham_math::montgomery::MontgomeryContext;
+use cham_math::poly::Poly;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench_reduction(c: &mut Criterion) {
+    let q = Modulus::new(Q0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let xs: Vec<u128> = (0..1024).map(|_| rng.gen::<u128>() >> 54).collect(); // ~74-bit products
+    let mut group = c.benchmark_group("modular_reduction");
+    group.bench_function("barrett", |b| {
+        b.iter(|| xs.iter().map(|&x| q.reduce_u128(x)).sum::<u64>())
+    });
+    group.bench_function("shift_add", |b| {
+        b.iter(|| xs.iter().map(|&x| q.reduce_u128_shift_add(x)).sum::<u64>())
+    });
+    // Montgomery: chained products in Montgomery form (its natural use).
+    let mont = MontgomeryContext::new(&q).unwrap();
+    let ys: Vec<u64> = xs.iter().map(|&x| q.reduce_u128(x)).collect();
+    group.bench_function("montgomery_chain", |b| {
+        b.iter(|| {
+            let mut acc = mont.to_montgomery(1);
+            for &y in &ys {
+                acc = mont.mul(acc, y);
+            }
+            mont.from_montgomery(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ppu_ops(c: &mut Criterion) {
+    let q = Modulus::new(Q0).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let n = 4096;
+    let a: Poly = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    let b2: Poly = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    let mut group = c.benchmark_group("ppu");
+    group.bench_function("modadd_4096", |bch| bch.iter(|| a.add(&b2, &q)));
+    group.bench_function("modmul_4096", |bch| bch.iter(|| a.mul_pointwise(&b2, &q)));
+    group.bench_function("shift_neg_4096", |bch| bch.iter(|| a.shift_neg(1234, &q)));
+    group.bench_function("automorph_4096", |bch| {
+        bch.iter(|| a.automorph(3, &q).unwrap())
+    });
+    group.bench_function("rev_4096", |bch| bch.iter(|| a.rev()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction, bench_ppu_ops);
+criterion_main!(benches);

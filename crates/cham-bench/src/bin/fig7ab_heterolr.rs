@@ -1,0 +1,178 @@
+//! Fig. 7a/7b — HeteroLR per-step performance over dataset sizes.
+//!
+//! Three systems per dataset shape (samples × features):
+//! * **Paillier (FATE)** — element-wise semi-HE, measured at a reduced
+//!   modulus and extrapolated to 2048-bit by the fitted modexp scaling,
+//! * **B/FV CPU** — this repository's software stack, per-op measured and
+//!   extrapolated per shape,
+//! * **B/FV + CHAM** — matvec offloaded to the modelled accelerator; the
+//!   host keeps encryption/add_vec/decryption.
+//!
+//! Reproduced claims: B/FV cuts every step versus Paillier; CHAM
+//! accelerates matvec by 30–1800×; end-to-end speed-up 2–36× with the
+//! largest gains where matvec dominates (8192×4096, 8192×8192).
+
+use cham_apps::bigint::BigUint;
+use cham_apps::paillier::PaillierPrivateKey;
+use cham_bench::{bench_rng, eng, CpuCosts};
+use cham_he::params::ChamParams;
+use cham_sim::pipeline::HmvpCycleModel;
+use rand::Rng;
+use std::time::Instant;
+
+/// Measured Paillier per-op costs at a given modulus size.
+struct PaillierCosts {
+    encrypt: f64,
+    add_plain: f64,
+    mul_scalar: f64,
+    decrypt: f64,
+}
+
+fn measure_paillier(bits: u32) -> PaillierCosts {
+    let mut rng = bench_rng();
+    let sk = PaillierPrivateKey::generate(bits, &mut rng);
+    let pk = sk.public_key().clone();
+    let reps = 5;
+    let m = BigUint::from_u64(12345);
+    let t0 = Instant::now();
+    let cts: Vec<_> = (0..reps)
+        .map(|_| pk.encrypt(&m, &mut rng).unwrap())
+        .collect();
+    let encrypt = t0.elapsed().as_secs_f64() / reps as f64;
+    let t1 = Instant::now();
+    for ct in &cts {
+        let _ = pk.add_plain(ct, &m);
+    }
+    let add_plain = t1.elapsed().as_secs_f64() / reps as f64;
+    let k = BigUint::from_u64(rng.gen::<u32>() as u64);
+    let t2 = Instant::now();
+    for ct in &cts {
+        let _ = pk.mul_scalar(ct, &k);
+    }
+    let mul_scalar = t2.elapsed().as_secs_f64() / reps as f64;
+    let t3 = Instant::now();
+    for ct in &cts {
+        let _ = sk.decrypt(ct);
+    }
+    let decrypt = t3.elapsed().as_secs_f64() / reps as f64;
+    PaillierCosts {
+        encrypt,
+        add_plain,
+        mul_scalar,
+        decrypt,
+    }
+}
+
+fn main() {
+    println!("fitting Paillier modexp scaling (128 -> 256 bit)...");
+    let p128 = measure_paillier(128);
+    let p256 = measure_paillier(256);
+    // Fit cost ∝ bits^e from the two sizes, per op class.
+    let exp_fit = |a: f64, b: f64| (b / a).log2(); // per doubling
+    let e_enc = exp_fit(p128.encrypt, p256.encrypt);
+    // Extrapolate from 256-bit to FATE's 2048-bit (3 doublings).
+    let scale = |v: f64, e: f64| v * (2f64).powf(e * 3.0);
+    let pail = PaillierCosts {
+        encrypt: scale(p256.encrypt, e_enc),
+        add_plain: scale(
+            p256.add_plain,
+            exp_fit(p128.add_plain, p256.add_plain).max(1.5),
+        ),
+        mul_scalar: scale(p256.mul_scalar, exp_fit(p128.mul_scalar, p256.mul_scalar)),
+        decrypt: scale(p256.decrypt, exp_fit(p128.decrypt, p256.decrypt)),
+    };
+    println!(
+        "  2048-bit estimates: enc {}  add {}  scalar-mul {}  dec {}",
+        eng(pail.encrypt),
+        eng(pail.add_plain),
+        eng(pail.mul_scalar),
+        eng(pail.decrypt)
+    );
+
+    println!("\nmeasuring B/FV CPU per-op costs (N = 4096)...");
+    let params = ChamParams::cham_default().expect("paper params");
+    let cpu = CpuCosts::measure(&params);
+    let model = HmvpCycleModel::cham();
+    let n_ring = params.degree();
+
+    // Dataset shapes of Fig. 7 (samples × features).
+    let shapes = [
+        (1024usize, 1024usize),
+        (4096, 1024),
+        (4096, 4096),
+        (8192, 4096),
+        (8192, 8192),
+    ];
+    println!("\n=== Fig. 7a/7b: HeteroLR per-iteration step times ===");
+    for (samples, features) in shapes {
+        // Step models (one iteration, both parties' gradients).
+        let cts_g = features.div_ceil(n_ring) as f64;
+
+        // FATE parallelizes Paillier over worker processes; 16-way is a
+        // typical deployment (documented substitution — single-core
+        // numbers would be 16x larger).
+        const FATE_WORKERS: f64 = 16.0;
+        let fate_enc = samples as f64 * pail.encrypt / FATE_WORKERS;
+        let fate_add = samples as f64 * pail.add_plain / FATE_WORKERS;
+        let fate_mv = 2.0 * features as f64 * samples as f64 * pail.mul_scalar / FATE_WORKERS;
+        let fate_dec = 2.0 * features as f64 * pail.decrypt / FATE_WORKERS;
+
+        // The B/FV integration keeps FATE's per-value ciphertext
+        // interface: one encryption per sample activation (this is why
+        // CHAM's LWE<->RLWE conversion matters — per-value ciphertexts are
+        // packed on the way into the HMVP). Encryption therefore scales
+        // with the sample count, which is what keeps the paper's
+        // end-to-end speed-up at 2-36x rather than matvec's 30-1800x.
+        let bfv_enc = samples as f64 * cpu.encrypt;
+        let bfv_add = samples as f64 * cpu.encrypt * 0.02; // per-value ct add
+        let bfv_mv = 2.0 * cpu.hmvp_seconds(features, samples, n_ring);
+        let bfv_dec = 2.0 * cts_g * cpu.decrypt;
+
+        let cham_mv = 2.0 * model.hmvp_seconds(features, samples);
+
+        let fate_total = fate_enc + fate_add + fate_mv + fate_dec;
+        let bfv_total = bfv_enc + bfv_add + bfv_mv + bfv_dec;
+        let cham_total = bfv_enc + bfv_add + cham_mv + bfv_dec;
+
+        println!("\n--- dataset {samples} x {features} ---");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "system", "encrypt", "add_vec", "matvec", "decrypt", "total"
+        );
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "Paillier/FATE",
+            eng(fate_enc),
+            eng(fate_add),
+            eng(fate_mv),
+            eng(fate_dec),
+            eng(fate_total)
+        );
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "B/FV CPU",
+            eng(bfv_enc),
+            eng(bfv_add),
+            eng(bfv_mv),
+            eng(bfv_dec),
+            eng(bfv_total)
+        );
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "B/FV + CHAM",
+            eng(bfv_enc),
+            eng(bfv_add),
+            eng(cham_mv),
+            eng(bfv_dec),
+            eng(cham_total)
+        );
+        println!(
+            "matvec speed-up CHAM vs CPU: {:>6.0}x   end-to-end vs FATE: {:>6.1}x   vs B/FV CPU: {:>5.1}x",
+            bfv_mv / cham_mv,
+            fate_total / cham_total,
+            bfv_total / cham_total
+        );
+    }
+    println!("\npaper claims: matvec 30-1800x vs CPU; end-to-end 2-36x; large");
+    println!("matrices gain most because matvec dominates — see rows above.");
+}

@@ -1,0 +1,51 @@
+//! Table III — single-NTT-module comparison, plus the §V-B.1 throughput
+//! claims (195k NTT ops/s vs HEAX 117k vs GPU 45k; key-switch 65k ops/s,
+//! 105× the CPU).
+//!
+//! The CPU column is *measured* on this machine from the software stack;
+//! the ratio will differ from the paper's Xeon 6130 but the ordering and
+//! magnitude reproduce.
+
+use cham_bench::{si, CpuCosts};
+use cham_he::params::ChamParams;
+use cham_sim::baselines::published_ntt;
+use cham_sim::pipeline::HmvpCycleModel;
+use cham_sim::report::table3;
+
+fn main() {
+    println!("=== Table III: comparison of a single NTT module ===");
+    print!("{}", table3());
+    println!();
+
+    let model = HmvpCycleModel::cham();
+    println!("=== NTT / key-switch throughput (paper §V-B.1) ===");
+    println!(
+        "CHAM NTT ops/s (modelled):      {} (paper: 195k)",
+        si(model.ntt_ops_per_sec())
+    );
+    println!(
+        "HEAX NTT ops/s (published):     {}",
+        si(published_ntt::HEAX_NTT_OPS_PER_SEC)
+    );
+    println!(
+        "GPU NTT ops/s (published):      {}",
+        si(published_ntt::GPU_NTT_OPS_PER_SEC)
+    );
+    println!(
+        "CHAM key-switch ops/s:          {} (paper: 65k)",
+        si(model.keyswitch_ops_per_sec())
+    );
+    println!();
+
+    println!("measuring CPU baseline on this machine (N = 4096)...");
+    let params = ChamParams::cham_default().expect("paper params");
+    let cpu = CpuCosts::measure(&params);
+    let cpu_ks = cpu.keyswitch_ops_per_sec();
+    let cpu_ntt = cpu.ntt_ops_per_sec(3);
+    println!("CPU NTT ops/s (measured):       {}", si(cpu_ntt));
+    println!("CPU key-switch ops/s (measured):{}", si(cpu_ks));
+    println!(
+        "CHAM/CPU key-switch speed-up:   {:.0}x (paper: 105x on Xeon 6130)",
+        model.keyswitch_ops_per_sec() / cpu_ks
+    );
+}

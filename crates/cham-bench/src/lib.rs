@@ -1,0 +1,266 @@
+//! # cham-bench — the figure/table reproduction harness
+//!
+//! One binary per paper artifact (run with `cargo run -p cham-bench
+//! --release --bin <name>`):
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `fig2a_roofline` | Fig. 2a roofline: NTT / key-switch / HMVP intensity |
+//! | `fig2b_dse` | Fig. 2b design-space exploration |
+//! | `table2_resources` | Table II resource utilisation |
+//! | `table3_ntt` | Table III NTT comparison + throughput claims |
+//! | `fig6_throughput` | Fig. 6 HMVP throughput vs matrix shape |
+//! | `fig8_hmvp` | Fig. 8 HMVP latency: CPU vs GPU vs CHAM |
+//! | `fig7ab_heterolr` | Fig. 7a/7b HeteroLR step breakdown |
+//! | `fig7c_beaver` | Fig. 7c Beaver triple generation |
+//! | `headline` | the abstract's 1800× / 36× / 144× claims |
+//!
+//! This library holds the shared measurement helpers: CPU-baseline timing
+//! of the software HE stack with extrapolation to paper-scale shapes, and
+//! table formatting.
+
+#![warn(missing_docs)]
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::extract::extract_lwe;
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, KeySwitchKey, SecretKey};
+use cham_he::ops::{keyswitch_mask, mul_plain_prepared, rescale};
+use cham_he::pack::pack_two;
+use cham_he::params::ChamParams;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// A deterministic RNG for reproducible measurements.
+pub fn bench_rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0xCAB1E)
+}
+
+/// Measured per-operation CPU costs of the software HE stack at the
+/// paper's full parameters (`N = 4096`), used to extrapolate CPU baselines
+/// to paper-scale workloads without running hours of software HE.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuCosts {
+    /// One augmented symmetric encryption (seconds).
+    pub encrypt: f64,
+    /// One per-row dot product: prepared-plaintext multiply + rescale +
+    /// extract (seconds).
+    pub dot_row: f64,
+    /// One `PACKTWOLWES` reduction: automorphism + key-switch (seconds).
+    pub pack_reduction: f64,
+    /// One raw key-switch of a mask polynomial (seconds).
+    pub keyswitch: f64,
+    /// One full decryption (seconds).
+    pub decrypt: f64,
+    /// One limb NTT of size `N` (seconds).
+    pub ntt: f64,
+}
+
+impl CpuCosts {
+    /// Measures the cost table on this machine at the given parameters.
+    ///
+    /// # Panics
+    /// Panics if key setup fails (cannot happen for valid parameters).
+    pub fn measure(params: &ChamParams) -> Self {
+        let mut rng = bench_rng();
+        let sk = SecretKey::generate(params, &mut rng);
+        let enc = Encryptor::new(params, &sk);
+        let dec = Decryptor::new(params, &sk);
+        let coder = cham_he::encoding::CoeffEncoder::new(params);
+        let hmvp = Hmvp::new(params);
+        let t = params.plain_modulus().value();
+        let n = params.degree();
+        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+        let pt = coder.encode_vector(&v).expect("vector fits");
+
+        let reps = 3;
+        let t0 = Instant::now();
+        let mut ct = enc.encrypt_augmented(&pt, &mut rng);
+        for _ in 1..reps {
+            ct = enc.encrypt_augmented(&pt, &mut rng);
+        }
+        let encrypt = t0.elapsed().as_secs_f64() / reps as f64;
+
+        // Row dot product with a prepared matrix row.
+        let row: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+        let matrix = Matrix::from_data(1, n, row).expect("shape");
+        let em = hmvp.encode_matrix(&matrix).expect("encode");
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let _ = hmvp
+                .dot_products(&em, std::slice::from_ref(&ct))
+                .expect("dot");
+        }
+        let dot_row = t1.elapsed().as_secs_f64() / reps as f64;
+
+        // One pack reduction at level 1.
+        let gkeys = GaloisKeys::generate_for_packing(&sk, 1, &mut rng).expect("gk");
+        let row_pt = coder
+            .encode_row(&(0..n).map(|_| rng.gen_range(0..t)).collect::<Vec<_>>())
+            .expect("row fits");
+        let prepared =
+            cham_he::ops::lift_plaintext_ntt(&row_pt, params, params.augmented_context())
+                .expect("lift");
+        let prod = mul_plain_prepared(&ct, &prepared).expect("mul");
+        let normal = rescale(&prod, params).expect("rescale");
+        let lwe = extract_lwe(&normal, 0).expect("extract");
+        let as_rlwe = cham_he::extract::lwe_to_rlwe(&lwe);
+        let t2 = Instant::now();
+        for _ in 0..reps {
+            let _ = pack_two(1, &as_rlwe, &as_rlwe, &gkeys, params).expect("pack");
+        }
+        let pack_reduction = t2.elapsed().as_secs_f64() / reps as f64;
+
+        // Raw key-switch.
+        let ksk = KeySwitchKey::generate(&sk, sk.coeffs(), &mut rng).expect("ksk");
+        let t3 = Instant::now();
+        for _ in 0..reps {
+            let _ = keyswitch_mask(normal.a(), &ksk, params).expect("ks");
+        }
+        let keyswitch = t3.elapsed().as_secs_f64() / reps as f64;
+
+        let t4 = Instant::now();
+        for _ in 0..reps {
+            let _ = dec.decrypt(&normal);
+        }
+        let decrypt = t4.elapsed().as_secs_f64() / reps as f64;
+
+        // One limb NTT.
+        let q = params.ciphertext_context().moduli()[0];
+        let table = cham_math::NttTable::new(n, q).expect("ntt");
+        let mut poly: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+        let t5 = Instant::now();
+        let ntt_reps = 20;
+        for _ in 0..ntt_reps {
+            table.forward(&mut poly);
+        }
+        let ntt = t5.elapsed().as_secs_f64() / ntt_reps as f64;
+
+        Self {
+            encrypt,
+            dot_row,
+            pack_reduction,
+            keyswitch,
+            decrypt,
+            ntt,
+        }
+    }
+
+    /// Extrapolated CPU seconds for a full `rows × cols` HMVP (dot
+    /// products + packing; encryption/decryption excluded to match the
+    /// paper's matvec step).
+    pub fn hmvp_seconds(&self, rows: usize, cols: usize, degree: usize) -> f64 {
+        let tiles = cols.div_ceil(degree) as f64;
+        rows as f64 * self.dot_row * tiles + (rows.saturating_sub(1)) as f64 * self.pack_reduction
+    }
+
+    /// CPU key-switch throughput in ops/s.
+    pub fn keyswitch_ops_per_sec(&self) -> f64 {
+        1.0 / self.keyswitch
+    }
+
+    /// CPU NTT throughput in "NTT ops"/s using the paper's accounting
+    /// (one op = one 3-limb plaintext transform).
+    pub fn ntt_ops_per_sec(&self, aug_limbs: usize) -> f64 {
+        1.0 / (self.ntt * aug_limbs as f64)
+    }
+}
+
+/// Cost model for the *original Delphi* triple generation: a batch-encoded
+/// diagonal matvec with baby-step/giant-step rotations (GAZELLE-style),
+/// evaluated on the CPU — `≈ 2√n` key-switches plus `n` slot-wise
+/// multiply-accumulate passes per output block of `N/2` rows.
+pub fn delphi_triple_seconds(cpu: &CpuCosts, rows: usize, cols: usize, degree: usize) -> f64 {
+    let slots = (degree / 2) as f64;
+    let blocks = (rows as f64 / slots).ceil();
+    let rotations = 2.0 * (cols as f64).sqrt();
+    // A slot-wise diagonal multiply-accumulate costs roughly one NTT-domain
+    // pass of the dot-product pipeline (no INTT per diagonal).
+    let diag_pass = cpu.dot_row * 0.3;
+    blocks * (rotations * cpu.keyswitch + cols as f64 * diag_pass)
+}
+
+/// Formats a floating value with engineering-style units.
+pub fn eng(v: f64) -> String {
+    let (scale, unit) = if v >= 1.0 {
+        (1.0, "s")
+    } else if v >= 1e-3 {
+        (1e3, "ms")
+    } else if v >= 1e-6 {
+        (1e6, "us")
+    } else {
+        (1e9, "ns")
+    };
+    format!("{:.3} {}", v * scale, unit)
+}
+
+/// Formats a throughput with SI prefixes.
+pub fn si(v: f64) -> String {
+    if v >= 1e12 {
+        format!("{:.2} T", v / 1e12)
+    } else if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.2} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(eng(1.5), "1.500 s");
+        assert_eq!(eng(2.5e-3), "2.500 ms");
+        assert_eq!(eng(3.5e-6), "3.500 us");
+        assert_eq!(eng(4.5e-9), "4.500 ns");
+        assert_eq!(si(2.5e12), "2.50 T");
+        assert_eq!(si(195_312.5), "195.31 k");
+        assert_eq!(si(42.0), "42.00 ");
+    }
+
+    #[test]
+    fn cpu_costs_measure_and_extrapolate() {
+        // Measured at the reduced test parameters so the smoke test stays
+        // fast; the figure binaries use the full N = 4096 set.
+        let params = ChamParams::insecure_test_default().expect("test params");
+        let costs = CpuCosts::measure(&params);
+        for v in [
+            costs.encrypt,
+            costs.dot_row,
+            costs.pack_reduction,
+            costs.keyswitch,
+            costs.decrypt,
+            costs.ntt,
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "cost {v}");
+        }
+        // Extrapolation is linear in rows and tiles.
+        let n = params.degree();
+        let one = costs.hmvp_seconds(64, n, n);
+        let two_rows = costs.hmvp_seconds(128, n, n);
+        assert!(two_rows > 1.8 * one && two_rows < 2.2 * one);
+        let two_tiles = costs.hmvp_seconds(64, 2 * n, n);
+        assert!(two_tiles > one);
+        // Derived throughputs are positive.
+        assert!(costs.keyswitch_ops_per_sec() > 0.0);
+        assert!(costs.ntt_ops_per_sec(3) > 0.0);
+    }
+
+    #[test]
+    fn delphi_model_scales_sanely() {
+        let params = ChamParams::insecure_test_default().expect("test params");
+        let costs = CpuCosts::measure(&params);
+        let n = params.degree();
+        let small = delphi_triple_seconds(&costs, 64, 64, n);
+        let wide = delphi_triple_seconds(&costs, 64, 256, n);
+        let tall = delphi_triple_seconds(&costs, 64 * n, 64, n);
+        assert!(small > 0.0);
+        assert!(wide > small, "more columns cost more");
+        assert!(tall > small, "more row blocks cost more");
+    }
+}

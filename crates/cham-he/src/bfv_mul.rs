@@ -1,0 +1,308 @@
+//! B/FV ciphertext–ciphertext multiplication with relinearisation.
+//!
+//! CHAM's HMVP only needs plaintext×ciphertext products, but a complete
+//! B/FV library — and the Beaver-triple protocols built on it — benefits
+//! from one level of ct×ct multiplication. The construction here exploits
+//! the repository's *exact* CRT machinery instead of the approximate
+//! fast-base-extension of RNS-BFV (BEHZ/HPS):
+//!
+//! 1. lift both ciphertexts **exactly** (centred CRT) into an extension
+//!    basis `{p₂, p₃, p, q1, q0}` wide enough (≈178 bits) that the tensor
+//!    product `N·(Q/2)²·t` cannot wrap,
+//! 2. tensor `(d0, d1, d2)` in the NTT domain,
+//! 3. scale by `t` and divide-and-round by `q0` then `q1` (two rescale
+//!    steps — the same pipeline-stage-4 primitive),
+//! 4. read the (now small, ≤ 2⁹⁴) results back via centred CRT and embed
+//!    them into the standard basis `{q0, q1}`,
+//! 5. relinearise `d2` with the generic `s² → s` key-switch.
+//!
+//! At the paper's parameters (`log Q ≈ 68`, `t = 65537`) this supports
+//! **depth-1** multiplication with ≈17 bits of budget to spare — matching
+//! the paper's own positioning of `N = 4096` as a *linear-computation*
+//! parameter set (§II-F). The extension primes keep low Hamming weight
+//! (4), staying in the spirit of §IV-A.3.
+
+use crate::ciphertext::RlweCiphertext;
+use crate::keys::{KeySwitchKey, SecretKey};
+use crate::ops::keyswitch_mask;
+use crate::params::ChamParams;
+use crate::{HeError, Result};
+use cham_math::poly::Poly;
+use cham_math::rns::{Form, RnsContext, RnsPoly};
+use rand::Rng;
+
+/// Extension prime `p₂ = 2³⁶ + 2¹⁸ + 2¹³ + 1` (Hamming weight 4,
+/// `≡ 1 mod 2¹³`).
+pub const EXT_P2: u64 = (1 << 36) + (1 << 18) + (1 << 13) + 1;
+/// Extension prime `p₃ = 2³⁶ + 2¹⁹ + 2¹⁶ + 1` (Hamming weight 4,
+/// `≡ 1 mod 2¹³`).
+pub const EXT_P3: u64 = (1 << 36) + (1 << 19) + (1 << 16) + 1;
+
+/// Embeds centred `i128` coefficients into an RNS basis.
+fn embed_centered(ctx: &RnsContext, vals: &[i128]) -> RnsPoly {
+    let limbs = ctx
+        .moduli()
+        .iter()
+        .map(|m| {
+            let q = m.value() as i128;
+            Poly::from_coeffs(vals.iter().map(|&v| v.rem_euclid(q) as u64).collect())
+        })
+        .collect();
+    RnsPoly::from_limbs(ctx, limbs, Form::Coeff).expect("limbs match context")
+}
+
+/// Reads an RNS polynomial back as centred `i128` coefficients (exact
+/// while the true magnitude stays below half the basis product).
+fn lift_centered(p: &RnsPoly) -> Vec<i128> {
+    let ctx = p.context();
+    (0..ctx.degree())
+        .map(|j| {
+            let residues: Vec<u64> = (0..ctx.len()).map(|i| p.limbs()[i].coeffs()[j]).collect();
+            ctx.crt_lift_centered(&residues)
+        })
+        .collect()
+}
+
+/// The ct×ct multiplier: extension contexts plus the relinearisation key.
+pub struct BfvMultiplier {
+    params: ChamParams,
+    /// `{p₂, p₃, p, q1, q0}` — ordered so the two rescales drop `q0`, `q1`.
+    mult_ctx: RnsContext,
+    relin_key: KeySwitchKey,
+}
+
+impl std::fmt::Debug for BfvMultiplier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BfvMultiplier")
+            .field("ext_limbs", &self.mult_ctx.len())
+            .finish()
+    }
+}
+
+impl BfvMultiplier {
+    /// Builds the multiplier, generating the relinearisation key.
+    ///
+    /// # Errors
+    /// [`HeError::InvalidParams`] if the parameter set's primes collide
+    /// with the extension primes; key-generation failures otherwise.
+    pub fn new<R: Rng + ?Sized>(params: &ChamParams, sk: &SecretKey, rng: &mut R) -> Result<Self> {
+        let ct_primes: Vec<u64> = params
+            .ciphertext_context()
+            .moduli()
+            .iter()
+            .map(|m| m.value())
+            .collect();
+        if ct_primes.len() != 2 {
+            return Err(HeError::InvalidParams(
+                "ct-ct multiplication is implemented for the two-prime chain",
+            ));
+        }
+        if ct_primes.contains(&EXT_P2) || ct_primes.contains(&EXT_P3) {
+            return Err(HeError::InvalidParams(
+                "extension primes collide with the ciphertext chain",
+            ));
+        }
+        let order = [
+            EXT_P2,
+            EXT_P3,
+            params.special_prime(),
+            ct_primes[1],
+            ct_primes[0],
+        ];
+        let mult_ctx = RnsContext::new(params.degree(), &order)?;
+        let relin_key = KeySwitchKey::generate(sk, &sk.squared_coeffs(), rng)?;
+        Ok(Self {
+            params: params.clone(),
+            mult_ctx,
+            relin_key,
+        })
+    }
+
+    /// Multiplies two normal-basis ciphertexts, returning a normal-basis
+    /// ciphertext of the product plaintext (negacyclic product mod `t`;
+    /// slot-wise product under batch encoding).
+    ///
+    /// # Errors
+    /// [`HeError::Incompatible`] unless both inputs are in the normal
+    /// basis.
+    pub fn multiply(&self, x: &RlweCiphertext, y: &RlweCiphertext) -> Result<RlweCiphertext> {
+        let ct_ctx = self.params.ciphertext_context();
+        if x.b().context() != ct_ctx || y.b().context() != ct_ctx {
+            return Err(HeError::Incompatible(
+                "ct-ct multiplication expects normal-basis ciphertexts",
+            ));
+        }
+        // 1) Exact centred lift into the extension basis.
+        let lift = |p: &RnsPoly| -> RnsPoly {
+            let mut q = p.clone();
+            q.to_coeff();
+            embed_centered(&self.mult_ctx, &lift_centered(&q))
+        };
+        let mut xb = lift(x.b());
+        let mut xa = lift(x.a());
+        let mut yb = lift(y.b());
+        let mut ya = lift(y.a());
+        xb.to_ntt();
+        xa.to_ntt();
+        yb.to_ntt();
+        ya.to_ntt();
+        // 2) Tensor.
+        let mut d0 = xb.mul_pointwise(&yb)?;
+        let mut d1 = xb.mul_pointwise(&ya)?.add(&xa.mul_pointwise(&yb)?)?;
+        let mut d2 = xa.mul_pointwise(&ya)?;
+        d0.to_coeff();
+        d1.to_coeff();
+        d2.to_coeff();
+        // 3) Scale by t and divide-and-round by q0 then q1.
+        let t = self.params.plain_modulus().value();
+        let step = |d: RnsPoly| -> Result<RnsPoly> {
+            let scaled = d.mul_scalar(t);
+            let after_q0 = scaled.rescale_by_last(&self.mult_ctx.drop_last()?)?;
+            let final_ctx = self.mult_ctx.drop_last()?.drop_last()?;
+            Ok(after_q0.rescale_by_last(&final_ctx)?)
+        };
+        let c0_ext = step(d0)?;
+        let c1_ext = step(d1)?;
+        let c2_ext = step(d2)?;
+        // 4) Centred read-back into the standard basis.
+        let back = |p: &RnsPoly| embed_centered(ct_ctx, &lift_centered(p));
+        let c0 = back(&c0_ext);
+        let c1 = back(&c1_ext);
+        let c2 = back(&c2_ext);
+        // 5) Relinearise the s² component.
+        let (ks_b, ks_a) = keyswitch_mask(&c2, &self.relin_key, &self.params)?;
+        RlweCiphertext::new(c0.add(&ks_b)?, c1.add(&ks_a)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{BatchEncoder, CoeffEncoder};
+    use crate::encrypt::{Decryptor, Encryptor};
+    use cham_math::primality::is_prime;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (
+        ChamParams,
+        SecretKey,
+        Encryptor,
+        Decryptor,
+        BfvMultiplier,
+        rand::rngs::StdRng,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31415);
+        let params = ChamParams::insecure_test_default().unwrap();
+        let sk = SecretKey::generate(&params, &mut rng);
+        let enc = Encryptor::new(&params, &sk);
+        let dec = Decryptor::new(&params, &sk);
+        let mult = BfvMultiplier::new(&params, &sk, &mut rng).unwrap();
+        (params, sk, enc, dec, mult, rng)
+    }
+
+    #[test]
+    fn extension_primes_are_usable() {
+        assert!(is_prime(EXT_P2));
+        assert!(is_prime(EXT_P3));
+        assert_eq!(EXT_P2 % 8192, 1);
+        assert_eq!(EXT_P3 % 8192, 1);
+        assert_eq!(EXT_P2.count_ones(), 4);
+        assert_eq!(EXT_P3.count_ones(), 4);
+    }
+
+    #[test]
+    fn constant_times_constant() {
+        let (params, _, enc, dec, mult, mut rng) = setup();
+        let t = params.plain_modulus();
+        let coder = CoeffEncoder::new(&params);
+        for (a, b) in [(3u64, 5u64), (0, 1234), (65536, 65536), (40000, 50000)] {
+            let ca = enc.encrypt(&coder.encode_vector(&[a]).unwrap(), &mut rng);
+            let cb = enc.encrypt(&coder.encode_vector(&[b]).unwrap(), &mut rng);
+            let prod = mult.multiply(&ca, &cb).unwrap();
+            let report = dec.decrypt_with_noise(&prod);
+            assert_eq!(report.plaintext.values()[0], t.mul(a, b), "a={a} b={b}");
+            assert!(report.budget_bits > 0.0, "budget {}", report.budget_bits);
+        }
+    }
+
+    #[test]
+    fn polynomial_product_is_negacyclic() {
+        let (params, _, enc, dec, mult, mut rng) = setup();
+        let t = params.plain_modulus();
+        let coder = CoeffEncoder::new(&params);
+        let n = params.degree();
+        let xs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.value())).collect();
+        let ys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.value())).collect();
+        let cx = enc.encrypt(&coder.encode_vector(&xs).unwrap(), &mut rng);
+        let cy = enc.encrypt(&coder.encode_vector(&ys).unwrap(), &mut rng);
+        let prod = mult.multiply(&cx, &cy).unwrap();
+        let report = dec.decrypt_with_noise(&prod);
+        let expect = Poly::from_coeffs(xs).mul_negacyclic_schoolbook(&Poly::from_coeffs(ys), t);
+        assert_eq!(report.plaintext.values(), expect.coeffs());
+        assert!(report.budget_bits > 0.0, "budget {}", report.budget_bits);
+    }
+
+    #[test]
+    fn batch_encoded_product_is_slotwise() {
+        let (params, _, enc, dec, mult, mut rng) = setup();
+        let t = params.plain_modulus();
+        let batch = BatchEncoder::new(&params).unwrap();
+        let xs: Vec<u64> = (0..batch.slot_count())
+            .map(|_| rng.gen_range(0..t.value()))
+            .collect();
+        let ys: Vec<u64> = (0..batch.slot_count())
+            .map(|_| rng.gen_range(0..t.value()))
+            .collect();
+        let cx = enc.encrypt(&batch.encode(&xs).unwrap(), &mut rng);
+        let cy = enc.encrypt(&batch.encode(&ys).unwrap(), &mut rng);
+        let prod = mult.multiply(&cx, &cy).unwrap();
+        let decoded = batch.decode(&dec.decrypt(&prod)).unwrap();
+        let expect: Vec<u64> = xs.iter().zip(&ys).map(|(&a, &b)| t.mul(a, b)).collect();
+        assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn product_composes_with_addition() {
+        // Enc(a)·Enc(b) + Enc(c)·Enc(d) decrypts to ab + cd.
+        let (params, _, enc, dec, mult, mut rng) = setup();
+        let t = params.plain_modulus();
+        let coder = CoeffEncoder::new(&params);
+        let e = |v: u64, rng: &mut rand::rngs::StdRng| {
+            enc.encrypt(&coder.encode_vector(&[v]).unwrap(), rng)
+        };
+        let (a, b, c, d) = (123u64, 456u64, 789u64, 321u64);
+        let p1 = mult.multiply(&e(a, &mut rng), &e(b, &mut rng)).unwrap();
+        let p2 = mult.multiply(&e(c, &mut rng), &e(d, &mut rng)).unwrap();
+        let sum = dec.decrypt(&p1.add(&p2).unwrap());
+        assert_eq!(sum.values()[0], t.add(t.mul(a, b), t.mul(c, d)));
+    }
+
+    #[test]
+    fn depth_two_exhausts_the_budget() {
+        // The paper's N = 4096 set targets linear computation; a second
+        // multiplication level must visibly burn the budget.
+        let (params, _, enc, dec, mult, mut rng) = setup();
+        let coder = CoeffEncoder::new(&params);
+        let c2 = enc.encrypt(&coder.encode_vector(&[2]).unwrap(), &mut rng);
+        let c3 = enc.encrypt(&coder.encode_vector(&[3]).unwrap(), &mut rng);
+        let depth1 = mult.multiply(&c2, &c3).unwrap();
+        let budget1 = dec.decrypt_with_noise(&depth1).budget_bits;
+        let depth2 = mult.multiply(&depth1, &c2).unwrap();
+        let budget2 = dec.decrypt_with_noise(&depth2).budget_bits;
+        assert!(
+            budget2 < budget1,
+            "budget did not shrink: {budget1} -> {budget2}"
+        );
+    }
+
+    #[test]
+    fn rejects_augmented_inputs() {
+        let (params, _, enc, _, mult, mut rng) = setup();
+        let coder = CoeffEncoder::new(&params);
+        let aug = enc.encrypt_augmented(&coder.encode_vector(&[1]).unwrap(), &mut rng);
+        let norm = enc.encrypt(&coder.encode_vector(&[1]).unwrap(), &mut rng);
+        assert!(mult.multiply(&aug, &norm).is_err());
+        assert!(mult.multiply(&norm, &aug).is_err());
+        let _ = params;
+    }
+}

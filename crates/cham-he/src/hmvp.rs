@@ -1,0 +1,509 @@
+//! Homomorphic matrix-vector product (paper Alg. 1), with tiling.
+//!
+//! For an `m × n` matrix `A` and encrypted vector `v`:
+//!
+//! 1. `v` is coefficient-encoded and encrypted (augmented basis), one
+//!    ciphertext per `N`-column tile,
+//! 2. every row tile is encoded per Eq. 1 and lifted to NTT form
+//!    (precomputable — the matrix is plaintext),
+//! 3. **dot product**: NTT-domain multiply-accumulate across column tiles
+//!    (pipeline stages 1–3),
+//! 4. **rescale** by the special modulus (stage 4),
+//! 5. **extract** the constant coefficient as an LWE ciphertext (stage 4),
+//! 6. **pack** the `m` LWEs into `⌈m/N⌉` RLWE ciphertexts (stages 5–9).
+//!
+//! Complexity is `O(m)` ciphertext operations — the paper's headline
+//! advantage over batch-encoded HMVP's `O(m log N)` (§II-E). Together with
+//! mini-batching this supports "data of any scale" (§V-B.3).
+
+use crate::ciphertext::{LweCiphertext, RlweCiphertext};
+use crate::encoding::CoeffEncoder;
+use crate::encrypt::{Decryptor, Encryptor};
+use crate::extract::extract_lwe;
+use crate::keys::GaloisKeys;
+use crate::ops::{lift_plaintext_ntt, mul_plain_prepared, rescale};
+use crate::pack::{pack_lwes, PackedRlwe};
+use crate::params::ChamParams;
+use crate::{HeError, Result};
+use cham_math::rns::RnsPoly;
+use rand::Rng;
+
+/// A dense row-major matrix over `Z_t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl Matrix {
+    /// Builds a matrix from row-major data.
+    ///
+    /// # Errors
+    /// [`HeError::ShapeMismatch`] when `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<u64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(HeError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// A random matrix with entries below `t`.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, t: u64, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gen_range(0..t)).collect();
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Plain (reference) matrix-vector product mod `t`.
+    ///
+    /// # Errors
+    /// [`HeError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn mul_vector_mod(&self, v: &[u64], t: &cham_math::Modulus) -> Result<Vec<u64>> {
+        if v.len() != self.cols {
+            return Err(HeError::ShapeMismatch {
+                expected: self.cols,
+                got: v.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(0u64, |acc, (&a, &x)| t.add(acc, t.mul(a, t.reduce(x))))
+            })
+            .collect())
+    }
+}
+
+/// A matrix pre-encoded for HMVP: per row, per column tile, the Eq. 1
+/// plaintext lifted to NTT form over the augmented basis.
+#[derive(Debug, Clone)]
+pub struct EncodedMatrix {
+    rows: usize,
+    cols: usize,
+    /// `rows × col_tiles` prepared plaintexts.
+    tiles: Vec<Vec<RnsPoly>>,
+}
+
+impl EncodedMatrix {
+    /// Number of column tiles (`⌈cols/N⌉`).
+    pub fn col_tiles(&self) -> usize {
+        self.tiles.first().map_or(0, Vec::len)
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// The packed result of an HMVP: `⌈m/N⌉` packed ciphertexts covering the
+/// `m` output entries in order.
+#[derive(Debug, Clone)]
+pub struct HmvpResult {
+    /// Packed outputs, each covering up to `N` entries.
+    pub packed: Vec<PackedRlwe>,
+    /// Total number of output entries (`m`).
+    pub len: usize,
+}
+
+/// The HMVP engine: encodes, multiplies, and decodes.
+#[derive(Debug, Clone)]
+pub struct Hmvp {
+    params: ChamParams,
+    coder: CoeffEncoder,
+}
+
+impl Hmvp {
+    /// Creates an HMVP engine for the parameter set.
+    pub fn new(params: &ChamParams) -> Self {
+        Self {
+            params: params.clone(),
+            coder: CoeffEncoder::new(params),
+        }
+    }
+
+    /// The coefficient encoder in use.
+    #[inline]
+    pub fn encoder(&self) -> &CoeffEncoder {
+        &self.coder
+    }
+
+    /// Encrypts a vector as `⌈len/N⌉` augmented-basis ciphertexts.
+    ///
+    /// # Errors
+    /// [`HeError::InvalidParams`] for an empty vector.
+    pub fn encrypt_vector<R: Rng + ?Sized>(
+        &self,
+        v: &[u64],
+        enc: &Encryptor,
+        rng: &mut R,
+    ) -> Result<Vec<RlweCiphertext>> {
+        if v.is_empty() {
+            return Err(HeError::InvalidParams("vector must be non-empty"));
+        }
+        let n = self.params.degree();
+        v.chunks(n)
+            .map(|chunk| {
+                let pt = self.coder.encode_vector(chunk)?;
+                Ok(enc.encrypt_augmented(&pt, rng))
+            })
+            .collect()
+    }
+
+    /// Pre-encodes a matrix: every row tile becomes an NTT-form plaintext
+    /// (done once; reusable across many vectors).
+    ///
+    /// # Errors
+    /// [`HeError::InvalidParams`] for an empty matrix.
+    pub fn encode_matrix(&self, a: &Matrix) -> Result<EncodedMatrix> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(HeError::InvalidParams("matrix must be non-empty"));
+        }
+        let n = self.params.degree();
+        let aug = self.params.augmented_context();
+        let tiles = (0..a.rows())
+            .map(|i| {
+                a.row(i)
+                    .chunks(n)
+                    .map(|chunk| {
+                        let pt = self.coder.encode_row(chunk)?;
+                        lift_plaintext_ntt(&pt, &self.params, aug)
+                    })
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(EncodedMatrix {
+            rows: a.rows(),
+            cols: a.cols(),
+            tiles,
+        })
+    }
+
+    /// Computes the dot-product/extract phase: one LWE ciphertext per row
+    /// (Alg. 1 lines 1–4).
+    ///
+    /// # Errors
+    /// [`HeError::ShapeMismatch`] when the ciphertext count differs from
+    /// the matrix's column tiling.
+    pub fn dot_products(
+        &self,
+        matrix: &EncodedMatrix,
+        cts: &[RlweCiphertext],
+    ) -> Result<Vec<LweCiphertext>> {
+        if cts.len() != matrix.col_tiles() {
+            return Err(HeError::ShapeMismatch {
+                expected: matrix.col_tiles(),
+                got: cts.len(),
+            });
+        }
+        matrix
+            .tiles
+            .iter()
+            .map(|row_tiles| {
+                // Accumulate partial dot products across column tiles
+                // ("a row residing in multiple ciphertexts needs to be
+                // aggregated", §V-B.2).
+                let mut acc: Option<RlweCiphertext> = None;
+                for (pt_ntt, ct) in row_tiles.iter().zip(cts) {
+                    let prod = mul_plain_prepared(ct, pt_ntt)?;
+                    acc = Some(match acc {
+                        Some(x) => x.add(&prod)?,
+                        None => prod,
+                    });
+                }
+                let acc = acc.expect("at least one column tile");
+                let rescaled = rescale(&acc, &self.params)?;
+                extract_lwe(&rescaled, 0)
+            })
+            .collect()
+    }
+
+    /// Multi-threaded dot-product phase: rows are partitioned across
+    /// `threads` OS threads (the multi-thread host side of Fig. 1b; also
+    /// the honest way to measure a parallel CPU baseline).
+    ///
+    /// # Errors
+    /// Same conditions as [`Hmvp::dot_products`].
+    pub fn dot_products_parallel(
+        &self,
+        matrix: &EncodedMatrix,
+        cts: &[RlweCiphertext],
+        threads: usize,
+    ) -> Result<Vec<LweCiphertext>> {
+        if cts.len() != matrix.col_tiles() {
+            return Err(HeError::ShapeMismatch {
+                expected: matrix.col_tiles(),
+                got: cts.len(),
+            });
+        }
+        let threads = threads.max(1).min(matrix.rows.max(1));
+        let chunk = matrix.rows.div_ceil(threads);
+        let results: Vec<Result<Vec<LweCiphertext>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = matrix
+                .tiles
+                .chunks(chunk)
+                .map(|rows| {
+                    scope.spawn(move || {
+                        rows.iter()
+                            .map(|row_tiles| {
+                                let mut acc: Option<RlweCiphertext> = None;
+                                for (pt_ntt, ct) in row_tiles.iter().zip(cts) {
+                                    let prod = mul_plain_prepared(ct, pt_ntt)?;
+                                    acc = Some(match acc {
+                                        Some(x) => x.add(&prod)?,
+                                        None => prod,
+                                    });
+                                }
+                                let acc = acc.expect("at least one column tile");
+                                let rescaled = rescale(&acc, &self.params)?;
+                                extract_lwe(&rescaled, 0)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread must not panic"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(matrix.rows);
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+
+    /// Full HMVP (Alg. 1): dot products, extraction, and packing.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches and missing Galois keys.
+    pub fn multiply(
+        &self,
+        matrix: &EncodedMatrix,
+        cts: &[RlweCiphertext],
+        gkeys: &GaloisKeys,
+    ) -> Result<HmvpResult> {
+        let lwes = self.dot_products(matrix, cts)?;
+        let n = self.params.degree();
+        let packed = lwes
+            .chunks(n)
+            .map(|chunk| pack_lwes(chunk, gkeys, &self.params))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(HmvpResult {
+            packed,
+            len: matrix.rows,
+        })
+    }
+
+    /// Full HMVP with the dot-product phase parallelised over `threads`
+    /// host threads (packing remains sequential — it is a chain of
+    /// dependent reductions).
+    ///
+    /// # Errors
+    /// Propagates shape mismatches and missing Galois keys.
+    pub fn multiply_parallel(
+        &self,
+        matrix: &EncodedMatrix,
+        cts: &[RlweCiphertext],
+        gkeys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<HmvpResult> {
+        let lwes = self.dot_products_parallel(matrix, cts, threads)?;
+        let n = self.params.degree();
+        let packed = lwes
+            .chunks(n)
+            .map(|chunk| pack_lwes(chunk, gkeys, &self.params))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(HmvpResult {
+            packed,
+            len: matrix.rows,
+        })
+    }
+
+    /// Decrypts and decodes an HMVP result into the `m` output values.
+    ///
+    /// # Errors
+    /// Decode-shape errors from the packing layer.
+    pub fn decrypt_result(&self, result: &HmvpResult, dec: &Decryptor) -> Result<Vec<u64>> {
+        let mut out = Vec::with_capacity(result.len);
+        for packed in &result.packed {
+            let pt = dec.decrypt(&packed.ciphertext);
+            out.extend(packed.decode(&pt, &self.params)?);
+        }
+        out.truncate(result.len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::SecretKey;
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        ChamParams,
+        SecretKey,
+        Encryptor,
+        Decryptor,
+        GaloisKeys,
+        rand::rngs::StdRng,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2002);
+        let params = ChamParams::insecure_test_default().unwrap();
+        let sk = SecretKey::generate(&params, &mut rng);
+        let enc = Encryptor::new(&params, &sk);
+        let dec = Decryptor::new(&params, &sk);
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        (params, sk, enc, dec, gkeys, rng)
+    }
+
+    fn run_hmvp(m: usize, n_cols: usize) {
+        let (params, _, enc, dec, gkeys, mut rng) = setup();
+        let t = params.plain_modulus();
+        let a = Matrix::random(m, n_cols, t.value(), &mut rng);
+        let v: Vec<u64> = (0..n_cols).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let result = hmvp.multiply(&em, &cts, &gkeys).unwrap();
+        let got = hmvp.decrypt_result(&result, &dec).unwrap();
+        let expect = a.mul_vector_mod(&v, t).unwrap();
+        assert_eq!(got, expect, "m={m} n={n_cols}");
+    }
+
+    #[test]
+    fn square_small() {
+        run_hmvp(8, 8);
+    }
+
+    #[test]
+    fn tall_matrix() {
+        run_hmvp(64, 16);
+    }
+
+    #[test]
+    fn wide_matrix_multiple_column_tiles() {
+        // cols > N (=256 in test params): vector spans 3 ciphertexts.
+        run_hmvp(8, 700);
+    }
+
+    #[test]
+    fn rows_exceed_degree_multiple_packs() {
+        // m > N: two packed outputs.
+        run_hmvp(300, 16);
+    }
+
+    #[test]
+    fn single_row_and_column() {
+        run_hmvp(1, 1);
+    }
+
+    #[test]
+    fn full_degree_square() {
+        run_hmvp(256, 256);
+    }
+
+    #[test]
+    fn matrix_validation() {
+        let t = cham_math::Modulus::new(65537).unwrap();
+        assert!(Matrix::from_data(2, 3, vec![0; 5]).is_err());
+        let m = Matrix::from_data(2, 2, vec![1, 2, 3, 4]).unwrap();
+        assert_eq!(m.row(1), &[3, 4]);
+        assert!(m.mul_vector_mod(&[1], &t).is_err());
+        assert_eq!(m.mul_vector_mod(&[1, 1], &t).unwrap(), vec![3, 7]);
+    }
+
+    #[test]
+    fn shape_mismatch_between_matrix_and_ciphertexts() {
+        let (params, _, enc, _, gkeys, mut rng) = setup();
+        let a = Matrix::random(4, 300, 65537, &mut rng); // 2 column tiles
+        let hmvp = Hmvp::new(&params);
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let v = vec![1u64; 256]; // only 1 ciphertext
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        assert!(hmvp.multiply(&em, &cts, &gkeys).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let (params, _, enc, _, _, mut rng) = setup();
+        let hmvp = Hmvp::new(&params);
+        assert!(hmvp.encrypt_vector(&[], &enc, &mut rng).is_err());
+        let empty = Matrix::from_data(0, 0, vec![]).unwrap();
+        assert!(hmvp.encode_matrix(&empty).is_err());
+    }
+
+    #[test]
+    fn multiply_parallel_matches_serial() {
+        let (params, _, enc, dec, gkeys, mut rng) = setup();
+        let t = params.plain_modulus();
+        let a = Matrix::random(24, 32, t.value(), &mut rng);
+        let v: Vec<u64> = (0..32).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let par = hmvp.multiply_parallel(&em, &cts, &gkeys, 3).unwrap();
+        let got = hmvp.decrypt_result(&par, &dec).unwrap();
+        assert_eq!(got, a.mul_vector_mod(&v, t).unwrap());
+    }
+
+    #[test]
+    fn parallel_dot_products_match_serial() {
+        let (params, _, enc, _, _, mut rng) = setup();
+        let t = params.plain_modulus();
+        let a = Matrix::random(37, 300, t.value(), &mut rng); // odd row count, 2 tiles
+        let v: Vec<u64> = (0..300).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let serial = hmvp.dot_products(&em, &cts).unwrap();
+        for threads in [1usize, 2, 4, 64] {
+            let par = hmvp.dot_products_parallel(&em, &cts, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+        // Shape mismatch propagates from workers too.
+        assert!(hmvp.dot_products_parallel(&em, &cts[..1], 2).is_err());
+    }
+
+    #[test]
+    fn noise_budget_survives_full_pipeline() {
+        let (params, _, enc, dec, gkeys, mut rng) = setup();
+        let t = params.plain_modulus();
+        let n = params.degree();
+        let a = Matrix::random(n, n, t.value(), &mut rng);
+        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let result = hmvp.multiply(&em, &cts, &gkeys).unwrap();
+        let report = dec.decrypt_with_noise(&result.packed[0].ciphertext);
+        assert!(report.budget_bits > 0.0, "budget {}", report.budget_bits);
+    }
+}

@@ -1,0 +1,283 @@
+//! `PACKTWOLWES` (Alg. 2) and `PACKLWES` (Alg. 3).
+//!
+//! Packing folds `2^h` LWE ciphertexts (each carrying one scalar in its
+//! constant coefficient, plus garbage elsewhere) into a single RLWE
+//! ciphertext. The recursion combines an "even" and an "odd" packed
+//! ciphertext at each level `h`:
+//!
+//! ```text
+//! ct = (ct_even + X^{N/2^h}·ct_odd) + σ_{2^h+1}(ct_even − X^{N/2^h}·ct_odd)
+//! ```
+//!
+//! `σ_{2^h+1}` fixes every coefficient position that is a multiple of
+//! `N/2^{h−1}` (the payload positions of both halves) and negates the
+//! odd-multiples of `N/2^h`, so payloads double and line up at stride
+//! `N/2^h` while the final key-switch (inside [`crate::ops::apply_galois`])
+//! returns the ciphertext to the original key. Packing `2^h` inputs needs
+//! `2^h − 1` reductions (paper: "4095 reductions … to pack 4096").
+//!
+//! Each level doubles the payload, so the packed plaintext holds
+//! `2^h·μ_j` at coefficient `j·N/2^h`; [`PackedRlwe::decode_factor`]
+//! exposes the `2^{−h} mod t` correction the decoder applies (exact because
+//! the plaintext modulus is odd).
+
+use crate::ciphertext::{LweCiphertext, RlweCiphertext};
+use crate::extract::lwe_to_rlwe;
+use crate::keys::GaloisKeys;
+use crate::ops::apply_galois;
+use crate::params::ChamParams;
+use crate::{HeError, Result};
+
+/// The result of `PACKLWES`: the packed ciphertext plus the bookkeeping a
+/// decoder needs (stride and scale).
+#[derive(Debug, Clone)]
+pub struct PackedRlwe {
+    /// The packed RLWE ciphertext (normal basis).
+    pub ciphertext: RlweCiphertext,
+    /// `log2` of the packed count (recursion depth `h`).
+    pub log_count: u32,
+    /// Number of payload slots actually filled (≤ `2^log_count`).
+    pub count: usize,
+}
+
+impl PackedRlwe {
+    /// Coefficient stride between consecutive payloads: `N / 2^h`.
+    pub fn stride(&self, params: &ChamParams) -> usize {
+        params.degree() >> self.log_count
+    }
+
+    /// The factor `(2^h)^{−1} mod t` the decoder multiplies payloads by.
+    pub fn decode_factor(&self, params: &ChamParams) -> u64 {
+        let t = params.plain_modulus();
+        t.inv(t.pow(2, self.log_count as u64))
+            .expect("t is odd, so powers of two are invertible")
+    }
+
+    /// Reads the payload values out of a decrypted plaintext.
+    ///
+    /// # Errors
+    /// [`HeError::ShapeMismatch`] when the plaintext length differs from
+    /// the ring degree.
+    pub fn decode(&self, pt: &crate::encoding::Plaintext, params: &ChamParams) -> Result<Vec<u64>> {
+        if pt.len() != params.degree() {
+            return Err(HeError::ShapeMismatch {
+                expected: params.degree(),
+                got: pt.len(),
+            });
+        }
+        let stride = self.stride(params);
+        let f = self.decode_factor(params);
+        let t = params.plain_modulus();
+        Ok((0..self.count)
+            .map(|j| t.mul(pt.values()[j * stride], f))
+            .collect())
+    }
+}
+
+/// `PACKTWOLWES` (Alg. 2): one reduction step at recursion level `h ≥ 1`,
+/// combining two ciphertexts whose payloads sit at stride `N/2^{h−1}`.
+///
+/// # Errors
+/// * [`HeError::MissingGaloisKey`] when `σ_{2^h+1}` has no key,
+/// * [`HeError::InvalidParams`] when `h` exceeds `log2 N`,
+/// * context mismatches from the RNS layer.
+pub fn pack_two(
+    h: u32,
+    even: &RlweCiphertext,
+    odd: &RlweCiphertext,
+    gkeys: &GaloisKeys,
+    params: &ChamParams,
+) -> Result<RlweCiphertext> {
+    let n = params.degree();
+    if h == 0 || h > params.max_pack_log() {
+        return Err(HeError::InvalidParams("pack level out of range"));
+    }
+    let g = n >> h; // monomial exponent N/2^h
+    let k = (1usize << h) + 1; // automorphism index 2^h + 1
+    let mut even = even.clone();
+    let mut odd = odd.clone();
+    even.to_coeff();
+    odd.to_coeff();
+    let ct_mono = odd.mul_monomial(g)?; // line 1: multiply a monomial
+    let ct_plus = even.add(&ct_mono)?; // line 2
+    let ct_minus = even.sub(&ct_mono)?; // line 3
+    let ct_auto = apply_galois(&ct_minus, k, gkeys, params)?; // lines 4–5
+    ct_plus.add(&ct_auto)
+}
+
+/// `PACKLWES` (Alg. 3): packs up to `N` LWE ciphertexts into one RLWE
+/// ciphertext. Inputs beyond a power of two are padded with transparent
+/// zero ciphertexts.
+///
+/// # Errors
+/// * [`HeError::InvalidParams`] for an empty input or more than `N` inputs,
+/// * missing Galois keys / context mismatches from the reduction steps.
+pub fn pack_lwes(
+    lwes: &[LweCiphertext],
+    gkeys: &GaloisKeys,
+    params: &ChamParams,
+) -> Result<PackedRlwe> {
+    if lwes.is_empty() {
+        return Err(HeError::InvalidParams("cannot pack zero ciphertexts"));
+    }
+    if lwes.len() > params.degree() {
+        return Err(HeError::InvalidParams(
+            "cannot pack more ciphertexts than the ring degree",
+        ));
+    }
+    let count = lwes.len();
+    let padded = count.next_power_of_two();
+    let log = padded.trailing_zeros();
+    let mut level: Vec<RlweCiphertext> = lwes.iter().map(lwe_to_rlwe).collect();
+    if let Some(first) = level.first() {
+        let zero = first.zero_like();
+        level.resize(padded, zero);
+    }
+    // The even/odd recursion consumes index bits LSB-first, which would
+    // deliver payloads in bit-reversed coefficient order; feeding the
+    // inputs bit-reversed makes the output natural-ordered.
+    let mut reordered = level.clone();
+    for (i, ct) in level.into_iter().enumerate() {
+        reordered[cham_math::bit_reverse(i, log)] = ct;
+    }
+    let mut level = reordered;
+    let mut h = 1u32;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            next.push(pack_two(h, &pair[0], &pair[1], gkeys, params)?);
+        }
+        level = next;
+        h += 1;
+    }
+    Ok(PackedRlwe {
+        ciphertext: level.pop().expect("one ciphertext remains"),
+        log_count: padded.trailing_zeros(),
+        count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::CoeffEncoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::extract::extract_lwe;
+    use crate::keys::SecretKey;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (
+        ChamParams,
+        SecretKey,
+        Encryptor,
+        Decryptor,
+        CoeffEncoder,
+        rand::rngs::StdRng,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+        let params = ChamParams::insecure_test_default().unwrap();
+        let sk = SecretKey::generate(&params, &mut rng);
+        let enc = Encryptor::new(&params, &sk);
+        let dec = Decryptor::new(&params, &sk);
+        let coder = CoeffEncoder::new(&params);
+        (params, sk, enc, dec, coder, rng)
+    }
+
+    /// Encrypt scalars, extract their LWEs, pack, decrypt, decode.
+    fn pack_roundtrip(values: &[u64]) -> Vec<u64> {
+        let (params, sk, enc, dec, coder, mut rng) = setup();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        let lwes: Vec<LweCiphertext> = values
+            .iter()
+            .map(|&v| {
+                let ct = enc.encrypt(&coder.encode_vector(&[v]).unwrap(), &mut rng);
+                extract_lwe(&ct, 0).unwrap()
+            })
+            .collect();
+        let packed = pack_lwes(&lwes, &gkeys, &params).unwrap();
+        let pt = dec.decrypt(&packed.ciphertext);
+        packed.decode(&pt, &params).unwrap()
+    }
+
+    #[test]
+    fn pack_two_values() {
+        assert_eq!(pack_roundtrip(&[123, 456]), vec![123, 456]);
+    }
+
+    #[test]
+    fn pack_eight_values() {
+        let vals = [5u64, 0, 65535, 1, 40000, 7, 12345, 999];
+        assert_eq!(pack_roundtrip(&vals), vals.to_vec());
+    }
+
+    #[test]
+    fn pack_single_value() {
+        assert_eq!(pack_roundtrip(&[77]), vec![77]);
+    }
+
+    #[test]
+    fn pack_non_power_of_two_pads() {
+        let vals = [1u64, 2, 3, 4, 5];
+        assert_eq!(pack_roundtrip(&vals), vals.to_vec());
+    }
+
+    #[test]
+    fn pack_full_ring() {
+        // Pack N ciphertexts — every coefficient becomes a payload.
+        let (params, sk, enc, dec, coder, mut rng) = setup();
+        let n = params.degree();
+        let t = params.plain_modulus().value();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+        let lwes: Vec<LweCiphertext> = vals
+            .iter()
+            .map(|&v| {
+                let ct = enc.encrypt(&coder.encode_vector(&[v]).unwrap(), &mut rng);
+                extract_lwe(&ct, 0).unwrap()
+            })
+            .collect();
+        let packed = pack_lwes(&lwes, &gkeys, &params).unwrap();
+        assert_eq!(packed.stride(&params), 1);
+        let report = dec.decrypt_with_noise(&packed.ciphertext);
+        assert!(report.budget_bits > 0.0, "budget {}", report.budget_bits);
+        let decoded = packed.decode(&report.plaintext, &params).unwrap();
+        assert_eq!(decoded, vals);
+    }
+
+    #[test]
+    fn pack_validation() {
+        let (params, sk, enc, _, coder, mut rng) = setup();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        assert!(pack_lwes(&[], &gkeys, &params).is_err());
+        let ct = enc.encrypt(&coder.encode_vector(&[1]).unwrap(), &mut rng);
+        let lwe = extract_lwe(&ct, 0).unwrap();
+        let too_many = vec![lwe; params.degree() + 1];
+        assert!(pack_lwes(&too_many, &gkeys, &params).is_err());
+    }
+
+    #[test]
+    fn pack_missing_galois_key() {
+        let (params, sk, enc, _, coder, mut rng) = setup();
+        // Keys only up to level 1 — packing 4 values needs level 2.
+        let gkeys = GaloisKeys::generate_for_packing(&sk, 1, &mut rng).unwrap();
+        let lwes: Vec<LweCiphertext> = (0..4u64)
+            .map(|v| {
+                let ct = enc.encrypt(&coder.encode_vector(&[v]).unwrap(), &mut rng);
+                extract_lwe(&ct, 0).unwrap()
+            })
+            .collect();
+        assert!(matches!(
+            pack_lwes(&lwes, &gkeys, &params),
+            Err(HeError::MissingGaloisKey(5))
+        ));
+    }
+
+    #[test]
+    fn pack_two_out_of_range_level() {
+        let (params, sk, enc, _, coder, mut rng) = setup();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, 1, &mut rng).unwrap();
+        let ct = enc.encrypt(&coder.encode_vector(&[1]).unwrap(), &mut rng);
+        assert!(pack_two(0, &ct, &ct, &gkeys, &params).is_err());
+        assert!(pack_two(params.max_pack_log() + 1, &ct, &ct, &gkeys, &params).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Karatsuba negacyclic polynomial multiplication.
+//!
+//! The FPGA-HE literature the paper cites includes Karatsuba-based
+//! multipliers (Migliore et al., the paper's reference 27) as an alternative to NTT
+//! pipelines. This implementation completes the DESIGN.md multiplier
+//! ablation: schoolbook `O(N²)` / Karatsuba `O(N^1.585)` / NTT
+//! `O(N log N)` — the `ntt` bench shows where each crossover falls on a
+//! CPU, mirroring the design decision the paper made for hardware.
+
+use crate::modulus::Modulus;
+
+/// Threshold below which the recursion falls back to schoolbook (tuned for
+/// the 64-bit scalar path).
+const KARATSUBA_CUTOFF: usize = 32;
+
+/// Negacyclic product `a·b mod (X^N + 1, q)` via Karatsuba.
+///
+/// # Panics
+/// Panics if the operands differ in length or the length is not a power of
+/// two (the negacyclic fold requires it).
+pub fn negacyclic_mul_karatsuba(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let n = a.len();
+    assert!(n.is_power_of_two(), "length must be a power of two");
+    // Full product of length 2N−1, then fold X^N = −1.
+    let full = karatsuba_full(a, b, q);
+    let mut out = vec![0u64; n];
+    for (k, &c) in full.iter().enumerate() {
+        if k < n {
+            out[k] = q.add(out[k], c);
+        } else {
+            out[k - n] = q.sub(out[k - n], c);
+        }
+    }
+    out
+}
+
+/// Full (acyclic) product of two equal-length slices, length `2n − 1`.
+fn karatsuba_full(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    if n <= KARATSUBA_CUTOFF {
+        return schoolbook_full(a, b, q);
+    }
+    let half = n / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+    // z0 = a0·b0, z2 = a1·b1, z1 = (a0+a1)(b0+b1) − z0 − z2.
+    let z0 = karatsuba_full(a0, b0, q);
+    let z2 = karatsuba_full(a1, b1, q);
+    let a_sum: Vec<u64> = a0.iter().zip(a1).map(|(&x, &y)| q.add(x, y)).collect();
+    let b_sum: Vec<u64> = b0.iter().zip(b1).map(|(&x, &y)| q.add(x, y)).collect();
+    let mut z1 = karatsuba_full(&a_sum, &b_sum, q);
+    for (i, z) in z1.iter_mut().enumerate() {
+        *z = q.sub(*z, q.add(z0[i], z2[i]));
+    }
+    // Assemble: z0 + z1·X^half + z2·X^n.
+    let mut out = vec![0u64; 2 * n - 1];
+    for (i, &c) in z0.iter().enumerate() {
+        out[i] = q.add(out[i], c);
+    }
+    for (i, &c) in z1.iter().enumerate() {
+        out[half + i] = q.add(out[half + i], c);
+    }
+    for (i, &c) in z2.iter().enumerate() {
+        out[n + i] = q.add(out[n + i], c);
+    }
+    out
+}
+
+fn schoolbook_full(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    let n = a.len();
+    let mut out = vec![0u64; 2 * n - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] = q.add(out[i + j], q.mul(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Q0;
+    use crate::ntt::negacyclic_mul_schoolbook;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2718)
+    }
+
+    #[test]
+    fn matches_schoolbook_across_sizes() {
+        let q = Modulus::new(Q0).unwrap();
+        let mut rng = rng();
+        for n in [4usize, 16, 64, 128, 512] {
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..Q0)).collect();
+            let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..Q0)).collect();
+            assert_eq!(
+                negacyclic_mul_karatsuba(&a, &b, &q),
+                negacyclic_mul_schoolbook(&a, &b, &q),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_ntt_path() {
+        let q = Modulus::new(Q0).unwrap();
+        let mut rng = rng();
+        let n = 256;
+        let t = crate::ntt::NttTable::new(n, q).unwrap();
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..Q0)).collect();
+        let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..Q0)).collect();
+        let fa = t.forward_to_vec(&a);
+        let fb = t.forward_to_vec(&b);
+        let fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        assert_eq!(negacyclic_mul_karatsuba(&a, &b, &q), t.inverse_to_vec(&fc));
+    }
+
+    #[test]
+    fn negacyclic_wraparound() {
+        // X^{N-1} · X = -1.
+        let q = Modulus::new(Q0).unwrap();
+        let n = 64;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[n - 1] = 1;
+        b[1] = 1;
+        let c = negacyclic_mul_karatsuba(&a, &b, &q);
+        assert_eq!(c[0], Q0 - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let q = Modulus::new(Q0).unwrap();
+        negacyclic_mul_karatsuba(&[1, 2, 3], &[4, 5, 6], &q);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let q = Modulus::new(Q0).unwrap();
+        negacyclic_mul_karatsuba(&[1, 2], &[3, 4, 5, 6], &q);
+    }
+}

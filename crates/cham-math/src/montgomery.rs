@@ -1,0 +1,153 @@
+//! Montgomery-form modular multiplication — the third reduction strategy
+//! in the DESIGN.md ablation (Barrett / shift-add / Montgomery).
+//!
+//! Montgomery multiplication trades the per-product division for a cheap
+//! fold by `R = 2^64`, at the cost of converting operands into Montgomery
+//! form. It is the strategy of choice when many multiplications chain on
+//! the *same* operands (e.g. exponentiation ladders); CHAM's hardware
+//! instead picks the shift-add fold because its moduli make that nearly
+//! free in LUTs. This module lets the benches quantify all three on a CPU.
+
+use crate::modulus::Modulus;
+use crate::{MathError, Result};
+
+/// Montgomery context for an odd modulus `q < 2^62`, with `R = 2^64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontgomeryContext {
+    q: u64,
+    /// `-q^{-1} mod 2^64`.
+    neg_q_inv: u64,
+    /// `R^2 mod q`, for conversion into Montgomery form.
+    r_squared: u64,
+}
+
+impl MontgomeryContext {
+    /// Builds a context for an odd modulus.
+    ///
+    /// # Errors
+    /// [`MathError::InvalidModulus`] for an even modulus (Montgomery
+    /// requires `gcd(q, R) = 1`) or one outside the [`Modulus`] range.
+    pub fn new(modulus: &Modulus) -> Result<Self> {
+        let q = modulus.value();
+        if q.is_multiple_of(2) {
+            return Err(MathError::InvalidModulus(q));
+        }
+        // Newton iteration for q^{-1} mod 2^64 (5 steps double precision
+        // each time starting from the 5-bit-correct odd inverse).
+        let mut inv: u64 = q; // correct mod 2^3 for odd q
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(q.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(q.wrapping_mul(inv), 1);
+        let neg_q_inv = inv.wrapping_neg();
+        // R^2 mod q via u128: (2^64 mod q)^2 mod q.
+        let r_mod_q = ((1u128 << 64) % q as u128) as u64;
+        let r_squared = modulus.mul(r_mod_q, r_mod_q);
+        Ok(Self {
+            q,
+            neg_q_inv,
+            r_squared,
+        })
+    }
+
+    /// The modulus value.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Montgomery reduction: computes `x·R^{-1} mod q` for `x < q·R`.
+    #[inline]
+    pub fn reduce(&self, x: u128) -> u64 {
+        let m = (x as u64).wrapping_mul(self.neg_q_inv);
+        let t = ((x + m as u128 * self.q as u128) >> 64) as u64;
+        if t >= self.q {
+            t - self.q
+        } else {
+            t
+        }
+    }
+
+    /// Converts a canonical value into Montgomery form (`a·R mod q`).
+    #[inline]
+    pub fn to_montgomery(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        self.reduce(a as u128 * self.r_squared as u128)
+    }
+
+    /// Converts a Montgomery-form value back to canonical form.
+    #[inline]
+    pub fn from_montgomery(&self, a: u64) -> u64 {
+        self.reduce(a as u128)
+    }
+
+    /// Multiplies two Montgomery-form values, staying in Montgomery form.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce(a as u128 * b as u128)
+    }
+
+    /// One-shot canonical multiply through Montgomery form (conversion
+    /// costs included — the fair comparison point for the bench).
+    #[inline]
+    pub fn mul_canonical(&self, a: u64, b: u64) -> u64 {
+        let am = self.to_montgomery(a);
+        let bm = self.to_montgomery(b);
+        self.from_montgomery(self.mul(am, bm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::{Q0, Q1, SPECIAL_P};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_even_modulus() {
+        let m = Modulus::new(1 << 20).unwrap();
+        assert!(MontgomeryContext::new(&m).is_err());
+    }
+
+    #[test]
+    fn newton_inverse_is_exact() {
+        for qv in [Q0, Q1, SPECIAL_P, 65537u64, 3] {
+            let m = Modulus::new(qv).unwrap();
+            let ctx = MontgomeryContext::new(&m).unwrap();
+            assert_eq!(qv.wrapping_mul(ctx.neg_q_inv.wrapping_neg()), 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_multiplication() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5150);
+        for qv in [Q0, Q1, SPECIAL_P] {
+            let m = Modulus::new(qv).unwrap();
+            let ctx = MontgomeryContext::new(&m).unwrap();
+            for _ in 0..2000 {
+                let a = rng.gen_range(0..qv);
+                let b = rng.gen_range(0..qv);
+                assert_eq!(ctx.from_montgomery(ctx.to_montgomery(a)), a);
+                assert_eq!(ctx.mul_canonical(a, b), m.mul(a, b), "a={a} b={b} q={qv}");
+            }
+            assert_eq!(ctx.mul_canonical(0, 123), 0);
+            assert_eq!(ctx.mul_canonical(qv - 1, qv - 1), 1);
+        }
+    }
+
+    #[test]
+    fn chained_montgomery_products() {
+        // A product chain stays consistent with Barrett throughout.
+        let m = Modulus::new(Q0).unwrap();
+        let ctx = MontgomeryContext::new(&m).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let xs: Vec<u64> = (0..64).map(|_| rng.gen_range(1..Q0)).collect();
+        let mut acc_m = ctx.to_montgomery(1);
+        let mut acc_b = 1u64;
+        for &x in &xs {
+            acc_m = ctx.mul(acc_m, ctx.to_montgomery(x));
+            acc_b = m.mul(acc_b, x);
+        }
+        assert_eq!(ctx.from_montgomery(acc_m), acc_b);
+    }
+}

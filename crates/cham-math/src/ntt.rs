@@ -1,0 +1,340 @@
+//! Iterative negacyclic NTT (Cooley–Tukey forward, Gentleman–Sande inverse).
+//!
+//! This is the *software baseline* transform — the memory-access pattern is
+//! stage-variant, which is exactly the property the paper's constant-geometry
+//! design ([`crate::ntt_cg`]) avoids in hardware. Functionally the two agree
+//! bit-for-bit (see the cross-validation tests in `ntt_cg`).
+//!
+//! The transform is negacyclic: for `a, b ∈ Z_q[X]/(X^N + 1)`,
+//! `INTT(NTT(a) ∘ NTT(b)) = a · b` where `∘` is coefficient-wise
+//! multiplication. Twiddles fold the `ψ^i` pre/post-twist into the butterfly
+//! constants (Harvey/SEAL layout), and every constant carries a Shoup
+//! companion word so butterflies cost one high-half and one low multiply.
+
+use crate::modulus::Modulus;
+use crate::primality::min_primitive_root_of_unity;
+use crate::{bit_reverse, log2_exact, MathError, Result};
+
+/// Precomputed tables for a negacyclic NTT of size `n` modulo `q`.
+///
+/// # Example
+/// ```
+/// use cham_math::{Modulus, NttTable};
+/// let q = Modulus::new(cham_math::modulus::Q0)?;
+/// let t = NttTable::new(8, q)?;
+/// let mut a = vec![3, 1, 4, 1, 5, 9, 2, 6];
+/// let orig = a.clone();
+/// t.forward(&mut a);
+/// t.inverse(&mut a);
+/// assert_eq!(a, orig);
+/// # Ok::<(), cham_math::MathError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    n: usize,
+    log_n: u32,
+    q: Modulus,
+    /// ψ^bitrev(i) for the forward transform, Harvey layout.
+    root_powers: Vec<u64>,
+    root_powers_shoup: Vec<u64>,
+    /// ψ^{-bitrev(i)} layout for the inverse transform.
+    inv_root_powers: Vec<u64>,
+    inv_root_powers_shoup: Vec<u64>,
+    n_inv: u64,
+    n_inv_shoup: u64,
+    psi: u64,
+}
+
+impl NttTable {
+    /// Builds the twiddle tables for degree `n` (power of two, ≥ 4) and
+    /// modulus `q` with `q ≡ 1 (mod 2n)`.
+    ///
+    /// # Errors
+    /// * [`MathError::InvalidDegree`] if `n` is not a power of two in
+    ///   `[4, 2^20]`.
+    /// * [`MathError::NoNttSupport`] if the modulus cannot host a `2n`-th
+    ///   root of unity.
+    pub fn new(n: usize, q: Modulus) -> Result<Self> {
+        if !n.is_power_of_two() || !(4..=(1 << 20)).contains(&n) {
+            return Err(MathError::InvalidDegree(n));
+        }
+        let log_n = log2_exact(n);
+        let psi = min_primitive_root_of_unity(&q, 2 * n as u64)?;
+        let psi_inv = q.inv(psi)?;
+
+        let mut root_powers = vec![0u64; n];
+        let mut inv_root_powers = vec![0u64; n];
+        let mut pow_f = 1u64;
+        // powers[i] holds ψ^i temporarily; scatter into bit-reversed slots.
+        for i in 0..n {
+            root_powers[bit_reverse(i, log_n)] = pow_f;
+            pow_f = q.mul(pow_f, psi);
+        }
+        let mut pow_i = 1u64;
+        for i in 0..n {
+            inv_root_powers[bit_reverse(i, log_n)] = pow_i;
+            pow_i = q.mul(pow_i, psi_inv);
+        }
+        // Inverse layout: the GS inverse consumes ψ^{-(bitrev(h+i))} at
+        // round h; reuse the same bit-reversed table shifted by one index as
+        // in SEAL: inv table entry j corresponds to ψ^{-bitrev(j)}.
+        let root_powers_shoup = root_powers.iter().map(|&w| q.shoup(w)).collect();
+        let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| q.shoup(w)).collect();
+        let n_inv = q.inv(n as u64)?;
+        Ok(Self {
+            n,
+            log_n,
+            q,
+            root_powers,
+            root_powers_shoup,
+            inv_root_powers,
+            inv_root_powers_shoup,
+            n_inv,
+            n_inv_shoup: q.shoup(n_inv),
+            psi,
+        })
+    }
+
+    /// Transform size.
+    #[inline]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2` of the transform size.
+    #[inline]
+    pub const fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus.
+    #[inline]
+    pub const fn modulus(&self) -> &Modulus {
+        &self.q
+    }
+
+    /// The primitive `2n`-th root of unity ψ underlying the tables.
+    #[inline]
+    pub const fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// In-place forward negacyclic NTT. Input in normal order, output in
+    /// bit-reversed order.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "operand length mismatch");
+        let q = &self.q;
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let w = self.root_powers[m + i];
+                let ws = self.root_powers_shoup[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = q.mul_shoup(a[j + t], w, ws);
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT. Input in bit-reversed order, output
+    /// in normal order, scaled by `n^{-1}`.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "operand length mismatch");
+        let q = &self.q;
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.inv_root_powers[h + i];
+                let ws = self.inv_root_powers_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = q.add(u, v);
+                    a[j + t] = q.mul_shoup(q.sub(u, v), w, ws);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = q.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
+        }
+    }
+
+    /// Convenience: returns `NTT(a)` without mutating the input.
+    pub fn forward_to_vec(&self, a: &[u64]) -> Vec<u64> {
+        let mut v = a.to_vec();
+        self.forward(&mut v);
+        v
+    }
+
+    /// Convenience: returns `INTT(a)` without mutating the input.
+    pub fn inverse_to_vec(&self, a: &[u64]) -> Vec<u64> {
+        let mut v = a.to_vec();
+        self.inverse(&mut v);
+        v
+    }
+}
+
+/// Schoolbook negacyclic multiplication — the `O(N^2)` oracle used to
+/// validate both NTT implementations.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn negacyclic_mul_schoolbook(a: &[u64], b: &[u64], q: &Modulus) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let n = a.len();
+    let mut c = vec![0u64; n];
+    for i in 0..n {
+        if a[i] == 0 {
+            continue;
+        }
+        for j in 0..n {
+            let prod = q.mul(a[i], b[j]);
+            let k = i + j;
+            if k < n {
+                c[k] = q.add(c[k], prod);
+            } else {
+                c[k - n] = q.sub(c[k - n], prod);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::{Q0, Q1, SPECIAL_P};
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    fn random_poly(n: usize, q: &Modulus, rng: &mut impl Rng) -> Vec<u64> {
+        (0..n).map(|_| rng.gen_range(0..q.value())).collect()
+    }
+
+    #[test]
+    fn rejects_bad_degree() {
+        let q = Modulus::new(Q0).unwrap();
+        assert!(NttTable::new(0, q).is_err());
+        assert!(NttTable::new(3, q).is_err());
+        assert!(NttTable::new(6, q).is_err());
+        assert!(NttTable::new(2, q).is_err());
+    }
+
+    #[test]
+    fn rejects_non_ntt_modulus() {
+        let q = Modulus::new(97).unwrap(); // 96 = 2^5 * 3: max NTT size 16
+        assert!(NttTable::new(16, q).is_ok());
+        assert!(NttTable::new(32, q).is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_moduli() {
+        let mut rng = rng();
+        for qv in [Q0, Q1, SPECIAL_P] {
+            let q = Modulus::new(qv).unwrap();
+            for log_n in [2u32, 5, 8, 12] {
+                let n = 1 << log_n;
+                let t = NttTable::new(n, q).unwrap();
+                let a = random_poly(n, &q, &mut rng);
+                let mut b = a.clone();
+                t.forward(&mut b);
+                t.inverse(&mut b);
+                assert_eq!(a, b, "roundtrip failed q={qv} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_theorem() {
+        let mut rng = rng();
+        let q = Modulus::new(Q0).unwrap();
+        for n in [8usize, 64, 256] {
+            let t = NttTable::new(n, q).unwrap();
+            let a = random_poly(n, &q, &mut rng);
+            let b = random_poly(n, &q, &mut rng);
+            let expect = negacyclic_mul_schoolbook(&a, &b, &q);
+            let fa = t.forward_to_vec(&a);
+            let fb = t.forward_to_vec(&b);
+            let fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+            let c = t.inverse_to_vec(&fc);
+            assert_eq!(c, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let mut rng = rng();
+        let q = Modulus::new(Q1).unwrap();
+        let n = 128;
+        let t = NttTable::new(n, q).unwrap();
+        let a = random_poly(n, &q, &mut rng);
+        let b = random_poly(n, &q, &mut rng);
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(x, y)).collect();
+        let fa = t.forward_to_vec(&a);
+        let fb = t.forward_to_vec(&b);
+        let fsum = t.forward_to_vec(&sum);
+        for i in 0..n {
+            assert_eq!(fsum[i], q.add(fa[i], fb[i]));
+        }
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^(N-1) * X = X^N = -1 in the ring.
+        let q = Modulus::new(Q0).unwrap();
+        let n = 16;
+        let mut a = vec![0u64; n];
+        let mut b = vec![0u64; n];
+        a[n - 1] = 1;
+        b[1] = 1;
+        let c = negacyclic_mul_schoolbook(&a, &b, &q);
+        assert_eq!(c[0], q.value() - 1);
+        assert!(c[1..].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn multiply_by_one_is_identity() {
+        let mut rng = rng();
+        let q = Modulus::new(Q0).unwrap();
+        let n = 64;
+        let t = NttTable::new(n, q).unwrap();
+        let a = random_poly(n, &q, &mut rng);
+        let mut one = vec![0u64; n];
+        one[0] = 1;
+        let fa = t.forward_to_vec(&a);
+        let fone = t.forward_to_vec(&one);
+        let fc: Vec<u64> = fa.iter().zip(&fone).map(|(&x, &y)| q.mul(x, y)).collect();
+        assert_eq!(t.inverse_to_vec(&fc), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "operand length mismatch")]
+    fn forward_rejects_wrong_length() {
+        let q = Modulus::new(Q0).unwrap();
+        let t = NttTable::new(8, q).unwrap();
+        let mut a = vec![0u64; 4];
+        t.forward(&mut a);
+    }
+}

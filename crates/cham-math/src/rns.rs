@@ -1,0 +1,795 @@
+//! Residue-number-system (RNS) machinery.
+//!
+//! CHAM ciphertexts live in `Z_Q[X]/(X^N+1)` with `Q = q0·q1`, *augmented*
+//! with a special modulus `p` during dot product and key-switch (§II-F). In
+//! RNS form each polynomial is a tuple of limbs, one per prime, and all the
+//! heavy arithmetic stays word-sized — this is what lets each FPGA functional
+//! unit operate on an independent polynomial (§III-A: "all the polynomials
+//! within a plaintext and a ciphertext are processed in parallel").
+//!
+//! Provided here:
+//! * [`RnsContext`] — a prime chain with per-limb NTT tables and CRT
+//!   constants,
+//! * [`RnsPoly`] — a multi-limb polynomial tracked as coefficient- or
+//!   NTT-domain,
+//! * CRT reconstruction (decryption needs the integer value of each
+//!   coefficient),
+//! * **rescale** — divide-and-round by the last prime, pipeline stage-4 of
+//!   the paper,
+//! * digit decomposition for the RNS key-switch used by `cham-he`.
+
+use crate::modulus::Modulus;
+use crate::ntt::NttTable;
+use crate::poly::Poly;
+use crate::{MathError, Result};
+use std::sync::Arc;
+
+/// Which domain an [`RnsPoly`]'s limbs are currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Form {
+    /// Plain coefficient representation.
+    Coeff,
+    /// NTT (evaluation) representation, bit-reversed index order.
+    Ntt,
+}
+
+/// A chain of NTT-friendly primes with shared degree and precomputed tables.
+///
+/// Contexts are cheap to clone (`Arc` internals) and compared by their prime
+/// chain + degree.
+///
+/// # Example
+/// ```
+/// use cham_math::rns::RnsContext;
+/// use cham_math::modulus::{Q0, Q1, SPECIAL_P};
+/// let ctx = RnsContext::new(1 << 12, &[Q0, Q1, SPECIAL_P])?;
+/// assert_eq!(ctx.len(), 3);
+/// assert_eq!(ctx.degree(), 4096);
+/// # Ok::<(), cham_math::MathError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsContext {
+    degree: usize,
+    moduli: Arc<Vec<Modulus>>,
+    tables: Arc<Vec<NttTable>>,
+    /// inv(p_last) mod q_i for each limb i < len-1 — rescale constant.
+    inv_last: Arc<Vec<u64>>,
+}
+
+impl PartialEq for RnsContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.degree == other.degree
+            && self
+                .moduli
+                .iter()
+                .map(Modulus::value)
+                .eq(other.moduli.iter().map(Modulus::value))
+    }
+}
+impl Eq for RnsContext {}
+
+impl RnsContext {
+    /// Builds a context over `primes` for ring degree `degree`.
+    ///
+    /// # Errors
+    /// * [`MathError::InvalidParameter`] when `primes` is empty or contains
+    ///   duplicates,
+    /// * errors from [`Modulus::new`] / [`NttTable::new`] for unusable
+    ///   primes.
+    pub fn new(degree: usize, primes: &[u64]) -> Result<Self> {
+        if primes.is_empty() {
+            return Err(MathError::InvalidParameter("prime chain must be non-empty"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &p in primes {
+            if !seen.insert(p) {
+                return Err(MathError::InvalidParameter(
+                    "prime chain contains duplicates",
+                ));
+            }
+        }
+        let moduli: Vec<Modulus> = primes
+            .iter()
+            .map(|&p| Modulus::new(p))
+            .collect::<Result<_>>()?;
+        let tables: Vec<NttTable> = moduli
+            .iter()
+            .map(|&m| NttTable::new(degree, m))
+            .collect::<Result<_>>()?;
+        let last = *primes.last().expect("non-empty");
+        let inv_last = moduli[..moduli.len() - 1]
+            .iter()
+            .map(|m| m.inv(last % m.value()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            degree,
+            moduli: Arc::new(moduli),
+            tables: Arc::new(tables),
+            inv_last: Arc::new(inv_last),
+        })
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of limbs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// True when the chain is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The limb moduli.
+    #[inline]
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// The per-limb NTT tables.
+    #[inline]
+    pub fn tables(&self) -> &[NttTable] {
+        &self.tables
+    }
+
+    /// Product of all limb moduli as a `u128`.
+    ///
+    /// # Panics
+    /// Panics if the product overflows `u128` (cannot happen for the CHAM
+    /// chain: 34 + 34 + 38 bits).
+    pub fn modulus_product(&self) -> u128 {
+        self.moduli.iter().fold(1u128, |acc, m| {
+            acc.checked_mul(m.value() as u128)
+                .expect("modulus product overflows u128")
+        })
+    }
+
+    /// A context over all limbs except the last — the target of
+    /// [`RnsPoly::rescale_by_last`].
+    ///
+    /// # Errors
+    /// Returns [`MathError::InvalidParameter`] for a single-limb context.
+    pub fn drop_last(&self) -> Result<Self> {
+        if self.len() < 2 {
+            return Err(MathError::InvalidParameter(
+                "cannot drop the last limb of a single-limb context",
+            ));
+        }
+        let primes: Vec<u64> = self.moduli[..self.len() - 1]
+            .iter()
+            .map(Modulus::value)
+            .collect();
+        Self::new(self.degree, &primes)
+    }
+
+    /// Reconstructs the integer value of a single coefficient from its limb
+    /// residues via CRT. Result is in `[0, Q)` with `Q` the modulus product.
+    ///
+    /// # Panics
+    /// Panics if `residues.len() != self.len()`.
+    pub fn crt_lift(&self, residues: &[u64]) -> u128 {
+        assert_eq!(residues.len(), self.len(), "residue count mismatch");
+        // Garner's algorithm in mixed radix, exact in u128 for <= 90-bit Q.
+        let q = self.modulus_product();
+        let mut result: u128 = 0;
+        let mut radix: u128 = 1;
+        // x = v0 + q0*(v1 + q1*(v2 ...)) with vi computed mod qi.
+        let mut vs = Vec::with_capacity(self.len());
+        for (i, m) in self.moduli.iter().enumerate() {
+            // t = (residues[i] - partial) / (prod of earlier moduli), mod q_i
+            let mut t = residues[i];
+            // subtract the already-fixed mixed-radix digits
+            let mut prod_mod = 1u64;
+            let mut partial = 0u64;
+            for (j, &vj) in vs.iter().enumerate() {
+                partial = m.add(partial, m.mul(prod_mod, vj));
+                prod_mod = m.mul(prod_mod, self.moduli[j].value() % m.value());
+            }
+            t = m.sub(t, partial);
+            let inv = m.inv(prod_mod).expect("moduli are pairwise coprime");
+            let v = m.mul(t, inv);
+            vs.push(v);
+            result += radix * v as u128;
+            radix = radix.saturating_mul(m.value() as u128);
+        }
+        debug_assert!(result < q);
+        result
+    }
+
+    /// Reconstructs the *centred* integer value of a coefficient, in
+    /// `(−Q/2, Q/2]`.
+    ///
+    /// # Panics
+    /// Panics if `residues.len() != self.len()`.
+    pub fn crt_lift_centered(&self, residues: &[u64]) -> i128 {
+        let q = self.modulus_product();
+        let v = self.crt_lift(residues);
+        if v > q / 2 {
+            v as i128 - q as i128
+        } else {
+            v as i128
+        }
+    }
+
+    /// Embeds an integer (given as `u128`, reduced mod `Q`) into residues.
+    pub fn residues_of(&self, x: u128) -> Vec<u64> {
+        self.moduli
+            .iter()
+            .map(|m| (x % m.value() as u128) as u64)
+            .collect()
+    }
+}
+
+/// A polynomial in RNS form: one [`Poly`] limb per context prime.
+///
+/// Operations validate that operands share a context and domain
+/// ([`Form`]); domain conversions are explicit ([`RnsPoly::to_ntt`],
+/// [`RnsPoly::to_coeff`]), mirroring the explicit NTT/INTT pipeline stages
+/// of the accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    ctx: RnsContext,
+    limbs: Vec<Poly>,
+    form: Form,
+}
+
+impl RnsPoly {
+    /// The zero polynomial in coefficient form.
+    pub fn zero(ctx: &RnsContext) -> Self {
+        Self {
+            limbs: vec![Poly::zero(ctx.degree()); ctx.len()],
+            ctx: ctx.clone(),
+            form: Form::Coeff,
+        }
+    }
+
+    /// Builds an RNS polynomial from per-limb polys.
+    ///
+    /// # Errors
+    /// Returns [`MathError::ContextMismatch`] if the limb count or any limb
+    /// length disagrees with the context.
+    pub fn from_limbs(ctx: &RnsContext, limbs: Vec<Poly>, form: Form) -> Result<Self> {
+        if limbs.len() != ctx.len() || limbs.iter().any(|l| l.len() != ctx.degree()) {
+            return Err(MathError::ContextMismatch);
+        }
+        Ok(Self {
+            ctx: ctx.clone(),
+            limbs,
+            form,
+        })
+    }
+
+    /// Lifts small signed coefficients (e.g. plaintext or noise) into every
+    /// limb.
+    pub fn from_signed(ctx: &RnsContext, coeffs: &[i64]) -> Result<Self> {
+        if coeffs.len() != ctx.degree() {
+            return Err(MathError::ContextMismatch);
+        }
+        let limbs = ctx
+            .moduli()
+            .iter()
+            .map(|m| Poly::from_signed(coeffs, m))
+            .collect();
+        Ok(Self {
+            ctx: ctx.clone(),
+            limbs,
+            form: Form::Coeff,
+        })
+    }
+
+    /// Lifts unsigned values `< min(q_i)` identically into every limb.
+    pub fn from_unsigned(ctx: &RnsContext, coeffs: &[u64]) -> Result<Self> {
+        if coeffs.len() != ctx.degree() {
+            return Err(MathError::ContextMismatch);
+        }
+        let limbs = ctx
+            .moduli()
+            .iter()
+            .map(|m| Poly::from_coeffs(coeffs.iter().map(|&c| m.reduce(c)).collect()))
+            .collect();
+        Ok(Self {
+            ctx: ctx.clone(),
+            limbs,
+            form: Form::Coeff,
+        })
+    }
+
+    /// The owning context.
+    #[inline]
+    pub fn context(&self) -> &RnsContext {
+        &self.ctx
+    }
+
+    /// Current representation domain.
+    #[inline]
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// Borrow the limbs.
+    #[inline]
+    pub fn limbs(&self) -> &[Poly] {
+        &self.limbs
+    }
+
+    /// Mutably borrow the limbs (callers must preserve canonical form).
+    #[inline]
+    pub fn limbs_mut(&mut self) -> &mut [Poly] {
+        &mut self.limbs
+    }
+
+    fn check_compat(&self, rhs: &Self) -> Result<()> {
+        if self.ctx != rhs.ctx || self.form != rhs.form {
+            return Err(MathError::ContextMismatch);
+        }
+        Ok(())
+    }
+
+    /// Converts to NTT form in place (no-op when already there).
+    pub fn to_ntt(&mut self) {
+        if self.form == Form::Ntt {
+            return;
+        }
+        for (limb, table) in self.limbs.iter_mut().zip(self.ctx.tables()) {
+            table.forward(limb.coeffs_mut());
+        }
+        self.form = Form::Ntt;
+    }
+
+    /// Converts to coefficient form in place (no-op when already there).
+    pub fn to_coeff(&mut self) {
+        if self.form == Form::Coeff {
+            return;
+        }
+        for (limb, table) in self.limbs.iter_mut().zip(self.ctx.tables()) {
+            table.inverse(limb.coeffs_mut());
+        }
+        self.form = Form::Coeff;
+    }
+
+    /// Limb-wise addition.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts or forms differ.
+    pub fn add(&self, rhs: &Self) -> Result<Self> {
+        self.check_compat(rhs)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli())
+            .map(|((a, b), m)| a.add(b, m))
+            .collect();
+        Ok(Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        })
+    }
+
+    /// Limb-wise subtraction.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts or forms differ.
+    pub fn sub(&self, rhs: &Self) -> Result<Self> {
+        self.check_compat(rhs)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli())
+            .map(|((a, b), m)| a.sub(b, m))
+            .collect();
+        Ok(Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        })
+    }
+
+    /// Limb-wise negation.
+    pub fn neg(&self) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, m)| a.neg(m))
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        }
+    }
+
+    /// Coefficient-wise product — both operands must be in NTT form (a
+    /// coefficient-form product would be a convolution, which callers should
+    /// express explicitly via `to_ntt`).
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts differ or either operand
+    /// is in coefficient form.
+    pub fn mul_pointwise(&self, rhs: &Self) -> Result<Self> {
+        self.check_compat(rhs)?;
+        if self.form != Form::Ntt {
+            return Err(MathError::ContextMismatch);
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli())
+            .map(|((a, b), m)| a.mul_pointwise(b, m))
+            .collect();
+        Ok(Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        })
+    }
+
+    /// Multiplies by a small scalar in either form.
+    pub fn mul_scalar(&self, s: u64) -> Self {
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, m)| a.mul_scalar(s, m))
+            .collect();
+        Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        }
+    }
+
+    /// `SHIFTNEG` across limbs — multiplication by `X^s` (coefficient form
+    /// only).
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] when in NTT form.
+    pub fn shift_neg(&self, s: usize) -> Result<Self> {
+        if self.form != Form::Coeff {
+            return Err(MathError::ContextMismatch);
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, m)| a.shift_neg(s, m))
+            .collect();
+        Ok(Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        })
+    }
+
+    /// `AUTOMORPH` across limbs (coefficient form only).
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] when in NTT form;
+    /// [`MathError::InvalidParameter`] for even `k`.
+    pub fn automorph(&self, k: usize) -> Result<Self> {
+        if self.form != Form::Coeff {
+            return Err(MathError::ContextMismatch);
+        }
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(a, m)| a.automorph(k, m))
+            .collect::<Result<_>>()?;
+        Ok(Self {
+            ctx: self.ctx.clone(),
+            limbs,
+            form: self.form,
+        })
+    }
+
+    /// **Rescale** (pipeline stage-4): divide-and-round by the last prime,
+    /// dropping it from the basis. For a coefficient `c` over `Q·p`, the
+    /// result over `Q` is `round(c / p)`, computed limb-locally as
+    /// `(c_i − [c_p]) · p^{−1} mod q_i` with a centred lift of `c_p`.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] when in NTT form;
+    /// [`MathError::InvalidParameter`] for single-limb operands.
+    pub fn rescale_by_last(&self, target: &RnsContext) -> Result<Self> {
+        if self.form != Form::Coeff {
+            return Err(MathError::ContextMismatch);
+        }
+        let k = self.ctx.len();
+        if k < 2 {
+            return Err(MathError::InvalidParameter(
+                "rescale requires at least two limbs",
+            ));
+        }
+        let expected = self.ctx.drop_last()?;
+        if *target != expected {
+            return Err(MathError::ContextMismatch);
+        }
+        let p_mod = self.ctx.moduli()[k - 1];
+        let last = &self.limbs[k - 1];
+        let n = self.ctx.degree();
+        let mut limbs = Vec::with_capacity(k - 1);
+        for (i, m) in self.ctx.moduli()[..k - 1].iter().enumerate() {
+            let inv_p = self.ctx.inv_last[i];
+            let mut out = Vec::with_capacity(n);
+            for j in 0..n {
+                // Centred lift of the dropped residue implements rounding
+                // (|error| <= 1/2 of a unit in the target).
+                let cp = p_mod.center(last.coeffs()[j]);
+                let cp_in_qi = m.from_signed(cp);
+                let diff = m.sub(self.limbs[i].coeffs()[j], cp_in_qi);
+                out.push(m.mul(diff, inv_p));
+            }
+            limbs.push(Poly::from_coeffs(out));
+        }
+        Ok(Self {
+            ctx: target.clone(),
+            limbs,
+            form: Form::Coeff,
+        })
+    }
+
+    /// RNS digit decomposition for key-switching: digit `i` is the limb-`i`
+    /// residue polynomial re-embedded into the *full* `target` basis (its
+    /// coefficients are integers `< q_i`, so re-embedding is a per-modulus
+    /// reduction). Coefficient form required.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] when in NTT form.
+    pub fn decompose_digits(&self, target: &RnsContext) -> Result<Vec<RnsPoly>> {
+        if self.form != Form::Coeff {
+            return Err(MathError::ContextMismatch);
+        }
+        self.limbs
+            .iter()
+            .map(|limb| RnsPoly::from_unsigned(target, limb.coeffs()))
+            .collect()
+    }
+
+    /// Max centred infinity norm across limbs — only meaningful when the
+    /// value is *small* (identical residues), e.g. for noise polynomials.
+    pub fn small_inf_norm(&self) -> u64 {
+        self.limbs
+            .iter()
+            .zip(self.ctx.moduli())
+            .map(|(l, m)| l.centered_inf_norm(m))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::{Q0, Q1, SPECIAL_P};
+    use rand::{Rng, SeedableRng};
+
+    fn ctx3(n: usize) -> RnsContext {
+        RnsContext::new(n, &[Q0, Q1, SPECIAL_P]).unwrap()
+    }
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn context_validation() {
+        assert!(RnsContext::new(16, &[]).is_err());
+        assert!(RnsContext::new(16, &[Q0, Q0]).is_err());
+        assert!(RnsContext::new(64, &[Q0, 97]).is_err()); // 97: 128 ∤ 96
+        assert!(RnsContext::new(16, &[Q0, Q1]).is_ok());
+    }
+
+    #[test]
+    fn drop_last_and_eq() {
+        let c = ctx3(16);
+        let d = c.drop_last().unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d, RnsContext::new(16, &[Q0, Q1]).unwrap());
+        let single = RnsContext::new(16, &[Q0]).unwrap();
+        assert!(single.drop_last().is_err());
+    }
+
+    #[test]
+    fn crt_roundtrip() {
+        let c = ctx3(16);
+        let mut rng = rng();
+        let q = c.modulus_product();
+        for _ in 0..500 {
+            let x: u128 = rng.gen::<u128>() % q;
+            let residues = c.residues_of(x);
+            assert_eq!(c.crt_lift(&residues), x);
+        }
+        assert_eq!(c.crt_lift(&c.residues_of(0)), 0);
+        assert_eq!(c.crt_lift(&c.residues_of(q - 1)), q - 1);
+    }
+
+    #[test]
+    fn crt_centered() {
+        let c = RnsContext::new(16, &[Q0, Q1]).unwrap();
+        let q = c.modulus_product();
+        assert_eq!(c.crt_lift_centered(&c.residues_of(1)), 1);
+        assert_eq!(c.crt_lift_centered(&c.residues_of(q - 1)), -1);
+        assert_eq!(c.crt_lift_centered(&c.residues_of(q / 2)), (q / 2) as i128);
+    }
+
+    #[test]
+    fn ntt_roundtrip_multi_limb() {
+        let c = ctx3(64);
+        let mut rng = rng();
+        let coeffs: Vec<i64> = (0..64).map(|_| rng.gen_range(-100..100)).collect();
+        let a = RnsPoly::from_signed(&c, &coeffs).unwrap();
+        let mut b = a.clone();
+        b.to_ntt();
+        assert_eq!(b.form(), Form::Ntt);
+        b.to_coeff();
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn pointwise_mul_requires_ntt_form() {
+        let c = ctx3(16);
+        let a = RnsPoly::from_signed(&c, &[1i64; 16]).unwrap();
+        assert!(a.mul_pointwise(&a).is_err());
+        let mut an = a.clone();
+        an.to_ntt();
+        assert!(an.mul_pointwise(&an).is_ok());
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook_per_limb() {
+        let c = RnsContext::new(32, &[Q0, Q1]).unwrap();
+        let mut rng = rng();
+        let av: Vec<i64> = (0..32).map(|_| rng.gen_range(-50..50)).collect();
+        let bv: Vec<i64> = (0..32).map(|_| rng.gen_range(-50..50)).collect();
+        let a = RnsPoly::from_signed(&c, &av).unwrap();
+        let b = RnsPoly::from_signed(&c, &bv).unwrap();
+        let (mut an, mut bn) = (a.clone(), b.clone());
+        an.to_ntt();
+        bn.to_ntt();
+        let mut prod = an.mul_pointwise(&bn).unwrap();
+        prod.to_coeff();
+        for (i, m) in c.moduli().iter().enumerate() {
+            let expect = a.limbs()[i].mul_negacyclic_schoolbook(&b.limbs()[i], m);
+            assert_eq!(prod.limbs()[i], expect, "limb {i}");
+        }
+    }
+
+    #[test]
+    fn rescale_rounds_correctly() {
+        // Construct values over {Q0,Q1,P}, rescale by P, compare to exact
+        // integer round(v / P) via CRT.
+        let full = ctx3(8);
+        let reduced = full.drop_last().unwrap();
+        let mut rng = rng();
+        let qfull = full.modulus_product();
+        let p = SPECIAL_P as u128;
+        for _ in 0..50 {
+            let vals: Vec<u128> = (0..8).map(|_| rng.gen::<u128>() % qfull).collect();
+            let limbs: Vec<Poly> = full
+                .moduli()
+                .iter()
+                .map(|m| {
+                    Poly::from_coeffs(
+                        vals.iter()
+                            .map(|&v| (v % m.value() as u128) as u64)
+                            .collect(),
+                    )
+                })
+                .collect();
+            let a = RnsPoly::from_limbs(&full, limbs, Form::Coeff).unwrap();
+            let r = a.rescale_by_last(&reduced).unwrap();
+            for (j, &v) in vals.iter().enumerate() {
+                // Expected: round(centered(v)/p) mod Qreduced
+                let qq = reduced.modulus_product();
+                let centered: i128 = if v > qfull / 2 {
+                    v as i128 - qfull as i128
+                } else {
+                    v as i128
+                };
+                // Exact integer rounding oracle; rescale may differ by at
+                // most one unit from round(v/p).
+                let exact = {
+                    let half = (p / 2) as i128;
+                    let num = if centered >= 0 {
+                        centered + half
+                    } else {
+                        centered - half
+                    };
+                    num / p as i128
+                };
+                let got = {
+                    let res: Vec<u64> = (0..reduced.len())
+                        .map(|i| r.limbs()[i].coeffs()[j])
+                        .collect();
+                    reduced.crt_lift_centered(&res)
+                };
+                let err = (got - exact).abs();
+                assert!(
+                    err <= 1,
+                    "coeff {j}: got {got}, want {exact}, err {err}, qq={qq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_digits_recombines() {
+        // sum_i digit_i * (Q/q_i * [(Q/q_i)^-1]_{q_i}) == value (mod Q)
+        let two = RnsContext::new(8, &[Q0, Q1]).unwrap();
+        let full = ctx3(8);
+        let mut rng = rng();
+        let q = two.modulus_product();
+        let vals: Vec<u128> = (0..8).map(|_| rng.gen::<u128>() % q).collect();
+        let limbs: Vec<Poly> = two
+            .moduli()
+            .iter()
+            .map(|m| {
+                Poly::from_coeffs(
+                    vals.iter()
+                        .map(|&v| (v % m.value() as u128) as u64)
+                        .collect(),
+                )
+            })
+            .collect();
+        let a = RnsPoly::from_limbs(&two, limbs, Form::Coeff).unwrap();
+        let digits = a.decompose_digits(&full).unwrap();
+        assert_eq!(digits.len(), 2);
+        // Recombination constants
+        let q0 = Q0 as u128;
+        let q1 = Q1 as u128;
+        let m0 = Modulus::new(Q0).unwrap();
+        let m1 = Modulus::new(Q1).unwrap();
+        let g0 = q1 * m0.inv(Q1 % Q0).unwrap() as u128 % q;
+        let g1 = q0 * m1.inv(Q0 % Q1).unwrap() as u128 % q;
+        for j in 0..8 {
+            let d0 = digits[0].limbs()[0].coeffs()[j] as u128; // value < q0
+            let d1 = digits[1].limbs()[1].coeffs()[j] as u128; // value < q1
+            let rec = (d0 * g0 % q + d1 * g1 % q) % q;
+            assert_eq!(rec, vals[j], "coeff {j}");
+        }
+    }
+
+    #[test]
+    fn automorph_and_shift_require_coeff_form() {
+        let c = ctx3(16);
+        let mut a = RnsPoly::from_signed(&c, &[2i64; 16]).unwrap();
+        a.to_ntt();
+        assert!(a.automorph(3).is_err());
+        assert!(a.shift_neg(1).is_err());
+        a.to_coeff();
+        assert!(a.automorph(3).is_ok());
+        assert!(a.shift_neg(1).is_ok());
+    }
+
+    #[test]
+    fn small_norm() {
+        let c = ctx3(4);
+        let a = RnsPoly::from_signed(&c, &[3, -7, 0, 5]).unwrap();
+        assert_eq!(a.small_inf_norm(), 7);
+    }
+
+    #[test]
+    fn add_sub_context_mismatch() {
+        let c2 = RnsContext::new(16, &[Q0, Q1]).unwrap();
+        let c3 = ctx3(16);
+        let a = RnsPoly::zero(&c2);
+        let b = RnsPoly::zero(&c3);
+        assert!(a.add(&b).is_err());
+        assert!(a.sub(&b).is_err());
+        let mut a_ntt = a.clone();
+        a_ntt.to_ntt();
+        assert!(a.add(&a_ntt).is_err()); // form mismatch
+    }
+}

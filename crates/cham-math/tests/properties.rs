@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) for the arithmetic substrate: ring
+//! axioms, transform laws, and RNS invariants over randomized inputs.
+
+use cham_math::modulus::{Modulus, Q0, Q1, SPECIAL_P};
+use cham_math::montgomery::MontgomeryContext;
+use cham_math::ntt::{negacyclic_mul_schoolbook, NttTable};
+use cham_math::ntt_cg::CgNttTable;
+use cham_math::poly::Poly;
+use cham_math::rns::RnsContext;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn q0() -> Modulus {
+    Modulus::new(Q0).unwrap()
+}
+
+fn coeff() -> impl Strategy<Value = u64> {
+    0..Q0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- modular arithmetic ---
+
+    #[test]
+    fn reduction_strategies_agree(x in any::<u128>()) {
+        let q = q0();
+        let barrett = q.reduce_u128(x);
+        let shift_add = q.reduce_u128_shift_add(x);
+        prop_assert_eq!(barrett, shift_add);
+        prop_assert_eq!(barrett as u128, x % Q0 as u128);
+    }
+
+    #[test]
+    fn montgomery_agrees_with_barrett(a in coeff(), b in coeff()) {
+        let q = q0();
+        let ctx = MontgomeryContext::new(&q).unwrap();
+        prop_assert_eq!(ctx.mul_canonical(a, b), q.mul(a, b));
+    }
+
+    #[test]
+    fn field_axioms(a in coeff(), b in coeff(), c in coeff()) {
+        let q = q0();
+        // Commutativity and associativity.
+        prop_assert_eq!(q.add(a, b), q.add(b, a));
+        prop_assert_eq!(q.mul(a, b), q.mul(b, a));
+        prop_assert_eq!(q.add(q.add(a, b), c), q.add(a, q.add(b, c)));
+        prop_assert_eq!(q.mul(q.mul(a, b), c), q.mul(a, q.mul(b, c)));
+        // Distributivity.
+        prop_assert_eq!(q.mul(a, q.add(b, c)), q.add(q.mul(a, b), q.mul(a, c)));
+        // Inverses (prime field).
+        if a != 0 {
+            prop_assert_eq!(q.mul(a, q.inv(a).unwrap()), 1);
+        }
+    }
+
+    #[test]
+    fn center_roundtrips(a in coeff()) {
+        let q = q0();
+        prop_assert_eq!(q.from_signed(q.center(a)), a);
+    }
+
+    // --- transforms ---
+
+    #[test]
+    fn ntt_roundtrip(a in vec(coeff(), 64)) {
+        let t = NttTable::new(64, q0()).unwrap();
+        let mut x = a.clone();
+        t.forward(&mut x);
+        t.inverse(&mut x);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn cg_equals_iterative(a in vec(coeff(), 64)) {
+        let it = NttTable::new(64, q0()).unwrap();
+        let cg = CgNttTable::new(64, q0()).unwrap();
+        prop_assert_eq!(cg.forward_to_vec(&a), it.forward_to_vec(&a));
+    }
+
+    #[test]
+    fn convolution_theorem(a in vec(coeff(), 32), b in vec(coeff(), 32)) {
+        let q = q0();
+        let t = NttTable::new(32, q).unwrap();
+        let fa = t.forward_to_vec(&a);
+        let fb = t.forward_to_vec(&b);
+        let fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| q.mul(x, y)).collect();
+        prop_assert_eq!(t.inverse_to_vec(&fc), negacyclic_mul_schoolbook(&a, &b, &q));
+    }
+
+    #[test]
+    fn ntt_is_linear(a in vec(coeff(), 32), b in vec(coeff(), 32), s in coeff()) {
+        let q = q0();
+        let t = NttTable::new(32, q).unwrap();
+        let combo: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| q.add(q.mul(s, x), y)).collect();
+        let f_combo = t.forward_to_vec(&combo);
+        let fa = t.forward_to_vec(&a);
+        let fb = t.forward_to_vec(&b);
+        for i in 0..32 {
+            prop_assert_eq!(f_combo[i], q.add(q.mul(s, fa[i]), fb[i]));
+        }
+    }
+
+    // --- polynomial ring ops ---
+
+    #[test]
+    fn shift_neg_composes(a in vec(coeff(), 32), s1 in 0usize..64, s2 in 0usize..64) {
+        let q = q0();
+        let p = Poly::from_coeffs(a);
+        let lhs = p.shift_neg(s1, &q).shift_neg(s2, &q);
+        let rhs = p.shift_neg(s1 + s2, &q);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn automorph_is_additive_homomorphism(
+        a in vec(coeff(), 32),
+        b in vec(coeff(), 32),
+        k_half in 0usize..32,
+    ) {
+        let q = q0();
+        let k = 2 * k_half + 1;
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        let lhs = pa.add(&pb, &q).automorph(k, &q).unwrap();
+        let rhs = pa.automorph(k, &q).unwrap().add(&pb.automorph(k, &q).unwrap(), &q);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn negacyclic_mul_is_commutative(a in vec(coeff(), 16), b in vec(coeff(), 16)) {
+        let q = q0();
+        let pa = Poly::from_coeffs(a);
+        let pb = Poly::from_coeffs(b);
+        prop_assert_eq!(
+            pa.mul_negacyclic_schoolbook(&pb, &q),
+            pb.mul_negacyclic_schoolbook(&pa, &q)
+        );
+    }
+
+    // --- RNS ---
+
+    #[test]
+    fn crt_lift_roundtrip(lo in any::<u64>(), hi in any::<u64>()) {
+        let ctx = RnsContext::new(16, &[Q0, Q1, SPECIAL_P]).unwrap();
+        let q = ctx.modulus_product();
+        let x = ((hi as u128) << 64 | lo as u128) % q;
+        prop_assert_eq!(ctx.crt_lift(&ctx.residues_of(x)), x);
+    }
+
+    #[test]
+    fn rescale_error_is_bounded(vals in vec(any::<u64>(), 8)) {
+        let full = RnsContext::new(8, &[Q0, Q1, SPECIAL_P]).unwrap();
+        let reduced = full.drop_last().unwrap();
+        let q = full.modulus_product();
+        let xs: Vec<u128> = vals.iter().map(|&v| (v as u128 * 0x9E3779B97F4A7C15) % q).collect();
+        let limbs: Vec<cham_math::Poly> = full
+            .moduli()
+            .iter()
+            .map(|m| cham_math::Poly::from_coeffs(
+                xs.iter().map(|&x| (x % m.value() as u128) as u64).collect(),
+            ))
+            .collect();
+        let a = cham_math::RnsPoly::from_limbs(&full, limbs, cham_math::rns::Form::Coeff).unwrap();
+        let r = a.rescale_by_last(&reduced).unwrap();
+        for (j, &x) in xs.iter().enumerate() {
+            let centered: i128 = if x > q / 2 { x as i128 - q as i128 } else { x as i128 };
+            let got = {
+                let res: Vec<u64> = (0..reduced.len()).map(|i| r.limbs()[i].coeffs()[j]).collect();
+                reduced.crt_lift_centered(&res)
+            };
+            let p = SPECIAL_P as i128;
+            let exact = {
+                let half = p / 2;
+                (if centered >= 0 { centered + half } else { centered - half }) / p
+            };
+            prop_assert!((got - exact).abs() <= 1);
+        }
+    }
+}

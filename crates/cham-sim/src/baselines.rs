@@ -1,0 +1,215 @@
+//! Comparator baselines (paper §V-B).
+//!
+//! * **HEAX** (Riazi et al., ASPLOS'20) and **F1** (Feldmann et al.,
+//!   MICRO'21) appear in Table III via their published numbers — the paper
+//!   compares against publications, not re-runs, and so do we.
+//! * The **GPU** (NVIDIA V100 @ 1.29 GHz) appears in Figs. 6–8. The paper
+//!   reports it only as measured *ratios* against CHAM (45 k NTT ops/s,
+//!   4.5× lower HMVP throughput, 0.3–0.7× CHAM/GPU latency); we encode
+//!   those calibrated ratios as the model. See DESIGN.md (Substitutions).
+//! * The **CPU** baseline is *measured*, not modelled: the bench harness
+//!   times this repository's own software implementation (`cham-he`).
+
+use crate::pipeline::HmvpCycleModel;
+
+/// One NTT design for the Table III comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NttDesign {
+    /// Design name.
+    pub name: &'static str,
+    /// Transform latency in clock cycles.
+    pub latency_cycles: u64,
+    /// Butterfly parallelism.
+    pub parallelism: u64,
+    /// LUT count (`None` where the paper gives none, e.g. F1 is an ASIC).
+    pub lut: Option<u64>,
+    /// BRAM count.
+    pub bram: Option<u64>,
+}
+
+impl NttDesign {
+    /// Area-time product in `latency × parallelism`, normalised to a
+    /// reference design (Table III column "ATP (l×p)").
+    pub fn atp_lp(&self, reference: &NttDesign) -> f64 {
+        (self.latency_cycles * self.parallelism) as f64
+            / (reference.latency_cycles * reference.parallelism) as f64
+    }
+
+    /// Area-time product in `latency × LUT`, normalised (column "(l×u)").
+    /// `None` when either design lacks a LUT figure.
+    pub fn atp_lu(&self, reference: &NttDesign) -> Option<f64> {
+        Some(
+            (self.latency_cycles * self.lut?) as f64
+                / (reference.latency_cycles * reference.lut?) as f64,
+        )
+    }
+}
+
+/// Table III reference rows (published numbers).
+pub mod published_ntt {
+    use super::NttDesign;
+
+    /// CHAM, twiddle ROM and buffer in BRAM.
+    pub const CHAM_BRAM: NttDesign = NttDesign {
+        name: "CHAM (BRAM only)",
+        latency_cycles: 6144,
+        parallelism: 4,
+        lut: Some(3324),
+        bram: Some(14),
+    };
+
+    /// CHAM, twiddle ROM in distributed RAM, buffer in BRAM.
+    pub const CHAM_MIXED: NttDesign = NttDesign {
+        name: "CHAM (BRAM+dRAM)",
+        latency_cycles: 6144,
+        parallelism: 4,
+        lut: Some(6508),
+        bram: Some(6),
+    };
+
+    /// CHAM, everything in distributed RAM.
+    pub const CHAM_DRAM: NttDesign = NttDesign {
+        name: "CHAM (dRAM only)",
+        latency_cycles: 6144,
+        parallelism: 4,
+        lut: Some(9248),
+        bram: Some(0),
+    };
+
+    /// HEAX (Intel FPGA, 8-input LUTs and 20 kbit BRAMs — footnote 2).
+    pub const HEAX: NttDesign = NttDesign {
+        name: "HEAX",
+        latency_cycles: 6144,
+        parallelism: 4,
+        lut: Some(22_316),
+        bram: Some(11),
+    };
+
+    /// F1 (ASIC; no FPGA LUT/BRAM figures).
+    pub const F1: NttDesign = NttDesign {
+        name: "F1",
+        latency_cycles: 202,
+        parallelism: 896,
+        lut: None,
+        bram: None,
+    };
+
+    /// HEAX NTT throughput at `N = 2^12` (paper §V-B.1).
+    pub const HEAX_NTT_OPS_PER_SEC: f64 = 117_000.0;
+
+    /// GPU single-kernel NTT throughput, 1024 threads (paper §V-B.1).
+    pub const GPU_NTT_OPS_PER_SEC: f64 = 45_000.0;
+}
+
+/// The calibrated V100 GPU model.
+///
+/// The paper gives the GPU only relative to CHAM: throughput 4.5× lower
+/// (Fig. 6) and latency such that CHAM/GPU ∈ [0.3, 0.7] with CHAM's edge
+/// largest at small batches (Fig. 8). Those constants are encoded here.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    /// Throughput handicap vs CHAM (paper: 4.5).
+    pub throughput_ratio: f64,
+    /// CHAM/GPU latency ratio at small batch (paper: 0.3).
+    pub latency_ratio_small: f64,
+    /// CHAM/GPU latency ratio at large batch (paper: 0.7).
+    pub latency_ratio_large: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self {
+            throughput_ratio: 4.5,
+            latency_ratio_small: 0.3,
+            latency_ratio_large: 0.7,
+        }
+    }
+}
+
+impl GpuModel {
+    /// GPU HMVP latency for a shape, derived from the CHAM cycle model and
+    /// the calibrated ratio (interpolated log-linearly in `rows` between
+    /// 64 and 8192).
+    pub fn hmvp_seconds(&self, cham: &HmvpCycleModel, rows: usize, cols: usize) -> f64 {
+        let cham_secs = cham.hmvp_seconds(rows, cols);
+        let r = self.latency_ratio(rows);
+        cham_secs / r
+    }
+
+    /// The interpolated CHAM/GPU latency ratio for a row count.
+    pub fn latency_ratio(&self, rows: usize) -> f64 {
+        let lo = 64f64.log2();
+        let hi = 8192f64.log2();
+        let x = (rows.max(1) as f64).log2().clamp(lo, hi);
+        let w = (x - lo) / (hi - lo);
+        self.latency_ratio_small + w * (self.latency_ratio_large - self.latency_ratio_small)
+    }
+
+    /// GPU HMVP throughput in MAC/s.
+    pub fn hmvp_throughput_macs(&self, cham: &HmvpCycleModel, rows: usize, cols: usize) -> f64 {
+        cham.hmvp_throughput_macs(rows, cols) / self.throughput_ratio
+    }
+
+    /// GPU NTT throughput (published constant).
+    pub fn ntt_ops_per_sec(&self) -> f64 {
+        published_ntt::GPU_NTT_OPS_PER_SEC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::published_ntt::*;
+    use super::*;
+
+    #[test]
+    fn table3_atp_columns_reproduce() {
+        // Normalised to CHAM (BRAM only), matching Table III.
+        let r = &CHAM_BRAM;
+        assert!((CHAM_BRAM.atp_lu(r).unwrap() - 1.0).abs() < 1e-12);
+        assert!((CHAM_MIXED.atp_lu(r).unwrap() - 1.96).abs() < 0.005);
+        assert!((CHAM_DRAM.atp_lu(r).unwrap() - 2.78).abs() < 0.005);
+        assert!((HEAX.atp_lu(r).unwrap() - 6.71).abs() < 0.005);
+        assert!((F1.atp_lp(r) - 7.36).abs() < 0.005);
+        assert!(F1.atp_lu(r).is_none());
+    }
+
+    #[test]
+    fn cham_ntt_beats_heax_throughput() {
+        // Paper: 195k vs 117k ops/s.
+        let model = HmvpCycleModel::cham();
+        assert!(model.ntt_ops_per_sec() > HEAX_NTT_OPS_PER_SEC);
+        let ratio = model.ntt_ops_per_sec() / HEAX_NTT_OPS_PER_SEC;
+        assert!((ratio - 195.0 / 117.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_latency_ratio_interpolates() {
+        let g = GpuModel::default();
+        assert!((g.latency_ratio(64) - 0.3).abs() < 1e-12);
+        assert!((g.latency_ratio(8192) - 0.7).abs() < 1e-12);
+        let mid = g.latency_ratio(724); // geometric middle
+        assert!(mid > 0.3 && mid < 0.7);
+        // Clamped outside the range.
+        assert!((g.latency_ratio(1) - 0.3).abs() < 1e-12);
+        assert!((g.latency_ratio(100_000) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_is_slower_than_cham_but_not_absurdly() {
+        let g = GpuModel::default();
+        let cham = HmvpCycleModel::cham();
+        for rows in [256usize, 2048, 8192] {
+            let c = cham.hmvp_seconds(rows, 4096);
+            let gpu = g.hmvp_seconds(&cham, rows, 4096);
+            let ratio = c / gpu;
+            assert!((0.3..=0.7).contains(&ratio), "rows={rows} ratio={ratio}");
+        }
+        let t = g.hmvp_throughput_macs(&cham, 4096, 4096);
+        assert!((cham.hmvp_throughput_macs(4096, 4096) / t - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_ntt_constant() {
+        assert_eq!(GpuModel::default().ntt_ops_per_sec(), 45_000.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Design-space exploration (paper Fig. 2b, §III-B).
+//!
+//! The explored axes: pipeline split (5–11 macro-stages), number of compute
+//! engines, NTT modules per engine, butterfly parallelism ("`k`-PE NTT"),
+//! and pack units. Each point is scored by HMVP throughput (4096×4096
+//! workload) and by peak resource utilisation on the VU9P; points that
+//! exceed the paper's 75% place-and-route criterion are infeasible.
+//!
+//! The paper reports two optimal points:
+//! `(9 stages, 1×PACKTWOLWES, 6×NTT, 4-PE, 2 engines)` (shipped) and
+//! `(9 stages, 1×PACKTWOLWES, 6×NTT, 8-PE, 1 engine)`.
+
+use crate::config::{ChamConfig, EngineConfig};
+use crate::pipeline::{HmvpCycleModel, RingShape};
+use crate::resources::{FpgaDevice, ResourceModel};
+use crate::Result;
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The configuration.
+    pub config: ChamConfig,
+    /// HMVP throughput in MAC/s on the scoring workload.
+    pub throughput: f64,
+    /// Peak resource-class utilisation on the target device.
+    pub utilization: f64,
+    /// Whether the point meets the 75% utilisation criterion.
+    pub feasible: bool,
+}
+
+impl DesignPoint {
+    /// Short label, e.g. `9s/2e/6ntt/4pe/1pk`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}s/{}e/{}ntt/{}pe/{}pk",
+            self.config.engine.pipeline_stages,
+            self.config.engines,
+            self.config.engine.ntt_units,
+            self.config.engine.bfus_per_ntt,
+            self.config.engine.pack_units
+        )
+    }
+}
+
+/// The exploration driver.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    device: FpgaDevice,
+    shape: RingShape,
+    /// Scoring workload (rows, cols).
+    pub workload: (usize, usize),
+    /// Utilisation ceiling for feasibility (paper: 0.75).
+    pub max_utilization: f64,
+}
+
+impl Default for DesignSpace {
+    fn default() -> Self {
+        Self {
+            device: FpgaDevice::vu9p(),
+            shape: RingShape::cham(),
+            workload: (4096, 4096),
+            max_utilization: 0.75,
+        }
+    }
+}
+
+impl DesignSpace {
+    /// Creates an exploration over a device.
+    pub fn new(device: FpgaDevice) -> Self {
+        Self {
+            device,
+            ..Self::default()
+        }
+    }
+
+    /// Evaluates one configuration.
+    ///
+    /// # Errors
+    /// Propagates invalid configurations.
+    pub fn evaluate(&self, config: ChamConfig) -> Result<DesignPoint> {
+        let model = HmvpCycleModel::new(config, self.shape)?;
+        // Merged pipeline stages serialise their work: below the natural
+        // 9-way split, throughput scales down by the merge factor.
+        let stage_penalty = if config.engine.pipeline_stages < 9 {
+            config.engine.pipeline_stages as f64 / 9.0
+        } else {
+            1.0
+        };
+        let throughput =
+            model.hmvp_throughput_macs(self.workload.0, self.workload.1) * stage_penalty;
+        let resources = ResourceModel::new(self.device.clone()).chip(&config);
+        let utilization = resources.max_utilization(&self.device);
+        Ok(DesignPoint {
+            config,
+            throughput,
+            utilization,
+            feasible: utilization <= self.max_utilization,
+        })
+    }
+
+    /// Enumerates the paper's exploration grid.
+    pub fn candidate_grid(&self) -> Vec<ChamConfig> {
+        let mut out = Vec::new();
+        for stages in [5usize, 7, 9, 11] {
+            for engines in [1usize, 2, 3] {
+                for ntt_units in [2usize, 4, 6, 8] {
+                    for n_bf in [2usize, 4, 8] {
+                        for pack_units in [1usize, 2] {
+                            // The DSE balance rule (§III-B): lane counts
+                            // track butterfly parallelism so stage
+                            // latencies stay matched.
+                            let engine = EngineConfig {
+                                ntt_units,
+                                intt_units: ntt_units,
+                                bfus_per_ntt: n_bf,
+                                mult_lanes: n_bf,
+                                ppu_lanes: n_bf,
+                                pack_units,
+                                pipeline_stages: stages,
+                                reduce_buffer_cts: 16,
+                                ram_strategy: Default::default(),
+                            };
+                            out.push(ChamConfig {
+                                engine,
+                                engines,
+                                clock_hz: 300e6,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluates the whole grid.
+    ///
+    /// # Errors
+    /// Propagates evaluation failures (none for the built-in grid).
+    pub fn explore(&self) -> Result<Vec<DesignPoint>> {
+        self.candidate_grid()
+            .into_iter()
+            .map(|c| self.evaluate(c))
+            .collect()
+    }
+
+    /// The Pareto frontier of *feasible* points: no other feasible point
+    /// has both higher throughput and lower utilisation.
+    pub fn pareto(points: &[DesignPoint]) -> Vec<DesignPoint> {
+        let feasible: Vec<&DesignPoint> = points.iter().filter(|p| p.feasible).collect();
+        feasible
+            .iter()
+            .filter(|p| {
+                !feasible.iter().any(|q| {
+                    q.throughput > p.throughput && q.utilization <= p.utilization
+                        || q.throughput >= p.throughput && q.utilization < p.utilization
+                })
+            })
+            .map(|p| (*p).clone())
+            .collect()
+    }
+
+    /// The best feasible point by throughput.
+    pub fn best(points: &[DesignPoint]) -> Option<&DesignPoint> {
+        points
+            .iter()
+            .filter(|p| p.feasible)
+            .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size() {
+        let ds = DesignSpace::default();
+        assert_eq!(ds.candidate_grid().len(), 4 * 3 * 4 * 3 * 2);
+    }
+
+    #[test]
+    fn shipped_point_is_feasible_and_strong() {
+        let ds = DesignSpace::default();
+        let points = ds.explore().unwrap();
+        let shipped = ds.evaluate(ChamConfig::cham()).unwrap();
+        assert!(shipped.feasible, "shipped util {}", shipped.utilization);
+        let best = DesignSpace::best(&points).unwrap();
+        // The shipped point should be within 25% of the grid optimum —
+        // Fig. 2b picks it as one of the best-performing feasible points.
+        assert!(
+            shipped.throughput >= best.throughput * 0.75,
+            "shipped {} vs best {} ({})",
+            shipped.throughput,
+            best.throughput,
+            best.label()
+        );
+    }
+
+    #[test]
+    fn both_paper_points_feasible_and_similar() {
+        let ds = DesignSpace::default();
+        let a = ds.evaluate(ChamConfig::cham()).unwrap();
+        let b = ds.evaluate(ChamConfig::cham_wide()).unwrap();
+        assert!(a.feasible && b.feasible);
+        let ratio = a.throughput / b.throughput;
+        assert!(ratio > 0.7 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn oversized_configs_are_infeasible() {
+        let ds = DesignSpace::default();
+        let huge = ChamConfig {
+            engine: EngineConfig {
+                ntt_units: 8,
+                intt_units: 8,
+                bfus_per_ntt: 8,
+                mult_lanes: 8,
+                ppu_lanes: 8,
+                pack_units: 2,
+                pipeline_stages: 11,
+                reduce_buffer_cts: 16,
+                ram_strategy: Default::default(),
+            },
+            engines: 3,
+            clock_hz: 300e6,
+        };
+        let p = ds.evaluate(huge).unwrap();
+        assert!(!p.feasible, "util {}", p.utilization);
+    }
+
+    #[test]
+    fn pareto_is_nonempty_and_feasible() {
+        let ds = DesignSpace::default();
+        let points = ds.explore().unwrap();
+        let pareto = DesignSpace::pareto(&points);
+        assert!(!pareto.is_empty());
+        assert!(pareto.iter().all(|p| p.feasible));
+        // Pareto points are mutually non-dominated.
+        for p in &pareto {
+            for q in &pareto {
+                let dominates = q.throughput > p.throughput && q.utilization < p.utilization;
+                assert!(!dominates);
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_stages_hurt_throughput() {
+        let ds = DesignSpace::default();
+        let mut c5 = ChamConfig::cham();
+        c5.engine.pipeline_stages = 5;
+        let p5 = ds.evaluate(c5).unwrap();
+        let p9 = ds.evaluate(ChamConfig::cham()).unwrap();
+        assert!(p9.throughput > p5.throughput);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let ds = DesignSpace::default();
+        let p = ds.evaluate(ChamConfig::cham()).unwrap();
+        assert_eq!(p.label(), "9s/2e/6ntt/4pe/1pk");
+    }
+}

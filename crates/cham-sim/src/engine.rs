@@ -1,0 +1,195 @@
+//! Functional + timed co-simulation of the CHAM accelerator.
+//!
+//! [`SimulatedCham`] executes real HMVP workloads through the `cham-he`
+//! algorithm stack (bit-exact with a software run) while the
+//! [`crate::pipeline::HmvpCycleModel`] accounts the cycles the FPGA would
+//! spend. This is the substitution for the physical VU9P board: the paper's
+//! performance numbers are cycle counts at 300 MHz, which the model
+//! reproduces from the same pipeline laws.
+
+use crate::config::ChamConfig;
+use crate::pipeline::{CycleReport, HmvpCycleModel, RingShape};
+use crate::{Result, SimError};
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::hmvp::{Hmvp, HmvpResult, Matrix};
+use cham_he::keys::GaloisKeys;
+use cham_he::params::ChamParams;
+use cham_he::prelude::RlweCiphertext;
+use rand::Rng;
+
+/// A timed HMVP outcome: the (functionally exact) result plus the cycle
+/// report of the modelled hardware run.
+#[derive(Debug, Clone)]
+pub struct TimedHmvp {
+    /// The homomorphic result (decryptable with the owner's key).
+    pub result: HmvpResult,
+    /// Modelled hardware cycles.
+    pub cycles: CycleReport,
+    /// Modelled wall-clock seconds at the configured frequency.
+    pub seconds: f64,
+}
+
+/// The simulated accelerator: configuration + parameter set.
+#[derive(Debug, Clone)]
+pub struct SimulatedCham {
+    model: HmvpCycleModel,
+    params: ChamParams,
+    hmvp: Hmvp,
+}
+
+impl SimulatedCham {
+    /// Builds a simulator for a configuration and HE parameter set (the
+    /// ring shape is derived from the parameters).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for invalid configurations.
+    pub fn new(config: ChamConfig, params: &ChamParams) -> Result<Self> {
+        let shape = RingShape {
+            degree: params.degree(),
+            aug_limbs: params.augmented_context().len(),
+            ct_limbs: params.ciphertext_context().len(),
+        };
+        Ok(Self {
+            model: HmvpCycleModel::new(config, shape)?,
+            params: params.clone(),
+            hmvp: Hmvp::new(params),
+        })
+    }
+
+    /// The paper's shipped accelerator over the paper's parameters.
+    ///
+    /// # Errors
+    /// Propagates parameter-construction failures.
+    pub fn cham() -> Result<Self> {
+        let params = ChamParams::cham_default().map_err(SimError::He)?;
+        Self::new(ChamConfig::cham(), &params)
+    }
+
+    /// The cycle model.
+    #[inline]
+    pub fn model(&self) -> &HmvpCycleModel {
+        &self.model
+    }
+
+    /// The HE parameter set.
+    #[inline]
+    pub fn params(&self) -> &ChamParams {
+        &self.params
+    }
+
+    /// The underlying HMVP engine (for encoding/encryption helpers).
+    #[inline]
+    pub fn hmvp(&self) -> &Hmvp {
+        &self.hmvp
+    }
+
+    /// Runs an HMVP functionally and reports modelled hardware timing.
+    ///
+    /// # Errors
+    /// Propagates HE-layer failures (shape mismatches, missing keys).
+    pub fn run_hmvp(
+        &self,
+        matrix: &Matrix,
+        cts: &[RlweCiphertext],
+        gkeys: &GaloisKeys,
+    ) -> Result<TimedHmvp> {
+        let em = self.hmvp.encode_matrix(matrix).map_err(SimError::He)?;
+        let result = self.hmvp.multiply(&em, cts, gkeys).map_err(SimError::He)?;
+        let cycles = self.model.hmvp_cycles(matrix.rows(), matrix.cols());
+        Ok(TimedHmvp {
+            seconds: cycles.seconds(self.model.config().clock_hz),
+            result,
+            cycles,
+        })
+    }
+
+    /// Timing-only estimate for a shape (no functional execution) — used
+    /// by the figure sweeps at the paper's full `N = 4096` scale.
+    pub fn estimate_hmvp(&self, rows: usize, cols: usize) -> CycleReport {
+        self.model.hmvp_cycles(rows, cols)
+    }
+
+    /// Convenience end-to-end check: encrypt, multiply, decrypt, compare
+    /// against the plain product. Returns the modelled seconds.
+    ///
+    /// # Errors
+    /// [`SimError::FunctionalMismatch`] if the simulated result disagrees
+    /// with the plain computation (this failing would mean the simulator's
+    /// functional path diverged — it shares code with `cham-he`, so it
+    /// cannot, but the check keeps the co-sim honest).
+    pub fn verify_roundtrip<R: Rng + ?Sized>(
+        &self,
+        matrix: &Matrix,
+        v: &[u64],
+        enc: &Encryptor,
+        dec: &Decryptor,
+        gkeys: &GaloisKeys,
+        rng: &mut R,
+    ) -> Result<f64> {
+        let cts = self
+            .hmvp
+            .encrypt_vector(v, enc, rng)
+            .map_err(SimError::He)?;
+        let timed = self.run_hmvp(matrix, &cts, gkeys)?;
+        let got = self
+            .hmvp
+            .decrypt_result(&timed.result, dec)
+            .map_err(SimError::He)?;
+        let expect = matrix
+            .mul_vector_mod(v, self.params.plain_modulus())
+            .map_err(SimError::He)?;
+        if got != expect {
+            return Err(SimError::FunctionalMismatch);
+        }
+        Ok(timed.seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_he::keys::SecretKey;
+    use rand::SeedableRng;
+
+    fn setup() -> (ChamParams, SimulatedCham, rand::rngs::StdRng) {
+        let params = ChamParams::insecure_test_default().unwrap();
+        let sim = SimulatedCham::new(ChamConfig::cham(), &params).unwrap();
+        (params, sim, rand::rngs::StdRng::seed_from_u64(4004))
+    }
+
+    #[test]
+    fn functional_roundtrip_with_timing() {
+        let (params, sim, mut rng) = setup();
+        let sk = SecretKey::generate(&params, &mut rng);
+        let enc = Encryptor::new(&params, &sk);
+        let dec = Decryptor::new(&params, &sk);
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        let t = params.plain_modulus().value();
+        let a = Matrix::random(32, 64, t, &mut rng);
+        let v: Vec<u64> = (0..64).map(|_| rng.gen_range(0..t)).collect();
+        let secs = sim
+            .verify_roundtrip(&a, &v, &enc, &dec, &gkeys, &mut rng)
+            .unwrap();
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn estimates_scale_with_shape() {
+        let (_, sim, _) = setup();
+        let small = sim.estimate_hmvp(64, 256).total_cycles;
+        let tall = sim.estimate_hmvp(512, 256).total_cycles;
+        let wide = sim.estimate_hmvp(64, 2048).total_cycles;
+        assert!(tall > small);
+        assert!(wide > small);
+    }
+
+    #[test]
+    fn paper_scale_estimate_sanity() {
+        // Full-scale HMVP (4096×4096) on the shipped config: each engine
+        // packs 2048 rows at ~6144 cycles each → ~42 ms at 300 MHz... per
+        // engine row block of 2048 → ≈ 42/2 ms. Order-of-magnitude check.
+        let sim = SimulatedCham::cham().unwrap();
+        let secs = sim.estimate_hmvp(4096, 4096).seconds(300e6);
+        assert!(secs > 1e-3 && secs < 1e-1, "secs {secs}");
+    }
+}

@@ -1,0 +1,307 @@
+//! Golden-vector generation for RTL verification.
+//!
+//! An FPGA team bringing up the real CHAM needs stimulus/response pairs
+//! for every functional unit. This module derives them from the verified
+//! software stack in a stable text format (one hex word per line, sections
+//! separated by headers), deterministic for a given seed — the standard
+//! hand-off artifact between a C/Rust golden model and an RTL testbench.
+
+use crate::config::RamStrategy;
+use crate::ntt_unit::NttUnitSim;
+use crate::{Result, SimError};
+use cham_math::modulus::Modulus;
+use cham_math::poly::Poly;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// A stimulus/response pair for one functional unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenVector {
+    /// Unit name (section header in the dump).
+    pub unit: String,
+    /// Input words.
+    pub input: Vec<u64>,
+    /// Expected output words.
+    pub output: Vec<u64>,
+}
+
+impl GoldenVector {
+    /// Renders the vector in the dump format.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# unit: {}", self.unit);
+        let _ = writeln!(
+            s,
+            "# in: {} words, out: {} words",
+            self.input.len(),
+            self.output.len()
+        );
+        let _ = writeln!(s, ".input");
+        for w in &self.input {
+            let _ = writeln!(s, "{w:016x}");
+        }
+        let _ = writeln!(s, ".output");
+        for w in &self.output {
+            let _ = writeln!(s, "{w:016x}");
+        }
+        s
+    }
+
+    /// Parses a single rendered vector back (for testbench self-checks).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for malformed dumps.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut unit = None;
+        let mut input = Vec::new();
+        let mut output = Vec::new();
+        let mut section = 0u8;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# unit: ") {
+                unit = Some(rest.to_string());
+            } else if line.starts_with('#') {
+                continue;
+            } else if line == ".input" {
+                section = 1;
+            } else if line == ".output" {
+                section = 2;
+            } else {
+                let w = u64::from_str_radix(line, 16)
+                    .map_err(|_| SimError::InvalidConfig("bad hex word in golden vector"))?;
+                match section {
+                    1 => input.push(w),
+                    2 => output.push(w),
+                    _ => return Err(SimError::InvalidConfig("word outside a section")),
+                }
+            }
+        }
+        Ok(Self {
+            unit: unit.ok_or(SimError::InvalidConfig("missing unit header"))?,
+            input,
+            output,
+        })
+    }
+}
+
+/// Deterministic golden-vector generator for the CHAM functional units.
+#[derive(Debug)]
+pub struct GoldenGenerator {
+    q: Modulus,
+    n: usize,
+    rng: rand::rngs::StdRng,
+}
+
+impl GoldenGenerator {
+    /// Creates a generator for degree `n`, modulus `q`, and a seed.
+    pub fn new(n: usize, q: Modulus, seed: u64) -> Self {
+        Self {
+            q,
+            n,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn random_poly(&mut self) -> Vec<u64> {
+        let q = self.q.value();
+        (0..self.n).map(|_| self.rng.gen_range(0..q)).collect()
+    }
+
+    /// Forward CG-NTT vectors (input normal order, output bit-reversed).
+    ///
+    /// # Errors
+    /// Math errors for unusable `n`/`q`.
+    pub fn ntt_forward(&mut self, count: usize) -> Result<Vec<GoldenVector>> {
+        let unit = NttUnitSim::new(self.n, self.q, 4, RamStrategy::BramOnly)?;
+        (0..count)
+            .map(|_| {
+                let input = self.random_poly();
+                let mut output = input.clone();
+                unit.run_forward(&mut output)?;
+                Ok(GoldenVector {
+                    unit: "ntt_fwd".into(),
+                    input,
+                    output,
+                })
+            })
+            .collect()
+    }
+
+    /// Inverse CG-NTT vectors.
+    ///
+    /// # Errors
+    /// Math errors for unusable `n`/`q`.
+    pub fn ntt_inverse(&mut self, count: usize) -> Result<Vec<GoldenVector>> {
+        let unit = NttUnitSim::new(self.n, self.q, 4, RamStrategy::BramOnly)?;
+        (0..count)
+            .map(|_| {
+                let input = self.random_poly();
+                let mut output = input.clone();
+                unit.run_inverse(&mut output)?;
+                Ok(GoldenVector {
+                    unit: "ntt_inv".into(),
+                    input,
+                    output,
+                })
+            })
+            .collect()
+    }
+
+    /// Modular-multiplier vectors: pairs `(a, b)` concatenated as input,
+    /// products as output.
+    pub fn modmul(&mut self, count: usize) -> Vec<GoldenVector> {
+        (0..count)
+            .map(|_| {
+                let a = self.random_poly();
+                let b = self.random_poly();
+                let out: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| self.q.mul(x, y)).collect();
+                let mut input = a;
+                input.extend(b);
+                GoldenVector {
+                    unit: "modmul".into(),
+                    input,
+                    output: out,
+                }
+            })
+            .collect()
+    }
+
+    /// `AUTOMORPH` vectors for an index `k` (first input word carries `k`).
+    ///
+    /// # Errors
+    /// Math errors for an even `k`.
+    pub fn automorph(&mut self, k: usize, count: usize) -> Result<Vec<GoldenVector>> {
+        (0..count)
+            .map(|_| {
+                let a = self.random_poly();
+                let out = Poly::from_coeffs(a.clone())
+                    .automorph(k, &self.q)
+                    .map_err(SimError::Math)?;
+                let mut input = vec![k as u64];
+                input.extend(&a);
+                Ok(GoldenVector {
+                    unit: "automorph".into(),
+                    input,
+                    output: out.into_coeffs(),
+                })
+            })
+            .collect()
+    }
+
+    /// `SHIFTNEG` vectors for a shift `s` (first input word carries `s`).
+    pub fn shift_neg(&mut self, s: usize, count: usize) -> Vec<GoldenVector> {
+        (0..count)
+            .map(|_| {
+                let a = self.random_poly();
+                let out = Poly::from_coeffs(a.clone()).shift_neg(s, &self.q);
+                let mut input = vec![s as u64];
+                input.extend(&a);
+                GoldenVector {
+                    unit: "shift_neg".into(),
+                    input,
+                    output: out.into_coeffs(),
+                }
+            })
+            .collect()
+    }
+
+    /// A complete dump across all units.
+    ///
+    /// # Errors
+    /// Propagates unit failures.
+    pub fn full_dump(&mut self, per_unit: usize) -> Result<String> {
+        let mut out = String::new();
+        for v in self.ntt_forward(per_unit)? {
+            out.push_str(&v.render());
+        }
+        for v in self.ntt_inverse(per_unit)? {
+            out.push_str(&v.render());
+        }
+        for v in self.modmul(per_unit) {
+            out.push_str(&v.render());
+        }
+        for v in self.automorph(3, per_unit)? {
+            out.push_str(&v.render());
+        }
+        for v in self.shift_neg(1, per_unit) {
+            out.push_str(&v.render());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_math::modulus::Q0;
+    use cham_math::ntt::NttTable;
+
+    fn generator() -> GoldenGenerator {
+        GoldenGenerator::new(256, Modulus::new(Q0).unwrap(), 42)
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generator().ntt_forward(2).unwrap();
+        let b = generator().ntt_forward(2).unwrap();
+        assert_eq!(a, b);
+        let c = GoldenGenerator::new(256, Modulus::new(Q0).unwrap(), 43)
+            .ntt_forward(2)
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ntt_vectors_match_reference() {
+        let vs = generator().ntt_forward(3).unwrap();
+        let table = NttTable::new(256, Modulus::new(Q0).unwrap()).unwrap();
+        for v in vs {
+            assert_eq!(v.output, table.forward_to_vec(&v.input));
+        }
+    }
+
+    #[test]
+    fn inverse_vectors_invert_forward() {
+        let mut g = generator();
+        let fwd = g.ntt_forward(1).unwrap().remove(0);
+        let table = NttTable::new(256, Modulus::new(Q0).unwrap()).unwrap();
+        assert_eq!(table.inverse_to_vec(&fwd.output), fwd.input);
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut g = generator();
+        for v in [
+            g.ntt_forward(1).unwrap().remove(0),
+            g.modmul(1).remove(0),
+            g.automorph(5, 1).unwrap().remove(0),
+            g.shift_neg(7, 1).remove(0),
+        ] {
+            let parsed = GoldenVector::parse(&v.render()).unwrap();
+            assert_eq!(parsed, v);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(GoldenVector::parse("garbage").is_err());
+        assert!(GoldenVector::parse("# unit: x\n.input\nzzzz\n").is_err());
+        assert!(GoldenVector::parse("# unit: x\n123\n").is_err());
+    }
+
+    #[test]
+    fn full_dump_contains_all_units() {
+        let dump = generator().full_dump(1).unwrap();
+        for unit in ["ntt_fwd", "ntt_inv", "modmul", "automorph", "shift_neg"] {
+            assert!(dump.contains(&format!("# unit: {unit}")), "{unit}");
+        }
+    }
+
+    #[test]
+    fn automorph_rejects_even_index() {
+        assert!(generator().automorph(2, 1).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Heterogeneous CPU+FPGA execution model (paper §III-C, Fig. 1b).
+//!
+//! The host pipelines data transfer against FPGA compute with multiple
+//! threads; the FPGA buffers each thread's I/O in dedicated RAMs. The model
+//! is a discrete-event schedule over three resource classes — the PCIe link
+//! (half-duplex per direction), the host threads, and the compute engines —
+//! reproducing the overlap behaviour of Fig. 1b.
+//!
+//! The runtime's RAS features (§III-C: register-load error handling,
+//! hang/reset, health monitoring) are modelled as injectable fault events
+//! with their recovery costs, so failure-handling paths are testable.
+
+use crate::pipeline::HmvpCycleModel;
+use crate::{Result, SimError};
+
+/// One HMVP job submitted by a host thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HmvpJob {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix cols.
+    pub cols: usize,
+}
+
+impl HmvpJob {
+    /// Bytes shipped to the FPGA: matrix plaintexts + vector ciphertext.
+    pub fn input_bytes(&self, degree: usize, aug_limbs: usize) -> u64 {
+        let tiles = self.cols.div_ceil(degree) as u64;
+        let row_bytes = tiles * aug_limbs as u64 * degree as u64 * 8;
+        self.rows as u64 * row_bytes + tiles * 2 * aug_limbs as u64 * degree as u64 * 8
+    }
+
+    /// Bytes returned: the packed result ciphertexts.
+    pub fn output_bytes(&self, degree: usize, ct_limbs: usize) -> u64 {
+        let packs = self.rows.div_ceil(degree) as u64;
+        packs * 2 * ct_limbs as u64 * degree as u64 * 8
+    }
+}
+
+/// Injectable RAS fault events (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A corrupted register load detected on job `job`; the runtime
+    /// re-loads and retries the job.
+    RegisterLoadError {
+        /// Index of the affected job.
+        job: usize,
+    },
+    /// The FPGA hangs during job `job`; the runtime resets the board
+    /// (costing `reset_seconds`) and retries.
+    Hang {
+        /// Index of the affected job.
+        job: usize,
+        /// Reset-and-reload cost in seconds.
+        reset_seconds: f64,
+    },
+}
+
+/// Which system resource an event occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroResource {
+    /// Host→FPGA PCIe transfer.
+    LinkIn,
+    /// One of the compute engines.
+    Engine(usize),
+    /// FPGA→host PCIe transfer.
+    LinkOut,
+}
+
+/// One scheduled interval in the overlap timeline (the bars of Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeteroEvent {
+    /// Job index.
+    pub job: usize,
+    /// Occupied resource.
+    pub resource: HeteroResource,
+    /// Start time in seconds.
+    pub start: f64,
+    /// End time in seconds.
+    pub end: f64,
+}
+
+/// Outcome of a heterogeneous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// End-to-end makespan in seconds.
+    pub makespan: f64,
+    /// Sum of FPGA compute time (all engines).
+    pub compute_seconds: f64,
+    /// Sum of transfer time (both directions).
+    pub transfer_seconds: f64,
+    /// Fraction of the makespan the engines were busy.
+    pub engine_utilization: f64,
+    /// Number of jobs retried due to faults.
+    pub retries: usize,
+    /// Health-probe count emitted by the monitor model.
+    pub health_probes: u64,
+    /// The full event timeline (transfer and compute intervals per job).
+    pub events: Vec<HeteroEvent>,
+}
+
+impl ScheduleReport {
+    /// Renders the Fig. 1b overlap picture as a text Gantt chart: one lane
+    /// per resource, one character per `makespan/width` seconds, digits
+    /// identify jobs.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(8);
+        let scale = self.makespan / width as f64;
+        let engines = self
+            .events
+            .iter()
+            .filter_map(|e| match e.resource {
+                HeteroResource::Engine(i) => Some(i + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut lanes: Vec<(String, Vec<u8>)> = Vec::new();
+        lanes.push(("in".into(), vec![b'.'; width]));
+        for i in 0..engines {
+            lanes.push((format!("eng{i}"), vec![b'.'; width]));
+        }
+        lanes.push(("out".into(), vec![b'.'; width]));
+        for e in &self.events {
+            let lane = match e.resource {
+                HeteroResource::LinkIn => 0,
+                HeteroResource::Engine(i) => 1 + i,
+                HeteroResource::LinkOut => 1 + engines,
+            };
+            let a = ((e.start / scale) as usize).min(width - 1);
+            let b = (((e.end / scale).ceil()) as usize).clamp(a + 1, width);
+            let ch = b'0' + (e.job % 10) as u8;
+            for c in lanes[lane].1.iter_mut().take(b).skip(a) {
+                *c = ch;
+            }
+        }
+        let mut out = String::new();
+        for (name, lane) in lanes {
+            out.push_str(&format!(
+                "{:>5} |{}|\n",
+                name,
+                String::from_utf8_lossy(&lane)
+            ));
+        }
+        out
+    }
+}
+
+/// The host+FPGA system model.
+#[derive(Debug, Clone)]
+pub struct HeteroSystem {
+    model: HmvpCycleModel,
+    /// Host threads pipelining transfers (Fig. 1b explores 1–3).
+    pub host_threads: usize,
+    /// PCIe effective bandwidth per direction, bytes/s (Gen3 x16 ≈ 12 GB/s
+    /// effective).
+    pub pcie_bytes_per_sec: f64,
+    /// Health-monitor probe period in seconds.
+    pub health_period: f64,
+}
+
+impl HeteroSystem {
+    /// Creates the system around a cycle model.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] for zero threads or non-positive
+    /// bandwidth.
+    pub fn new(
+        model: HmvpCycleModel,
+        host_threads: usize,
+        pcie_bytes_per_sec: f64,
+    ) -> Result<Self> {
+        if host_threads == 0 {
+            return Err(SimError::InvalidConfig("at least one host thread required"));
+        }
+        if pcie_bytes_per_sec <= 0.0 || pcie_bytes_per_sec.is_nan() {
+            return Err(SimError::InvalidConfig("bandwidth must be positive"));
+        }
+        Ok(Self {
+            model,
+            host_threads,
+            pcie_bytes_per_sec,
+            health_period: 1.0,
+        })
+    }
+
+    /// Runs a job list through the overlap schedule with optional fault
+    /// injection, returning the makespan report.
+    pub fn run(&self, jobs: &[HmvpJob], faults: &[FaultEvent]) -> ScheduleReport {
+        let shape = *self.model.shape();
+        let engines = self.model.config().engines;
+        // Resource availability times.
+        let mut link_in_free = 0.0f64;
+        let mut link_out_free = 0.0f64;
+        let mut engine_free = vec![0.0f64; engines];
+        let mut thread_free = vec![0.0f64; self.host_threads];
+
+        let mut compute_total = 0.0;
+        let mut transfer_total = 0.0;
+        let mut makespan: f64 = 0.0;
+        let mut retries = 0usize;
+        let mut events = Vec::with_capacity(3 * jobs.len());
+
+        for (idx, job) in jobs.iter().enumerate() {
+            let t_in =
+                job.input_bytes(shape.degree, shape.aug_limbs) as f64 / self.pcie_bytes_per_sec;
+            let t_out =
+                job.output_bytes(shape.degree, shape.ct_limbs) as f64 / self.pcie_bytes_per_sec;
+            let mut t_compute = self.model.hmvp_seconds(job.rows, job.cols);
+
+            // Fault handling: retried jobs pay the recovery cost and run
+            // their compute twice (detected at completion).
+            for f in faults {
+                match *f {
+                    FaultEvent::RegisterLoadError { job } if job == idx => {
+                        retries += 1;
+                        t_compute += self.model.hmvp_seconds(jobs[idx].rows, jobs[idx].cols);
+                    }
+                    FaultEvent::Hang { job, reset_seconds } if job == idx => {
+                        retries += 1;
+                        t_compute +=
+                            reset_seconds + self.model.hmvp_seconds(jobs[idx].rows, jobs[idx].cols);
+                    }
+                    _ => {}
+                }
+            }
+
+            // Pick the earliest-available host thread; it owns this job's
+            // two transfers.
+            let (tid, _) = thread_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one thread");
+            // Input transfer occupies the thread and the inbound link.
+            let in_start = thread_free[tid].max(link_in_free);
+            let in_end = in_start + t_in;
+            link_in_free = in_end;
+            events.push(HeteroEvent {
+                job: idx,
+                resource: HeteroResource::LinkIn,
+                start: in_start,
+                end: in_end,
+            });
+            // Compute on the earliest-free engine.
+            let (eid, _) = engine_free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("at least one engine");
+            let c_start = in_end.max(engine_free[eid]);
+            let c_end = c_start + t_compute;
+            engine_free[eid] = c_end;
+            events.push(HeteroEvent {
+                job: idx,
+                resource: HeteroResource::Engine(eid),
+                start: c_start,
+                end: c_end,
+            });
+            // Output transfer.
+            let o_start = c_end.max(link_out_free);
+            let o_end = o_start + t_out;
+            link_out_free = o_end;
+            thread_free[tid] = o_end;
+            events.push(HeteroEvent {
+                job: idx,
+                resource: HeteroResource::LinkOut,
+                start: o_start,
+                end: o_end,
+            });
+
+            compute_total += t_compute;
+            transfer_total += t_in + t_out;
+            makespan = makespan.max(o_end);
+        }
+
+        let engine_utilization = if makespan > 0.0 {
+            (compute_total / engines as f64) / makespan
+        } else {
+            0.0
+        };
+        ScheduleReport {
+            makespan,
+            compute_seconds: compute_total,
+            transfer_seconds: transfer_total,
+            engine_utilization: engine_utilization.min(1.0),
+            retries,
+            health_probes: (makespan / self.health_period).ceil() as u64,
+            events,
+        }
+    }
+
+    /// Serial (no-overlap) reference: transfers and compute strictly
+    /// alternate on one thread and one engine.
+    pub fn run_serial(&self, jobs: &[HmvpJob]) -> f64 {
+        let shape = *self.model.shape();
+        jobs.iter()
+            .map(|j| {
+                j.input_bytes(shape.degree, shape.aug_limbs) as f64 / self.pcie_bytes_per_sec
+                    + self.model.hmvp_seconds(j.rows, j.cols) * self.model.config().engines as f64
+                    + j.output_bytes(shape.degree, shape.ct_limbs) as f64 / self.pcie_bytes_per_sec
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::HmvpCycleModel;
+
+    fn system(threads: usize) -> HeteroSystem {
+        HeteroSystem::new(HmvpCycleModel::cham(), threads, 12e9).unwrap()
+    }
+
+    fn jobs(n: usize) -> Vec<HmvpJob> {
+        vec![
+            HmvpJob {
+                rows: 2048,
+                cols: 4096
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HeteroSystem::new(HmvpCycleModel::cham(), 0, 12e9).is_err());
+        assert!(HeteroSystem::new(HmvpCycleModel::cham(), 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn overlap_beats_serial() {
+        let sys = system(3);
+        let js = jobs(8);
+        let report = sys.run(&js, &[]);
+        let serial = sys.run_serial(&js);
+        assert!(
+            report.makespan < serial,
+            "overlap {} vs serial {serial}",
+            report.makespan
+        );
+        assert!(report.engine_utilization > 0.3);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn more_threads_improve_overlap() {
+        let js = jobs(8);
+        let m1 = system(1).run(&js, &[]).makespan;
+        let m3 = system(3).run(&js, &[]).makespan;
+        assert!(m3 <= m1);
+    }
+
+    #[test]
+    fn faults_cost_time_and_count_retries() {
+        let sys = system(2);
+        let js = jobs(4);
+        let clean = sys.run(&js, &[]);
+        let faulty = sys.run(
+            &js,
+            &[
+                FaultEvent::RegisterLoadError { job: 1 },
+                FaultEvent::Hang {
+                    job: 2,
+                    reset_seconds: 0.5,
+                },
+            ],
+        );
+        assert_eq!(faulty.retries, 2);
+        assert!(faulty.makespan > clean.makespan);
+        assert!(faulty.makespan > 0.5);
+    }
+
+    #[test]
+    fn health_probes_scale_with_makespan() {
+        let sys = system(2);
+        let short = sys.run(&jobs(1), &[]);
+        let long = sys.run(&jobs(16), &[]);
+        assert!(long.health_probes >= short.health_probes);
+    }
+
+    #[test]
+    fn event_timeline_and_render() {
+        let sys = system(3);
+        let js = jobs(5);
+        let report = sys.run(&js, &[]);
+        // 3 events per job, all within the makespan, engines overlap with
+        // transfers of other jobs (the Fig. 1b point).
+        assert_eq!(report.events.len(), 15);
+        for e in &report.events {
+            assert!(e.start <= e.end);
+            assert!(e.end <= report.makespan + 1e-12);
+        }
+        // Overlap exists: some engine interval intersects some link-in
+        // interval of a different job.
+        let overlap = report.events.iter().any(|a| {
+            matches!(a.resource, HeteroResource::Engine(_))
+                && report.events.iter().any(|b| {
+                    matches!(b.resource, HeteroResource::LinkIn)
+                        && b.job != a.job
+                        && b.start < a.end
+                        && a.start < b.end
+                })
+        });
+        assert!(overlap, "no transfer/compute overlap found");
+        let chart = report.render(60);
+        assert!(chart.contains("in "));
+        assert!(chart.contains("eng0"));
+        assert!(chart.contains("out"));
+        assert_eq!(chart.lines().count(), 2 + 2); // in + 2 engines + out
+    }
+
+    #[test]
+    fn job_byte_accounting() {
+        let j = HmvpJob {
+            rows: 4096,
+            cols: 4096,
+        };
+        // Matrix: 4096 rows × 3 limbs × 4096 coeffs × 8 B = 402 MB.
+        let input = j.input_bytes(4096, 3);
+        assert!(input > 400_000_000 && input < 415_000_000, "{input}");
+        // One packed ciphertext: 2 polys × 2 limbs × 4096 × 8 = 131 kB.
+        assert_eq!(j.output_bytes(4096, 2), 131_072);
+    }
+}

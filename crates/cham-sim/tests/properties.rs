@@ -1,0 +1,120 @@
+//! Property-based tests for the simulator: model monotonicity, schedule
+//! invariants, and resource-model consistency over randomized
+//! configurations.
+
+use cham_sim::config::{ChamConfig, EngineConfig};
+use cham_sim::dse::DesignSpace;
+use cham_sim::pipeline::{HmvpCycleModel, RingShape};
+use cham_sim::resources::{FpgaDevice, ResourceModel};
+use cham_sim::trace::PipelineTrace;
+use proptest::prelude::*;
+
+fn arbitrary_engine() -> impl Strategy<Value = EngineConfig> {
+    (
+        1usize..=8,                                  // ntt units
+        prop::sample::select(vec![1usize, 2, 4, 8]), // bfus
+        1usize..=8,                                  // mult lanes
+        1usize..=8,                                  // ppu lanes
+        1usize..=2,                                  // pack units
+        5usize..=11,                                 // stages
+    )
+        .prop_map(|(ntt, bfu, mult, ppu, pack, stages)| EngineConfig {
+            ntt_units: ntt,
+            intt_units: ntt,
+            bfus_per_ntt: bfu,
+            mult_lanes: mult,
+            ppu_lanes: ppu,
+            pack_units: pack,
+            pipeline_stages: stages,
+            reduce_buffer_cts: 16,
+            ram_strategy: Default::default(),
+        })
+}
+
+fn arbitrary_config() -> impl Strategy<Value = ChamConfig> {
+    (arbitrary_engine(), 1usize..=3).prop_map(|(engine, engines)| ChamConfig {
+        engine,
+        engines,
+        clock_hz: 300e6,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cycle_model_positive_and_monotone(cfg in arbitrary_config(), m in 1usize..4096, n in 1usize..8192) {
+        let model = HmvpCycleModel::new(cfg, RingShape::cham()).unwrap();
+        let t = model.hmvp_seconds(m, n);
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(model.hmvp_seconds(m + 128, n) >= t);
+        prop_assert!(model.hmvp_seconds(m, n + 8192) >= t);
+    }
+
+    #[test]
+    fn more_hardware_is_never_slower(cfg in arbitrary_config(), m in 64usize..4096) {
+        let base = HmvpCycleModel::new(cfg, RingShape::cham()).unwrap();
+        let mut bigger_cfg = cfg;
+        bigger_cfg.engine.ntt_units = (cfg.engine.ntt_units * 2).min(16);
+        bigger_cfg.engine.intt_units = bigger_cfg.engine.ntt_units;
+        bigger_cfg.engine.mult_lanes = cfg.engine.mult_lanes * 2;
+        bigger_cfg.engine.ppu_lanes = cfg.engine.ppu_lanes * 2;
+        bigger_cfg.engine.pack_units = cfg.engine.pack_units * 2;
+        let bigger = HmvpCycleModel::new(bigger_cfg, RingShape::cham()).unwrap();
+        prop_assert!(bigger.hmvp_seconds(m, 4096) <= base.hmvp_seconds(m, 4096) * 1.0001);
+    }
+
+    #[test]
+    fn resource_model_monotone_in_units(cfg in arbitrary_engine()) {
+        let model = ResourceModel::default();
+        let base = model.engine(&cfg);
+        let mut bigger = cfg;
+        bigger.ntt_units += 1;
+        bigger.intt_units += 1;
+        let grown = model.engine(&bigger);
+        prop_assert!(grown.lut >= base.lut);
+        prop_assert!(grown.dsp >= base.dsp);
+    }
+
+    #[test]
+    fn dse_evaluation_is_consistent(cfg in arbitrary_config()) {
+        let ds = DesignSpace::default();
+        let p = ds.evaluate(cfg).unwrap();
+        prop_assert!(p.throughput > 0.0);
+        prop_assert!(p.utilization > 0.0);
+        prop_assert_eq!(p.feasible, p.utilization <= 0.75);
+        // Feasibility implies the chip physically fits.
+        if p.feasible {
+            let chip = ResourceModel::default().chip(&cfg);
+            prop_assert!(chip.fits(&FpgaDevice::vu9p()));
+        }
+    }
+
+    #[test]
+    fn trace_schedule_invariants(rows in 1usize..128) {
+        let t = PipelineTrace::schedule(&ChamConfig::cham(), &RingShape::cham(), rows).unwrap();
+        prop_assert!(t.is_conflict_free());
+        // Event accounting: 4 dot events per row, padded−1 reductions.
+        let padded = rows.next_power_of_two();
+        prop_assert_eq!(t.events.len(), 4 * rows + padded - 1);
+        // The final reduction cannot finish before the last row has left
+        // the dot stages (padding-only pairs may legally run at t = 0).
+        if rows > 1 {
+            let last_row_done = (rows as u64 + 3) * 6144;
+            let last_pack_end = t
+                .stage_events(cham_sim::trace::Stage::Pack)
+                .map(|e| e.end)
+                .max()
+                .unwrap();
+            prop_assert!(last_pack_end > last_row_done);
+        }
+        // Trace makespan within 2x of the aggregate cycle model (the
+        // model adds stall/overhead terms the trace resolves exactly).
+        let model = HmvpCycleModel::new(
+            ChamConfig { engines: 1, ..ChamConfig::cham() },
+            RingShape::cham(),
+        ).unwrap();
+        let agg = model.engine_cycles(rows, 4096).total_cycles;
+        prop_assert!(t.total_cycles <= 2 * agg, "trace {} vs model {}", t.total_cycles, agg);
+    }
+}

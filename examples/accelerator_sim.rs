@@ -1,0 +1,121 @@
+//! Drive the cycle-level CHAM model: functional co-simulation, pipeline
+//! cycle breakdown, roofline placement, and the host/FPGA overlap
+//! schedule with RAS fault injection (paper §III).
+//!
+//! ```sh
+//! cargo run --release --example accelerator_sim
+//! ```
+
+use cham::he::hmvp::Matrix;
+use cham::he::prelude::*;
+use cham::sim::config::ChamConfig;
+use cham::sim::engine::SimulatedCham;
+use cham::sim::hetero::{FaultEvent, HeteroSystem, HmvpJob};
+use cham::sim::pipeline::{HmvpCycleModel, RingShape};
+use cham::sim::resources::FpgaDevice;
+use cham::sim::roofline::{OpProfile, Roofline};
+use cham::sim::trace::PipelineTrace;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+
+    // 1) Functional co-simulation at reduced degree: the simulator's
+    // output is bit-exact with the software stack while cycles accrue.
+    let params = ChamParams::insecure_test_default()?;
+    let sim = SimulatedCham::new(ChamConfig::cham(), &params)?;
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let dec = Decryptor::new(&params, &sk);
+    let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng)?;
+    let t = params.plain_modulus().value();
+    let a = Matrix::random(64, 64, t, &mut rng);
+    let v: Vec<u64> = (0..64).map(|_| rng.gen_range(0..t)).collect();
+    let secs = sim.verify_roundtrip(&a, &v, &enc, &dec, &gkeys, &mut rng)?;
+    println!(
+        "co-simulation: 64x64 HMVP functionally verified; modelled FPGA time {:.2} us",
+        secs * 1e6
+    );
+
+    // 2) Paper-scale cycle breakdown.
+    let model = HmvpCycleModel::new(ChamConfig::cham(), RingShape::cham())?;
+    let report = model.hmvp_cycles(4096, 4096);
+    println!("\n4096x4096 HMVP on the shipped config (2 engines @ 300 MHz):");
+    println!("  total cycles      {:>12}", report.total_cycles);
+    println!("  fwd-NTT busy      {:>12}", report.ntt_cycles);
+    println!("  INTT busy         {:>12}", report.intt_cycles);
+    println!("  MULTPOLY busy     {:>12}", report.mult_cycles);
+    println!("  PPU busy          {:>12}", report.ppu_cycles);
+    println!("  PACK busy         {:>12}", report.pack_cycles);
+    println!(
+        "  stalls/overhead   {:>12}",
+        report.stall_cycles + report.overhead_cycles
+    );
+    println!(
+        "  wall-clock        {:>11.2} ms",
+        1e3 * report.seconds(300e6)
+    );
+
+    // 3) Roofline placement (Fig. 2a).
+    let roof = Roofline::new(FpgaDevice::u200(), 300e6);
+    let shape = RingShape::cham();
+    for p in [
+        OpProfile::ntt(&shape),
+        OpProfile::keyswitch(&shape),
+        OpProfile::hmvp(&shape, 4096, 4096),
+    ] {
+        println!(
+            "roofline: {:<16} intensity {:>6.2} op/B -> {}",
+            p.name,
+            p.intensity(),
+            if roof.memory_bound(&p) {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            }
+        );
+    }
+
+    // 4) Pipeline trace: the first rows flowing through the 9 stages.
+    let trace = PipelineTrace::schedule(&ChamConfig::cham(), &RingShape::cham(), 12)?;
+    println!("\npipeline schedule for 12 rows (one char = 6144 cycles):");
+    print!("{}", trace.render(6144));
+    println!(
+        "makespan {} cycles, conflict-free: {}",
+        trace.total_cycles,
+        trace.is_conflict_free()
+    );
+
+    // 5) Host/FPGA overlap with fault injection (Fig. 1b + RAS).
+    let sys = HeteroSystem::new(model, 3, 12e9)?;
+    let jobs = vec![
+        HmvpJob {
+            rows: 2048,
+            cols: 4096
+        };
+        6
+    ];
+    let clean = sys.run(&jobs, &[]);
+    let faulty = sys.run(
+        &jobs,
+        &[FaultEvent::Hang {
+            job: 2,
+            reset_seconds: 0.2,
+        }],
+    );
+    println!(
+        "\nhetero schedule: 6 jobs, 3 host threads -> makespan {:.1} ms (engines {:.0}% busy)",
+        1e3 * clean.makespan,
+        100.0 * clean.engine_utilization
+    );
+    println!(
+        "with an injected FPGA hang on job 2: makespan {:.1} ms, {} retry, {} health probes",
+        1e3 * faulty.makespan,
+        faulty.retries,
+        faulty.health_probes
+    );
+    println!("\noverlap timeline (Fig. 1b; digits are job ids):");
+    print!("{}", clean.render(64));
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: encrypted matrix-vector product with the CHAM pipeline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Party A encrypts a vector; party B (who holds the matrix) computes the
+//! product homomorphically — dot products, LWE extraction, and packing —
+//! and A decrypts a single ciphertext holding all results.
+
+use cham::he::hmvp::Matrix;
+use cham::he::prelude::*;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
+
+    // Reduced-degree parameters so the demo runs in milliseconds; swap in
+    // `ChamParams::cham_default()` for the paper's N = 4096 set.
+    let params = ChamParams::insecure_test_default()?;
+    let t = *params.plain_modulus();
+    println!(
+        "parameters: N = {}, t = {}, ciphertext primes = {:?}, special p = {}",
+        params.degree(),
+        t,
+        params
+            .ciphertext_context()
+            .moduli()
+            .iter()
+            .map(|m| m.value())
+            .collect::<Vec<_>>(),
+        params.special_prime()
+    );
+
+    // Party A: keys and an encrypted vector.
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let dec = Decryptor::new(&params, &sk);
+    let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng)?;
+
+    let n = 64;
+    let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.value())).collect();
+    let hmvp = Hmvp::new(&params);
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng)?;
+    println!(
+        "encrypted a {n}-entry vector into {} ciphertext(s)",
+        cts.len()
+    );
+
+    // Party B: the matrix, the homomorphic product.
+    let m = 32;
+    let a = Matrix::random(m, n, t.value(), &mut rng);
+    let em = hmvp.encode_matrix(&a)?;
+    let result = hmvp.multiply(&em, &cts, &gkeys)?;
+    println!(
+        "computed {m} encrypted dot products and packed them into {} ciphertext(s)",
+        result.packed.len()
+    );
+
+    // Party A: decrypt and verify.
+    let got = hmvp.decrypt_result(&result, &dec)?;
+    let expect = a.mul_vector_mod(&v, &t)?;
+    assert_eq!(got, expect);
+    println!(
+        "decrypted A·v matches the plaintext product: {:?}...",
+        &got[..4.min(got.len())]
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Cross-crate integration: HeteroLR and Beaver triples end to end,
+//! including failure paths.
+
+use cham::apps::beaver::BeaverGenerator;
+use cham::apps::datasets::VerticalDataset;
+use cham::apps::lr::{train_plain, HeteroLr, LrBackend, LrConfig};
+use cham::apps::protocol::Transcript;
+use cham::he::hmvp::Matrix;
+use cham::he::prelude::ChamParams;
+use rand::SeedableRng;
+
+#[test]
+fn heterolr_bfv_learns_and_logs_protocol() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let data = VerticalDataset::generate(96, 3, 3, 0.02, &mut rng);
+    let cfg = LrConfig {
+        iterations: 10,
+        learning_rate: 1.0,
+        batch_size: None,
+        backend: LrBackend::Bfv,
+        degree: 256,
+    };
+    let lr = HeteroLr::new(cfg.clone(), &mut rng).unwrap();
+    let result = lr.train(&data, &mut rng).unwrap();
+    assert!(*result.accuracy_history.last().unwrap() > 0.8);
+    // Accuracy should broadly track the plain reference.
+    let plain = train_plain(&data, &cfg);
+    let diff =
+        (result.accuracy_history.last().unwrap() - plain.accuracy_history.last().unwrap()).abs();
+    assert!(diff < 0.15, "encrypted vs plain accuracy gap {diff}");
+    // Protocol shape: A->B, B->A, B->arbiter, arbiter->parties each round.
+    assert!(result.transcript.rounds() >= cfg.iterations * 3);
+    assert!(result.transcript.total_bytes() > 10_000);
+}
+
+#[test]
+fn heterolr_minibatch_tiling() {
+    // Batch larger than the ring degree exercises HMVP column tiling
+    // inside the gradient step.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let data = VerticalDataset::generate(600, 2, 2, 0.02, &mut rng);
+    let cfg = LrConfig {
+        iterations: 4,
+        learning_rate: 1.0,
+        batch_size: Some(600), // > degree 256 -> 3 column tiles
+        backend: LrBackend::Bfv,
+        degree: 256,
+    };
+    let lr = HeteroLr::new(cfg, &mut rng).unwrap();
+    let result = lr.train(&data, &mut rng).unwrap();
+    assert_eq!(result.accuracy_history.len(), 4);
+    assert!(*result.accuracy_history.last().unwrap() > 0.6);
+}
+
+#[test]
+fn beaver_triples_across_backends_agree() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let params = ChamParams::insecure_test_default().unwrap();
+    let t = *params.plain_modulus();
+    let generator = BeaverGenerator::new(&params, &mut rng).unwrap();
+    let w = Matrix::random(16, 32, t.value(), &mut rng);
+
+    let mut transcript = Transcript::new();
+    let coeff = generator
+        .generate(&w, 2, &mut transcript, &mut rng)
+        .unwrap();
+    for tr in &coeff {
+        assert!(tr.verify(&w, &t).unwrap());
+    }
+
+    let (batch, rotations) = generator.generate_batch_baseline(&w, 2, &mut rng).unwrap();
+    for tr in &batch {
+        assert!(tr.verify(&w, &t).unwrap());
+    }
+    // The baseline pays O(rows·log N) rotations; the coefficient path pays
+    // rows−1 pack reductions. For 16 rows at N=256 the baseline needs
+    // 16·log2(128) = 112 rotations.
+    assert_eq!(rotations, 2 * 16 * 7);
+}
+
+#[test]
+fn beaver_rejects_oversized_requests() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let params = ChamParams::insecure_test_default().unwrap();
+    let generator = BeaverGenerator::new(&params, &mut rng).unwrap();
+    // Batch baseline capacity is N/2 columns.
+    let w = Matrix::random(8, 256, 65537, &mut rng);
+    assert!(generator.generate_batch_baseline(&w, 1, &mut rng).is_err());
+}

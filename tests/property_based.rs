@@ -1,0 +1,126 @@
+//! Workspace-level property tests (proptest) on the cross-crate
+//! invariants: HMVP == plain product, pack/extract inverses, simulator
+//! cost-model sanity, secret-sharing linearity.
+
+use cham::he::hmvp::{Hmvp, Matrix};
+use cham::he::prelude::*;
+use cham::sim::config::ChamConfig;
+use cham::sim::pipeline::{HmvpCycleModel, RingShape};
+use proptest::prelude::*;
+use rand::{Rng as _, SeedableRng};
+use std::sync::OnceLock;
+
+struct Fixture {
+    params: ChamParams,
+    enc: Encryptor,
+    dec: Decryptor,
+    gkeys: GaloisKeys,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xF1);
+        let params = ChamParams::insecure_test_default().unwrap();
+        let sk = SecretKey::generate(&params, &mut rng);
+        let enc = Encryptor::new(&params, &sk);
+        let dec = Decryptor::new(&params, &sk);
+        let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+        Fixture {
+            params,
+            enc,
+            dec,
+            gkeys,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn hmvp_matches_plain_product(
+        seed in any::<u64>(),
+        m in 1usize..24,
+        n in 1usize..48,
+    ) {
+        let fix = fixture();
+        let t = fix.params.plain_modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, n, t.value(), &mut rng);
+        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&fix.params);
+        let cts = hmvp.encrypt_vector(&v, &fix.enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let result = hmvp.multiply(&em, &cts, &fix.gkeys).unwrap();
+        let got = hmvp.decrypt_result(&result, &fix.dec).unwrap();
+        prop_assert_eq!(got, a.mul_vector_mod(&v, t).unwrap());
+    }
+
+    #[test]
+    fn encrypt_is_homomorphic_for_addition(
+        seed in any::<u64>(),
+        len in 1usize..32,
+    ) {
+        let fix = fixture();
+        let t = fix.params.plain_modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coder = CoeffEncoder::new(&fix.params);
+        let xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..t.value())).collect();
+        let ys: Vec<u64> = (0..len).map(|_| rng.gen_range(0..t.value())).collect();
+        let cx = fix.enc.encrypt_augmented(&coder.encode_vector(&xs).unwrap(), &mut rng);
+        let cy = fix.enc.encrypt_augmented(&coder.encode_vector(&ys).unwrap(), &mut rng);
+        let sum = fix.dec.decrypt(&cx.add(&cy).unwrap());
+        for i in 0..len {
+            prop_assert_eq!(sum.values()[i], t.add(xs[i], ys[i]));
+        }
+    }
+
+    #[test]
+    fn extract_then_pack_roundtrips(
+        seed in any::<u64>(),
+        count in 1usize..12,
+    ) {
+        let fix = fixture();
+        let t = fix.params.plain_modulus();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coder = CoeffEncoder::new(&fix.params);
+        let values: Vec<u64> = (0..count).map(|_| rng.gen_range(0..t.value())).collect();
+        let lwes: Vec<_> = values
+            .iter()
+            .map(|&v| {
+                let ct = fix.enc.encrypt(&coder.encode_vector(&[v]).unwrap(), &mut rng);
+                cham::he::extract::extract_lwe(&ct, 0).unwrap()
+            })
+            .collect();
+        let packed = cham::he::pack::pack_lwes(&lwes, &fix.gkeys, &fix.params).unwrap();
+        let pt = fix.dec.decrypt(&packed.ciphertext);
+        prop_assert_eq!(packed.decode(&pt, &fix.params).unwrap(), values);
+    }
+
+    #[test]
+    fn cycle_model_is_positive_and_monotone_in_rows(
+        m in 1usize..8192,
+        n in 1usize..8192,
+    ) {
+        let model = HmvpCycleModel::new(ChamConfig::cham(), RingShape::cham()).unwrap();
+        let t1 = model.hmvp_seconds(m, n);
+        let t2 = model.hmvp_seconds(m + 64, n);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn secret_shares_are_linear(
+        x in 0u64..65537,
+        y in 0u64..65537,
+        seed in any::<u64>(),
+    ) {
+        let t = cham::math::Modulus::new(65537).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (x1, x2) = cham::apps::secretshare::share_scalar(x, &t, &mut rng);
+        let (y1, y2) = cham::apps::secretshare::share_scalar(y, &t, &mut rng);
+        let s = cham::apps::secretshare::reconstruct_scalar(t.add(x1, y1), t.add(x2, y2), &t);
+        prop_assert_eq!(s, t.add(x, y));
+    }
+}
