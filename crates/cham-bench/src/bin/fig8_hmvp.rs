@@ -6,18 +6,21 @@
 //! 90% of compute offloaded, larger matrices gain more, and CHAM latency
 //! is 0.3–0.7× the GPU's.
 
-use cham_bench::{eng, CpuCosts};
+use cham_bench::{eng, BenchRun, CpuCosts};
 use cham_he::params::ChamParams;
 use cham_sim::baselines::GpuModel;
 use cham_sim::pipeline::HmvpCycleModel;
+use cham_telemetry::json::JsonValue;
 
 fn main() {
+    let mut run = BenchRun::from_env("fig8_hmvp");
     let params = ChamParams::cham_default().expect("paper params");
     println!("measuring CPU per-op costs (N = 4096)...");
     let cpu = CpuCosts::measure(&params);
     let model = HmvpCycleModel::cham();
     let gpu = GpuModel::default();
 
+    let mut points = Vec::new();
     for n in [256usize, 4096] {
         println!(
             "\n=== Fig. 8{}: HMVP latency, no. of columns = {n} ===",
@@ -31,6 +34,15 @@ fn main() {
             let cpu_s = cpu.hmvp_seconds(m, n, params.degree());
             let cham_s = model.hmvp_seconds(m, n);
             let gpu_s = gpu.hmvp_seconds(&model, m, n);
+            points.push(JsonValue::Object(vec![
+                ("rows".into(), JsonValue::from(m)),
+                ("cols".into(), JsonValue::from(n)),
+                ("cpu_seconds".into(), JsonValue::Float(cpu_s)),
+                ("gpu_seconds".into(), JsonValue::Float(gpu_s)),
+                ("cham_seconds".into(), JsonValue::Float(cham_s)),
+                ("speedup_vs_cpu".into(), JsonValue::Float(cpu_s / cham_s)),
+                ("ratio_vs_gpu".into(), JsonValue::Float(cham_s / gpu_s)),
+            ]));
             println!(
                 "{:>6} {:>14} {:>14} {:>14} {:>9.0}x {:>9.2}x",
                 m,
@@ -45,4 +57,9 @@ fn main() {
     println!();
     println!("paper claims: >10x over the CPU baseline, 0.3x–0.7x of GPU latency,");
     println!("higher gains for matrices with more rows — see ratio columns.");
+
+    run.param("degree", params.degree())
+        .param("clock_hz", model.config().clock_hz);
+    run.metric("points", JsonValue::Array(points));
+    run.finish();
 }

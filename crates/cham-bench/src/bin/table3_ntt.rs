@@ -6,13 +6,14 @@
 //! the ratio will differ from the paper's Xeon 6130 but the ordering and
 //! magnitude reproduce.
 
-use cham_bench::{si, CpuCosts};
+use cham_bench::{si, BenchRun, CpuCosts};
 use cham_he::params::ChamParams;
 use cham_sim::baselines::published_ntt;
 use cham_sim::pipeline::HmvpCycleModel;
 use cham_sim::report::table3;
 
 fn main() {
+    let mut run = BenchRun::from_env("table3_ntt");
     println!("=== Table III: comparison of a single NTT module ===");
     print!("{}", table3());
     println!();
@@ -48,4 +49,12 @@ fn main() {
         "CHAM/CPU key-switch speed-up:   {:.0}x (paper: 105x on Xeon 6130)",
         model.keyswitch_ops_per_sec() / cpu_ks
     );
+
+    run.param("degree", params.degree());
+    run.metric("cham_ntt_ops_per_sec", model.ntt_ops_per_sec())
+        .metric("cham_keyswitch_ops_per_sec", model.keyswitch_ops_per_sec())
+        .metric("cpu_ntt_ops_per_sec", cpu_ntt)
+        .metric("cpu_keyswitch_ops_per_sec", cpu_ks)
+        .metric("keyswitch_speedup", model.keyswitch_ops_per_sec() / cpu_ks);
+    run.finish();
 }

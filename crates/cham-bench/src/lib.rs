@@ -27,12 +27,110 @@ use cham_he::keys::{GaloisKeys, KeySwitchKey, SecretKey};
 use cham_he::ops::{keyswitch_mask, mul_plain_prepared, rescale};
 use cham_he::pack::pack_two;
 use cham_he::params::ChamParams;
+use cham_telemetry::record::RunRecord;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// A deterministic RNG for reproducible measurements.
 pub fn bench_rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0xCAB1E)
+}
+
+/// The shared CLI of every figure binary. Today that is one flag:
+///
+/// * `--json <path>` — write a structured [`RunRecord`]
+///   (`cham-run-record/v1`, see `DESIGN.md` § Observability) when the
+///   run finishes. With the `telemetry` feature enabled the record
+///   embeds the full counter/timer snapshot.
+///
+/// Binaries call [`BenchRun::from_env`] first, attach `param`s and
+/// `metric`s while printing their usual tables, and end with
+/// [`BenchRun::finish`].
+#[derive(Debug)]
+pub struct BenchRun {
+    record: RunRecord,
+    json_path: Option<PathBuf>,
+}
+
+impl BenchRun {
+    /// Parses `std::env::args` for the benchmark `name`.
+    ///
+    /// Prints usage and exits with status 2 on unknown arguments, and
+    /// with status 0 on `--help`.
+    #[must_use]
+    pub fn from_env(name: &str) -> Self {
+        Self::from_args(name, std::env::args().skip(1))
+    }
+
+    /// [`Self::from_env`] over an explicit argument list (testable).
+    #[must_use]
+    pub fn from_args(name: &str, args: impl IntoIterator<Item = String>) -> Self {
+        let mut json_path = None;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => match args.next() {
+                    Some(p) => json_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("error: --json requires a path");
+                        std::process::exit(2);
+                    }
+                },
+                "--help" | "-h" => {
+                    println!("usage: {name} [--json <path>]");
+                    println!("  --json <path>  write a cham-run-record/v1 JSON run record");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("error: unknown argument `{other}` (try --help)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self {
+            record: RunRecord::start(name),
+            json_path,
+        }
+    }
+
+    /// Records an input parameter on the run record.
+    pub fn param(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<cham_telemetry::json::JsonValue>,
+    ) -> &mut Self {
+        self.record.param(key, value);
+        self
+    }
+
+    /// Records a result metric on the run record.
+    pub fn metric(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<cham_telemetry::json::JsonValue>,
+    ) -> &mut Self {
+        self.record.metric(key, value);
+        self
+    }
+
+    /// Stops the wall clock and, when `--json` was given, writes the
+    /// record (panicking on I/O errors — a benchmark that cannot write
+    /// its results should fail loudly).
+    ///
+    /// # Panics
+    /// Panics when the record file cannot be written.
+    pub fn finish(mut self) {
+        self.record.finish();
+        if let Some(path) = &self.json_path {
+            self.record
+                .write(path)
+                .unwrap_or_else(|e| panic!("writing run record {}: {e}", path.display()));
+            // stderr: several binaries have their stdout redirected into
+            // result files (e.g. golden_dump).
+            eprintln!("wrote run record to {}", path.display());
+        }
+    }
 }
 
 /// Measured per-operation CPU costs of the software HE stack at the
@@ -179,48 +277,44 @@ pub fn delphi_triple_seconds(cpu: &CpuCosts, rows: usize, cols: usize, degree: u
     blocks * (rotations * cpu.keyswitch + cols as f64 * diag_pass)
 }
 
-/// Formats a floating value with engineering-style units.
-pub fn eng(v: f64) -> String {
-    let (scale, unit) = if v >= 1.0 {
-        (1.0, "s")
-    } else if v >= 1e-3 {
-        (1e3, "ms")
-    } else if v >= 1e-6 {
-        (1e6, "us")
-    } else {
-        (1e9, "ns")
-    };
-    format!("{:.3} {}", v * scale, unit)
-}
-
-/// Formats a throughput with SI prefixes.
-pub fn si(v: f64) -> String {
-    if v >= 1e12 {
-        format!("{:.2} T", v / 1e12)
-    } else if v >= 1e9 {
-        format!("{:.2} G", v / 1e9)
-    } else if v >= 1e6 {
-        format!("{:.2} M", v / 1e6)
-    } else if v >= 1e3 {
-        format!("{:.2} k", v / 1e3)
-    } else {
-        format!("{v:.2} ")
-    }
-}
+// The `eng`/`si` formatters moved to `cham_telemetry::fmt` (single home
+// for human-number rendering); re-exported here so the figure binaries
+// keep their `cham_bench::eng(..)` call sites.
+pub use cham_telemetry::fmt::{eng, si};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn formatting_helpers() {
-        assert_eq!(eng(1.5), "1.500 s");
-        assert_eq!(eng(2.5e-3), "2.500 ms");
-        assert_eq!(eng(3.5e-6), "3.500 us");
-        assert_eq!(eng(4.5e-9), "4.500 ns");
-        assert_eq!(si(2.5e12), "2.50 T");
-        assert_eq!(si(195_312.5), "195.31 k");
-        assert_eq!(si(42.0), "42.00 ");
+    fn bench_run_parses_json_flag() {
+        let run = BenchRun::from_args("t", ["--json".to_string(), "/tmp/x.json".to_string()]);
+        assert_eq!(
+            run.json_path.as_deref(),
+            Some(std::path::Path::new("/tmp/x.json"))
+        );
+        let run = BenchRun::from_args("t", std::iter::empty());
+        assert!(run.json_path.is_none());
+    }
+
+    #[test]
+    fn bench_run_writes_record() {
+        let dir = std::env::temp_dir().join("cham_bench_run_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rec.json");
+        let mut run = BenchRun::from_args(
+            "unit",
+            ["--json".into(), path.to_str().unwrap().to_string()],
+        );
+        run.param("rows", 8u64);
+        run.metric("speedup", 2.5f64);
+        run.finish();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema\": \"cham-run-record/v1\""));
+        assert!(body.contains("\"name\": \"unit\""));
+        assert!(body.contains("\"rows\": 8"));
+        assert!(body.contains("\"speedup\": 2.5"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

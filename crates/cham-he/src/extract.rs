@@ -52,6 +52,7 @@ fn rearrange(a: &RnsPoly) -> RnsPoly {
 /// # Errors
 /// [`HeError::ShapeMismatch`] when `index >= N`.
 pub fn extract_lwe(ct: &RlweCiphertext, index: usize) -> Result<LweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.extract.extract_lwe", 1);
     let n = ct.b().context().degree();
     if index >= n {
         return Err(HeError::ShapeMismatch {

@@ -309,6 +309,8 @@ impl Hmvp {
         cts: &[RlweCiphertext],
         gkeys: &GaloisKeys,
     ) -> Result<HmvpResult> {
+        cham_telemetry::counter_add!("cham_he.hmvp.multiply", 1);
+        cham_telemetry::time_scope!("cham_he.hmvp.multiply");
         let lwes = self.dot_products(matrix, cts)?;
         let n = self.params.degree();
         let packed = lwes
@@ -334,6 +336,8 @@ impl Hmvp {
         gkeys: &GaloisKeys,
         threads: usize,
     ) -> Result<HmvpResult> {
+        cham_telemetry::counter_add!("cham_he.hmvp.multiply", 1);
+        cham_telemetry::time_scope!("cham_he.hmvp.multiply");
         let lwes = self.dot_products_parallel(matrix, cts, threads)?;
         let n = self.params.degree();
         let packed = lwes

@@ -64,6 +64,7 @@ pub mod noise;
 pub mod ops;
 pub mod pack;
 pub mod params;
+pub(crate) mod telemetry;
 pub mod wire;
 
 use std::error::Error;

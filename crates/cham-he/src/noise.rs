@@ -64,13 +64,17 @@ impl NoiseEstimator {
     /// After multiplying by a plaintext with centred coefficients
     /// (`‖pt‖∞ ≤ t/2`): noise scales by `N·t/2`.
     pub fn after_mul_plain(&self, input: f64) -> f64 {
-        input * self.n * self.t / 2.0 + self.rounding()
+        let out = input * self.n * self.t / 2.0 + self.rounding();
+        crate::telemetry::record_estimate_mul_plain(input, out);
+        out
     }
 
     /// After rescaling by the special prime: divided by `p` plus the
     /// rounding terms `≈ (1 + ‖s‖₁)/2` and the scale remainder.
     pub fn after_rescale(&self, input: f64) -> f64 {
-        input / self.p + (1.0 + self.sk_norm) / 2.0 + self.rounding()
+        let out = input / self.p + (1.0 + self.sk_norm) / 2.0 + self.rounding();
+        crate::telemetry::record_estimate_rescale(input, out);
+        out
     }
 
     /// Additive noise of one key-switch: digit magnitudes `< q_i`, noise
@@ -78,9 +82,11 @@ impl NoiseEstimator {
     pub fn keyswitch_additive(&self) -> f64 {
         let q_max = 2f64.powi(35); // largest ciphertext prime < 2^35
         let digits = 2.0;
-        digits * q_max * self.n * self.fresh_bound / self.p
+        let out = digits * q_max * self.n * self.fresh_bound / self.p
             + (1.0 + self.sk_norm) / 2.0
-            + self.rounding()
+            + self.rounding();
+        crate::telemetry::record_estimate_keyswitch(out);
+        out
     }
 
     /// After packing `2^levels` ciphertexts of bound `input`: each level
@@ -90,6 +96,7 @@ impl NoiseEstimator {
         for _ in 0..levels {
             e = 2.0 * e + self.keyswitch_additive();
         }
+        crate::telemetry::record_estimate_pack(input, e);
         e
     }
 

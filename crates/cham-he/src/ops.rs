@@ -52,6 +52,7 @@ pub fn mul_plain(
     pt: &Plaintext,
     params: &ChamParams,
 ) -> Result<RlweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.ops.mul_plain", 1);
     let ctx = ct.b().context().clone();
     let pt_ntt = lift_plaintext_ntt(pt, params, &ctx)?;
     let mut b = ct.b().clone();
@@ -152,6 +153,7 @@ pub fn mul_plain_scalar(ct: &RlweCiphertext, c: u64, params: &ChamParams) -> Rlw
 /// [`HeError::Incompatible`] when the ciphertext is not in the augmented
 /// basis of `params`.
 pub fn rescale(ct: &RlweCiphertext, params: &ChamParams) -> Result<RlweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.ops.rescale", 1);
     if ct.b().context() != params.augmented_context() {
         return Err(HeError::Incompatible(
             "rescale expects an augmented-basis ciphertext",
@@ -175,6 +177,7 @@ pub fn rescale(ct: &RlweCiphertext, params: &ChamParams) -> Result<RlweCiphertex
 /// [`HeError::Incompatible`] unless the input is in the normal basis of
 /// `params`.
 pub fn mod_switch_to_single(ct: &RlweCiphertext, params: &ChamParams) -> Result<RlweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.ops.mod_switch", 1);
     if ct.b().context() != params.ciphertext_context() {
         return Err(HeError::Incompatible(
             "mod_switch expects a normal-basis ciphertext",
@@ -203,6 +206,8 @@ pub fn keyswitch_mask(
     ksk: &KeySwitchKey,
     params: &ChamParams,
 ) -> Result<(RnsPoly, RnsPoly)> {
+    cham_telemetry::counter_add!("cham_he.ops.keyswitch", 1);
+    cham_telemetry::time_scope!("cham_he.ops.keyswitch");
     let aug = params.augmented_context();
     let target = params.ciphertext_context();
     let mut a_coeff = a.clone();
@@ -251,6 +256,7 @@ pub fn apply_galois(
     gkeys: &GaloisKeys,
     params: &ChamParams,
 ) -> Result<RlweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.ops.apply_galois", 1);
     if ct.b().context() != params.ciphertext_context() {
         return Err(HeError::Incompatible(
             "apply_galois expects a normal-basis ciphertext",

@@ -88,6 +88,7 @@ pub fn pack_two(
     gkeys: &GaloisKeys,
     params: &ChamParams,
 ) -> Result<RlweCiphertext> {
+    cham_telemetry::counter_add!("cham_he.pack.pack_two", 1);
     let n = params.degree();
     if h == 0 || h > params.max_pack_log() {
         return Err(HeError::InvalidParams("pack level out of range"));
@@ -117,6 +118,8 @@ pub fn pack_lwes(
     gkeys: &GaloisKeys,
     params: &ChamParams,
 ) -> Result<PackedRlwe> {
+    cham_telemetry::counter_add!("cham_he.pack.pack_lwes", 1);
+    cham_telemetry::time_scope!("cham_he.pack.pack_lwes");
     if lwes.is_empty() {
         return Err(HeError::InvalidParams("cannot pack zero ciphertexts"));
     }

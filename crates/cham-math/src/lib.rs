@@ -52,6 +52,7 @@ pub mod poly;
 pub mod primality;
 pub mod rns;
 pub mod sampling;
+pub(crate) mod telemetry;
 
 pub use modulus::Modulus;
 pub use ntt::NttTable;

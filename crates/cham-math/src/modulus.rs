@@ -142,6 +142,7 @@ impl Modulus {
     /// Barrett reduction of a 128-bit value to `[0, q)`.
     #[inline]
     pub fn reduce_u128(&self, x: u128) -> u64 {
+        cham_telemetry::counter_add!("cham_math.modulus.reduce.barrett", 1);
         let (xlo, xhi) = (x as u64, (x >> 64) as u64);
         let (rlo, rhi) = self.ratio;
         // Estimate the quotient: high 128 bits of x * ratio / 2^128.
@@ -174,6 +175,7 @@ impl Modulus {
     /// should check [`Modulus::low_hamming_form`] first (the public entry
     /// point [`Modulus::reduce_u128`] never panics).
     pub fn reduce_u128_shift_add(&self, x: u128) -> u64 {
+        cham_telemetry::counter_add!("cham_math.modulus.reduce.shift_add", 1);
         let form = self
             .low_hamming
             .expect("shift-add reduction requires a 2^a + 2^b + 1 modulus");

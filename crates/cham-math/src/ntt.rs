@@ -126,6 +126,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_forward(&self.q, self.n, self.log_n);
         let q = &self.q;
         let mut t = self.n;
         let mut m = 1usize;
@@ -153,6 +154,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_inverse(&self.q, self.n, self.log_n);
         let q = &self.q;
         let mut t = 1usize;
         let mut m = self.n;

@@ -145,6 +145,7 @@ impl CgNttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_cg_forward(&self.q, self.n, self.log_n);
         let q = &self.q;
         let half = self.n / 2;
         // Twist: fold ψ^j into the load stage.
@@ -179,6 +180,7 @@ impl CgNttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_cg_inverse(&self.q, self.n, self.log_n);
         let q = &self.q;
         let half = self.n / 2;
         let mut ping = a.to_vec();

@@ -11,6 +11,8 @@
 use crate::config::ChamConfig;
 use crate::pipeline::RingShape;
 use crate::{Result, SimError};
+use cham_telemetry::json::JsonValue;
+use cham_telemetry::trace::ChromeTrace;
 
 /// Pipeline stage identifiers (paper Fig. 1a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +36,15 @@ impl Stage {
         Stage::MultPoly,
         Stage::Intt,
         Stage::RescaleExtract,
+    ];
+
+    /// All pipeline stages in display order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Ntt,
+        Stage::MultPoly,
+        Stage::Intt,
+        Stage::RescaleExtract,
+        Stage::Pack,
     ];
 }
 
@@ -81,6 +92,8 @@ impl PipelineTrace {
     /// # Errors
     /// [`SimError::InvalidConfig`] for zero rows or invalid configs.
     pub fn schedule(config: &ChamConfig, shape: &RingShape, rows: usize) -> Result<Self> {
+        cham_telemetry::counter_add!("cham_sim.trace.schedule", 1);
+        cham_telemetry::time_scope!("cham_sim.trace.schedule");
         config.validate()?;
         if rows == 0 {
             return Err(SimError::InvalidConfig("at least one row required"));
@@ -202,16 +215,111 @@ impl PipelineTrace {
         self.stage_busy(stage) as f64 / self.total_cycles as f64
     }
 
+    /// Idle ("stall") cycles of a stage between its first start and its
+    /// last end — gaps where the unit sits ready but has no input.
+    pub fn stage_stall(&self, stage: Stage) -> u64 {
+        let mut evs: Vec<_> = self.stage_events(stage).collect();
+        evs.sort_by_key(|e| e.start);
+        evs.windows(2)
+            .map(|w| w[1].start.saturating_sub(w[0].end))
+            .sum()
+    }
+
+    /// Aggregate occupancy: busy cycles summed over all five stages,
+    /// divided by `5 × makespan` (1.0 = every unit busy every cycle).
+    pub fn occupancy(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = Stage::ALL.iter().map(|&s| self.stage_busy(s)).sum();
+        busy as f64 / (Stage::ALL.len() as u64 * self.total_cycles) as f64
+    }
+
+    /// Per-stage busy/stall/utilisation plus makespan and occupancy, as a
+    /// JSON object suitable for embedding in a benchmark run record.
+    pub fn metrics_json(&self) -> JsonValue {
+        let stages: Vec<(String, JsonValue)> = Stage::ALL
+            .iter()
+            .map(|&s| {
+                (
+                    s.to_string(),
+                    JsonValue::Object(vec![
+                        (
+                            "events".into(),
+                            JsonValue::from(self.stage_events(s).count()),
+                        ),
+                        ("busy_cycles".into(), JsonValue::UInt(self.stage_busy(s))),
+                        ("stall_cycles".into(), JsonValue::UInt(self.stage_stall(s))),
+                        (
+                            "utilization".into(),
+                            JsonValue::Float(self.stage_utilization(s)),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("total_cycles".into(), JsonValue::UInt(self.total_cycles)),
+            ("occupancy".into(), JsonValue::Float(self.occupancy())),
+            ("stages".into(), JsonValue::Object(stages)),
+        ])
+    }
+
+    /// Converts the schedule to a Chrome Trace Event (Perfetto) trace:
+    /// one named track per pipeline stage, one complete event per
+    /// scheduled interval. Cycles are mapped to microseconds at
+    /// `clock_hz` so the Perfetto timeline reads in real accelerator
+    /// time; event args carry the raw cycle numbers.
+    pub fn to_chrome_trace(&self, clock_hz: f64) -> ChromeTrace {
+        let us_per_cycle = 1e6 / clock_hz.max(1.0);
+        let mut trace = ChromeTrace::new();
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            trace.thread_name(i as u64 + 1, stage.to_string());
+        }
+        for e in &self.events {
+            let tid = Stage::ALL
+                .iter()
+                .position(|&s| s == e.stage)
+                .expect("stage in ALL") as u64
+                + 1;
+            let label = match e.stage {
+                Stage::Pack => format!("pack {}", e.item),
+                _ => format!("row {}", e.item),
+            };
+            trace.complete(
+                tid,
+                label,
+                "stage",
+                e.start as f64 * us_per_cycle,
+                (e.end - e.start) as f64 * us_per_cycle,
+                vec![
+                    ("item".into(), JsonValue::from(e.item)),
+                    ("start_cycle".into(), JsonValue::UInt(e.start)),
+                    ("end_cycle".into(), JsonValue::UInt(e.end)),
+                ],
+            );
+        }
+        trace
+    }
+
+    /// Writes the schedule as Chrome Trace Event JSON (see
+    /// [`Self::to_chrome_trace`]) — open the file in
+    /// <https://ui.perfetto.dev> or `chrome://tracing`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_chrome_trace(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        clock_hz: f64,
+    ) -> std::io::Result<()> {
+        self.to_chrome_trace(clock_hz).write(path)
+    }
+
     /// Verifies that no two events of the same stage overlap (each stage
     /// is one hardware resource).
     pub fn is_conflict_free(&self) -> bool {
-        for stage in [
-            Stage::Ntt,
-            Stage::MultPoly,
-            Stage::Intt,
-            Stage::RescaleExtract,
-            Stage::Pack,
-        ] {
+        for stage in Stage::ALL {
             let mut evs: Vec<_> = self.stage_events(stage).collect();
             evs.sort_by_key(|e| e.start);
             for w in evs.windows(2) {
@@ -228,13 +336,7 @@ impl PipelineTrace {
     pub fn render(&self, scale: u64) -> String {
         let width = self.total_cycles.div_ceil(scale.max(1)) as usize;
         let mut out = String::new();
-        for stage in [
-            Stage::Ntt,
-            Stage::MultPoly,
-            Stage::Intt,
-            Stage::RescaleExtract,
-            Stage::Pack,
-        ] {
+        for stage in Stage::ALL {
             let mut lane = vec![b'.'; width];
             for e in self.stage_events(stage) {
                 let a = (e.start / scale.max(1)) as usize;
@@ -322,6 +424,55 @@ mod tests {
         assert!(chart.contains("NTT"));
         assert!(chart.contains("PACK"));
         assert_eq!(chart.lines().count(), 5);
+    }
+
+    #[test]
+    fn stall_and_occupancy_metrics() {
+        let t = trace(8);
+        // Dot stages run back-to-back: zero internal stalls.
+        for s in Stage::DOT_STAGES {
+            assert_eq!(t.stage_stall(s), 0, "{s}");
+        }
+        // The pack unit waits on tree dependencies, so it does stall.
+        assert!(t.stage_stall(Stage::Pack) > 0);
+        let occ = t.occupancy();
+        assert!(occ > 0.0 && occ < 1.0, "occupancy {occ}");
+        // Busy + stall never exceeds the makespan for any stage.
+        for s in Stage::ALL {
+            assert!(t.stage_busy(s) + t.stage_stall(s) <= t.total_cycles, "{s}");
+        }
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let t = trace(4);
+        let json = t.metrics_json().to_string();
+        assert!(json.contains("\"total_cycles\""));
+        assert!(json.contains("\"occupancy\""));
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{s}\"")), "{s} missing");
+        }
+        assert!(json.contains("\"busy_cycles\""));
+        assert!(json.contains("\"stall_cycles\""));
+        assert!(json.contains("\"utilization\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_stage() {
+        let t = trace(4);
+        let ct = t.to_chrome_trace(300e6);
+        // 5 thread_name metadata events + one complete event each.
+        assert_eq!(ct.len(), 5 + t.events.len());
+        let json = ct.to_json();
+        assert!(json.contains("\"traceEvents\""));
+        for s in Stage::ALL {
+            assert!(json.contains(&format!("\"{s}\"")), "{s} track missing");
+        }
+        assert!(json.contains("\"pack 0\""));
+        assert!(json.contains("\"row 3\""));
+        assert!(json.contains("\"start_cycle\""));
+        // 6144 cycles at 300 MHz = 20.48 µs.
+        assert!(json.contains("20.48"));
     }
 
     #[test]

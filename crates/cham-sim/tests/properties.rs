@@ -6,7 +6,7 @@ use cham_sim::config::{ChamConfig, EngineConfig};
 use cham_sim::dse::DesignSpace;
 use cham_sim::pipeline::{HmvpCycleModel, RingShape};
 use cham_sim::resources::{FpgaDevice, ResourceModel};
-use cham_sim::trace::PipelineTrace;
+use cham_sim::trace::{PipelineTrace, Stage};
 use proptest::prelude::*;
 
 fn arbitrary_engine() -> impl Strategy<Value = EngineConfig> {
@@ -116,5 +116,72 @@ proptest! {
         ).unwrap();
         let agg = model.engine_cycles(rows, 4096).total_cycles;
         prop_assert!(t.total_cycles <= 2 * agg, "trace {} vs model {}", t.total_cycles, agg);
+    }
+
+    #[test]
+    fn trace_events_have_monotone_starts(rows in 1usize..128) {
+        let t = PipelineTrace::schedule(&ChamConfig::cham(), &RingShape::cham(), rows).unwrap();
+        // The event list is globally sorted by start cycle, and every
+        // event is well-formed and inside the makespan.
+        prop_assert!(t.events.windows(2).all(|w| w[0].start <= w[1].start));
+        for e in &t.events {
+            prop_assert!(e.start < e.end, "empty event {e:?}");
+            prop_assert!(e.end <= t.total_cycles);
+        }
+    }
+
+    #[test]
+    fn trace_stage_accounting_closes(rows in 1usize..128) {
+        let t = PipelineTrace::schedule(&ChamConfig::cham(), &RingShape::cham(), rows).unwrap();
+        // Per stage, busy + internal stalls exactly tile the span from
+        // the stage's first start to its last end (no overlap, no
+        // unaccounted cycles).
+        for s in Stage::ALL {
+            let first = t.stage_events(s).map(|e| e.start).min();
+            let last = t.stage_events(s).map(|e| e.end).max();
+            if let (Some(first), Some(last)) = (first, last) {
+                prop_assert_eq!(
+                    first + t.stage_busy(s) + t.stage_stall(s),
+                    last,
+                    "stage {} accounting", s
+                );
+            }
+        }
+        // Dot stages never stall in this schedule; their busy time is
+        // exactly rows × ii.
+        let ii = RingShape::cham().ntt_cycles(ChamConfig::cham().engine.bfus_per_ntt);
+        for s in Stage::DOT_STAGES {
+            prop_assert_eq!(t.stage_stall(s), 0);
+            prop_assert_eq!(t.stage_busy(s), rows as u64 * ii);
+        }
+        let occ = t.occupancy();
+        prop_assert!(occ > 0.0 && occ <= 1.0, "occupancy {}", occ);
+    }
+
+    #[test]
+    fn trace_total_matches_model_within_overhead(rows in 1usize..128) {
+        // The trace's exact makespan and the aggregate cycle model agree
+        // once the model's explicitly-modeled stall and fill/drain
+        // overhead terms are allowed for on both sides.
+        let cfg = ChamConfig { engines: 1, ..ChamConfig::cham() };
+        let t = PipelineTrace::schedule(&cfg, &RingShape::cham(), rows).unwrap();
+        let report = HmvpCycleModel::new(cfg, RingShape::cham())
+            .unwrap()
+            .engine_cycles(rows, 4096);
+        // The trace pads the pack tree to a power of two (padded − rows
+        // extra reductions); the aggregate model counts rows − 1. Allow
+        // for both that and the model's stall/overhead terms.
+        let ii = RingShape::cham().ntt_cycles(cfg.engine.bfus_per_ntt);
+        let padding = (rows.next_power_of_two() - rows) as u64 * ii
+            / cfg.engine.pack_units as u64;
+        let slack = report.stall_cycles + report.overhead_cycles + padding;
+        prop_assert!(
+            t.total_cycles <= report.total_cycles + slack,
+            "trace {} model {} slack {}", t.total_cycles, report.total_cycles, slack
+        );
+        prop_assert!(
+            t.total_cycles + slack >= report.total_cycles,
+            "trace {} model {} slack {}", t.total_cycles, report.total_cycles, slack
+        );
     }
 }

@@ -1,0 +1,134 @@
+//! Process-wide named counters.
+//!
+//! Each [`counter_add!`](crate::counter_add) call site owns one static
+//! [`Counter`]; the first increment registers it in a global registry so
+//! exporters can enumerate every counter the process has ever touched.
+//! Increments are relaxed atomics — counts are exact, ordering between
+//! counters is not guaranteed (nor needed for op accounting).
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A named monotonically increasing counter.
+///
+/// Construct via [`Counter::new`] in a `static` (the
+/// [`counter_add!`](crate::counter_add) macro does this for you).
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    #[cfg(feature = "telemetry")]
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates a counter named `name` (`<crate>.<module>.<op>`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n`. Inlined no-op without the `telemetry` feature.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            if !self.registered.load(Ordering::Relaxed)
+                && !self.registered.swap(true, Ordering::AcqRel)
+            {
+                registry()
+                    .lock()
+                    .expect("counter registry poisoned")
+                    .push(self);
+            }
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = n;
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<&'static Counter>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot of every registered counter, sorted by name.
+///
+/// Counters that were never incremented in this process do not appear
+/// (registration happens on first increment). Empty when the `telemetry`
+/// feature is off.
+#[must_use]
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    let mut out: Vec<(&'static str, u64)> = registry()
+        .lock()
+        .expect("counter registry poisoned")
+        .iter()
+        .map(|c| (c.name(), c.get()))
+        .collect();
+    out.sort_unstable_by_key(|&(name, _)| name);
+    out
+}
+
+/// Zeroes every registered counter (keeps registrations).
+pub fn reset() {
+    for c in registry().lock().expect("counter registry poisoned").iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let _guard = crate::test_guard();
+        static C: Counter = Counter::new("cham_telemetry.counters.test_unit");
+        C.add(3);
+        C.add(4);
+        if crate::enabled() {
+            assert_eq!(C.get(), 7);
+            let snap = snapshot();
+            assert!(snap
+                .iter()
+                .any(|&(n, v)| n == "cham_telemetry.counters.test_unit" && v >= 7));
+        } else {
+            assert_eq!(C.get(), 0);
+            assert!(snapshot().is_empty());
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let _guard = crate::test_guard();
+        static C: Counter = Counter::new("cham_telemetry.counters.test_reset");
+        C.add(10);
+        reset();
+        assert_eq!(C.get(), 0);
+        if crate::enabled() {
+            assert!(snapshot()
+                .iter()
+                .any(|&(n, v)| n == "cham_telemetry.counters.test_reset" && v == 0));
+        }
+    }
+}

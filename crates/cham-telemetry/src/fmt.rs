@@ -1,0 +1,61 @@
+//! Human-number formatting helpers.
+//!
+//! The single home of the `eng`/`si` formatters (previously duplicated
+//! into `cham-bench`): every text report and benchmark table in the
+//! workspace renders durations and rates through these two functions.
+
+/// Formats a duration in seconds with engineering-style units
+/// (`1.500 s`, `2.500 ms`, `3.500 us`, `4.500 ns`).
+#[must_use]
+pub fn eng(v: f64) -> String {
+    let (scale, unit) = if v >= 1.0 {
+        (1.0, "s")
+    } else if v >= 1e-3 {
+        (1e3, "ms")
+    } else if v >= 1e-6 {
+        (1e6, "us")
+    } else {
+        (1e9, "ns")
+    };
+    format!("{:.3} {}", v * scale, unit)
+}
+
+/// Formats a rate/count with SI prefixes (`2.50 T`, `195.31 k`,
+/// `42.00 `).
+#[must_use]
+pub fn si(v: f64) -> String {
+    if v >= 1e12 {
+        format!("{:.2} T", v / 1e12)
+    } else if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.2} ")
+    }
+}
+
+/// [`eng`] over a nanosecond count (telemetry histograms store ns).
+#[must_use]
+pub fn eng_nanos(nanos: u64) -> String {
+    eng(nanos as f64 * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(eng(1.5), "1.500 s");
+        assert_eq!(eng(2.5e-3), "2.500 ms");
+        assert_eq!(eng(3.5e-6), "3.500 us");
+        assert_eq!(eng(4.5e-9), "4.500 ns");
+        assert_eq!(si(2.5e12), "2.50 T");
+        assert_eq!(si(195_312.5), "195.31 k");
+        assert_eq!(si(42.0), "42.00 ");
+        assert_eq!(eng_nanos(2_500_000), "2.500 ms");
+    }
+}

@@ -1,0 +1,265 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! Durations are recorded in nanoseconds into 65 power-of-two buckets
+//! (bucket *i* holds values whose highest set bit is *i − 1*; bucket 0
+//! holds zero). That gives ~2× resolution from 1 ns to ~580 years with a
+//! fixed, allocation-free footprint — the same trick as HdrHistogram's
+//! coarsest setting, and plenty for per-op latency accounting. Quantiles
+//! are reported as the upper bound of the containing bucket.
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const BUCKETS: usize = 65;
+
+/// A named concurrent log₂ histogram. The default domain is
+/// nanoseconds (scoped timers); [`Histogram::with_unit`] repurposes the
+/// same machinery for other non-negative integer quantities (e.g. noise
+/// bits).
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    unit: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    #[cfg(feature = "telemetry")]
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Creates a histogram named `name` (`<crate>.<module>.<op>`).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Self::with_unit(name, "ns")
+    }
+
+    /// Creates a histogram over a non-time domain (`unit` is a short
+    /// label such as `"bits"`).
+    #[must_use]
+    pub const fn with_unit(name: &'static str, unit: &'static str) -> Self {
+        Self {
+            name,
+            unit,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            #[cfg(feature = "telemetry")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The histogram's value unit (`"ns"` for timers).
+    #[must_use]
+    pub fn unit(&self) -> &'static str {
+        self.unit
+    }
+
+    /// Records one value (nanoseconds). Inlined no-op without the
+    /// `telemetry` feature.
+    #[inline]
+    pub fn record(&'static self, nanos: u64) {
+        #[cfg(feature = "telemetry")]
+        {
+            if !self.registered.load(Ordering::Relaxed)
+                && !self.registered.swap(true, Ordering::AcqRel)
+            {
+                registry()
+                    .lock()
+                    .expect("histogram registry poisoned")
+                    .push(self);
+            }
+            let idx = bucket_index(nanos);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(nanos, Ordering::Relaxed);
+            self.min.fetch_min(nanos, Ordering::Relaxed);
+            self.max.fetch_max(nanos, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = nanos;
+    }
+
+    /// Copies out an immutable view of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            name: self.name,
+            unit: self.unit,
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum.load(Ordering::Relaxed),
+            min_nanos: self.min.load(Ordering::Relaxed),
+            max_nanos: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    fn reset_inner(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bucket index for a nanosecond value: 0 for 0, else `64 − clz(v)`.
+#[inline]
+#[must_use]
+pub fn bucket_index(nanos: u64) -> usize {
+    (u64::BITS - nanos.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive domain edge) of bucket `idx` in nanoseconds.
+#[must_use]
+pub fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
+/// Point-in-time copy of one histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Value unit (`"ns"` for timers).
+    pub unit: &'static str,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (ns).
+    pub sum_nanos: u64,
+    /// Smallest recorded value (ns); `u64::MAX` when empty.
+    pub min_nanos: u64,
+    /// Largest recorded value (ns).
+    pub max_nanos: u64,
+    /// Per-bucket counts (65 log₂ buckets).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_nanos as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`) in ns.
+    ///
+    /// Returns 0 for an empty histogram. The estimate is the containing
+    /// bucket's upper edge, so it over-reports by at most 2×.
+    #[must_use]
+    pub fn quantile_upper_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(idx).min(self.max_nanos);
+            }
+        }
+        self.max_nanos
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<&'static Histogram>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Histogram>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshots of every registered histogram, sorted by name. Histograms
+/// are registered on first record; empty when the feature is off.
+#[must_use]
+pub fn snapshot() -> Vec<HistogramSnapshot> {
+    let mut out: Vec<HistogramSnapshot> = registry()
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+        .map(|h| h.snapshot())
+        .collect();
+    out.sort_unstable_by_key(|s| s.name);
+    out
+}
+
+/// Zeroes every registered histogram (keeps registrations).
+pub fn reset() {
+    for h in registry()
+        .lock()
+        .expect("histogram registry poisoned")
+        .iter()
+    {
+        h.reset_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(3), 7);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let _guard = crate::test_guard();
+        static H: Histogram = Histogram::new("cham_telemetry.histogram.test_unit");
+        for v in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            H.record(v);
+        }
+        let s = H.snapshot();
+        if crate::enabled() {
+            assert_eq!(s.count, 6);
+            assert_eq!(s.sum_nanos, 1_001_106);
+            assert_eq!(s.min_nanos, 1);
+            assert_eq!(s.max_nanos, 1_000_000);
+            assert!(s.mean_nanos() > 0.0);
+            // The median of {1,2,3,100,1000,1e6} is ≤ 100's bucket edge.
+            assert!(s.quantile_upper_nanos(0.5) <= 127);
+            assert_eq!(s.quantile_upper_nanos(1.0), 1_000_000);
+            assert!(snapshot().iter().any(|x| x.name == s.name));
+        } else {
+            assert_eq!(s.count, 0);
+            assert_eq!(s.quantile_upper_nanos(0.5), 0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! # cham-telemetry — the observability substrate
+//!
+//! Every other crate in the workspace reports *what it actually did*
+//! through this one: how many NTTs ran and over which modulus, how many
+//! modular multiplies an HMVP cost, how long each pipeline phase took,
+//! and what a whole benchmark run looked like. Three primitives:
+//!
+//! * **Counters** ([`counter_add!`]) — process-wide relaxed atomics named
+//!   `<crate>.<module>.<op>`, e.g. `cham_math.ntt.forward`.
+//! * **Histograms + scoped timers** ([`time_scope!`]) — RAII spans that
+//!   record wall-time into log₂ latency histograms and maintain a
+//!   thread-local span stack; with runtime tracing enabled they also emit
+//!   Chrome Trace Event Format (Perfetto) complete events.
+//! * **Exporters** — a human text report ([`report::text_report`]), a JSON
+//!   metrics dump, Chrome trace JSON ([`trace`]), and the structured
+//!   benchmark [`record::RunRecord`] schema that `cham-bench --json`
+//!   binaries emit.
+//!
+//! Everything hot is gated behind the `telemetry` cargo feature. With the
+//! feature **disabled** (the default) the recording hooks are inlined
+//! empty functions — zero branches, zero atomics — so production/bench
+//! builds pay nothing. With it **enabled** the cost is one relaxed
+//! `fetch_add` per hook, and instrumented code batches increments (e.g.
+//! one add per transform, not per butterfly) to keep the tax small.
+//!
+//! Naming convention: `<crate>.<module>.<op>[.<qualifier>]`, all
+//! lower-snake segments joined by dots. Qualifiers name a modulus
+//! (`.q0`/`.q1`/`.p`) or a strategy (`.barrett`/`.shift_add`).
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod fmt;
+pub mod histogram;
+pub mod json;
+pub mod record;
+pub mod report;
+pub mod timer;
+pub mod trace;
+
+pub use counters::Counter;
+pub use histogram::Histogram;
+pub use json::JsonValue;
+pub use record::RunRecord;
+pub use timer::ScopedTimer;
+
+/// `true` when the crate was compiled with the `telemetry` feature.
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// Resets all registered counters and histograms to zero and clears any
+/// buffered runtime trace events. Intended for tests and for isolating
+/// phases of a benchmark run.
+pub fn reset() {
+    counters::reset();
+    histogram::reset();
+    trace::clear();
+}
+
+/// Adds `$n` to the process-wide counter named `$name`.
+///
+/// The name must be a string literal (`<crate>.<module>.<op>`). Compiles
+/// to an inlined no-op without the `telemetry` feature; the count
+/// expression is still type-checked but its value is discarded.
+///
+/// ```
+/// cham_telemetry::counter_add!("cham_math.ntt.forward", 1);
+/// ```
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {{
+        static __CHAM_COUNTER: $crate::counters::Counter = $crate::counters::Counter::new($name);
+        __CHAM_COUNTER.add($n);
+    }};
+}
+
+/// Opens an RAII timing span covering the rest of the enclosing scope.
+///
+/// Records the span's wall time into a log₂ histogram named `$name`, and
+/// (when runtime tracing is enabled via [`trace::enable`]) emits a Chrome
+/// trace complete event. No-op without the `telemetry` feature.
+///
+/// ```
+/// # fn transform() {}
+/// {
+///     cham_telemetry::time_scope!("cham_math.ntt.forward");
+///     transform();
+/// } // span closes here
+/// ```
+#[macro_export]
+macro_rules! time_scope {
+    ($name:literal) => {
+        let __cham_scope_timer = {
+            static __CHAM_HIST: $crate::histogram::Histogram =
+                $crate::histogram::Histogram::new($name);
+            $crate::timer::ScopedTimer::new(&__CHAM_HIST)
+        };
+    };
+}
+
+/// Serialises unit tests that mutate the process-wide registries.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(super::enabled(), cfg!(feature = "telemetry"));
+    }
+
+    #[test]
+    fn macros_compile_under_both_features() {
+        let _guard = crate::test_guard();
+        crate::counter_add!("cham_telemetry.test.macro_compiles", 2);
+        {
+            crate::time_scope!("cham_telemetry.test.scope");
+            std::hint::black_box(1 + 1);
+        }
+        crate::reset();
+    }
+}

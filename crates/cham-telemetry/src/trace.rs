@@ -1,0 +1,325 @@
+//! Chrome Trace Event Format (Perfetto) export.
+//!
+//! Two producers share one output format:
+//!
+//! * the **runtime collector** — scoped timers append complete events
+//!   while tracing is [`enable`]d, one track per OS thread;
+//! * **synthetic traces** — `cham-sim` converts its cycle-accurate Gantt
+//!   schedule into a [`ChromeTrace`] directly, one track per pipeline
+//!   stage.
+//!
+//! The emitted JSON is the `{"traceEvents": [...]}` object form of the
+//! [Trace Event Format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! and loads in `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::json::JsonValue;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// One event destined for the `traceEvents` array.
+#[derive(Debug, Clone)]
+enum Event {
+    Complete {
+        name: String,
+        cat: String,
+        tid: u64,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, JsonValue)>,
+    },
+    ThreadName {
+        tid: u64,
+        name: String,
+    },
+}
+
+/// An in-memory Chrome trace being assembled.
+#[derive(Debug, Default)]
+pub struct ChromeTrace {
+    events: Vec<Event>,
+}
+
+impl ChromeTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a track (`tid`) — shown as the row label in Perfetto.
+    pub fn thread_name(&mut self, tid: u64, name: impl Into<String>) -> &mut Self {
+        self.events.push(Event::ThreadName {
+            tid,
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Adds a complete ("X") event on track `tid`.
+    pub fn complete(
+        &mut self,
+        tid: u64,
+        name: impl Into<String>,
+        cat: impl Into<String>,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, JsonValue)>,
+    ) -> &mut Self {
+        self.events.push(Event::Complete {
+            name: name.into(),
+            cat: cat.into(),
+            tid,
+            ts_us,
+            dur_us,
+            args,
+        });
+        self
+    }
+
+    /// Number of events recorded so far (metadata included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as Chrome Trace Event JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let events: Vec<JsonValue> = self
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Complete {
+                    name,
+                    cat,
+                    tid,
+                    ts_us,
+                    dur_us,
+                    args,
+                } => {
+                    let mut obj = vec![
+                        ("name".into(), JsonValue::from(name.as_str())),
+                        ("cat".into(), JsonValue::from(cat.as_str())),
+                        ("ph".into(), JsonValue::from("X")),
+                        ("pid".into(), JsonValue::UInt(1)),
+                        ("tid".into(), JsonValue::UInt(*tid)),
+                        ("ts".into(), JsonValue::Float(*ts_us)),
+                        ("dur".into(), JsonValue::Float(*dur_us)),
+                    ];
+                    if !args.is_empty() {
+                        obj.push(("args".into(), JsonValue::Object(args.clone())));
+                    }
+                    JsonValue::Object(obj)
+                }
+                Event::ThreadName { tid, name } => JsonValue::Object(vec![
+                    ("name".into(), JsonValue::from("thread_name")),
+                    ("ph".into(), JsonValue::from("M")),
+                    ("pid".into(), JsonValue::UInt(1)),
+                    ("tid".into(), JsonValue::UInt(*tid)),
+                    (
+                        "args".into(),
+                        JsonValue::Object(vec![("name".into(), JsonValue::from(name.as_str()))]),
+                    ),
+                ]),
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("traceEvents".into(), JsonValue::Array(events)),
+            ("displayTimeUnit".into(), JsonValue::from("ns")),
+        ])
+        .to_string()
+    }
+
+    /// Writes the trace JSON to `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime collector (fed by ScopedTimer drops).
+// ---------------------------------------------------------------------------
+
+/// A span captured at runtime by a scoped timer.
+#[derive(Debug, Clone, Copy)]
+struct RuntimeSpan {
+    name: &'static str,
+    parent: Option<&'static str>,
+    tid: u64,
+    ts_us: f64,
+    dur_us: f64,
+    depth: usize,
+}
+
+/// Hard cap on buffered runtime spans (~64 B each) so a forgotten
+/// `enable()` cannot grow memory without bound.
+const MAX_RUNTIME_SPANS: usize = 1 << 20;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn spans() -> &'static Mutex<Vec<RuntimeSpan>> {
+    static SPANS: OnceLock<Mutex<Vec<RuntimeSpan>>> = OnceLock::new();
+    SPANS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Starts buffering runtime span events (idempotent). Call before the
+/// region of interest; export with [`export_chrome_trace`].
+pub fn enable() {
+    let _ = epoch();
+    TRACING.store(true, Ordering::Release);
+}
+
+/// Stops buffering runtime span events (buffered events are kept).
+pub fn disable() {
+    TRACING.store(false, Ordering::Release);
+}
+
+/// `true` while the runtime collector accepts events.
+#[must_use]
+pub fn is_enabled() -> bool {
+    TRACING.load(Ordering::Acquire)
+}
+
+/// Discards buffered runtime events.
+pub fn clear() {
+    spans().lock().expect("trace buffer poisoned").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}
+
+/// Number of spans dropped because the runtime buffer was full.
+#[must_use]
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Called by [`crate::timer::ScopedTimer`] on drop.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+pub(crate) fn record_span(
+    name: &'static str,
+    start: Instant,
+    dur: Duration,
+    depth: usize,
+    parent: Option<&'static str>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    let ts_us = start
+        .checked_duration_since(epoch())
+        .unwrap_or(Duration::ZERO)
+        .as_secs_f64()
+        * 1e6;
+    let span = RuntimeSpan {
+        name,
+        parent,
+        tid: current_tid(),
+        ts_us,
+        dur_us: dur.as_secs_f64() * 1e6,
+        depth,
+    };
+    let mut buf = spans().lock().expect("trace buffer poisoned");
+    if buf.len() >= MAX_RUNTIME_SPANS {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    buf.push(span);
+}
+
+/// Builds a [`ChromeTrace`] from the buffered runtime spans (one track
+/// per thread) and returns its JSON. Empty-but-valid JSON when nothing
+/// was collected.
+#[must_use]
+pub fn export_chrome_trace() -> String {
+    let buf = spans().lock().expect("trace buffer poisoned");
+    let mut trace = ChromeTrace::new();
+    let mut tids: Vec<u64> = buf.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        trace.thread_name(tid, format!("thread-{tid}"));
+    }
+    for s in buf.iter() {
+        let mut args = vec![("depth".into(), JsonValue::UInt(s.depth as u64))];
+        if let Some(parent) = s.parent {
+            args.push(("parent".into(), JsonValue::from(parent)));
+        }
+        trace.complete(s.tid, s.name, "span", s.ts_us, s.dur_us, args);
+    }
+    trace.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_trace_renders_valid_shape() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(1, "NTT");
+        t.complete(
+            1,
+            "row 0",
+            "stage",
+            0.0,
+            20.48,
+            vec![("row".into(), JsonValue::UInt(0))],
+        );
+        t.complete(1, "row \"1\"", "stage", 20.48, 20.48, vec![]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let json = t.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        // Escaped quote from the event name survives round-tripping.
+        assert!(json.contains("row \\\"1\\\""));
+    }
+
+    #[test]
+    fn runtime_collector_gates_on_enable() {
+        let _guard = crate::test_guard();
+        clear();
+        disable();
+        record_span("t.off", Instant::now(), Duration::from_micros(5), 0, None);
+        assert!(export_chrome_trace().contains("\"traceEvents\":[]"));
+        enable();
+        record_span(
+            "t.on",
+            Instant::now(),
+            Duration::from_micros(5),
+            1,
+            Some("t.parent"),
+        );
+        disable();
+        let json = export_chrome_trace();
+        assert!(json.contains("t.on"));
+        assert!(json.contains("t.parent"));
+        assert_eq!(dropped_spans(), 0);
+        clear();
+    }
+}

@@ -3,8 +3,13 @@
 //! schedule with RAS fault injection (paper §III).
 //!
 //! ```sh
-//! cargo run --release --example accelerator_sim
+//! cargo run --release --example accelerator_sim [trace.json]
 //! ```
+//!
+//! The optional argument names a Chrome Trace Event file to write
+//! (default `cham_pipeline_trace.json`); open it in
+//! <https://ui.perfetto.dev> to see the 9-stage pipeline schedule as a
+//! Gantt timeline, one track per stage.
 
 use cham::he::hmvp::Matrix;
 use cham::he::prelude::*;
@@ -86,6 +91,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         trace.total_cycles,
         trace.is_conflict_free()
     );
+    println!(
+        "occupancy {:.1}% (pack stalls {} cycles waiting on the tree)",
+        100.0 * trace.occupancy(),
+        trace.stage_stall(cham::sim::trace::Stage::Pack)
+    );
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cham_pipeline_trace.json".to_string());
+    trace.write_chrome_trace(&trace_path, 300e6)?;
+    println!("wrote Perfetto trace to {trace_path} (open in ui.perfetto.dev)");
 
     // 5) Host/FPGA overlap with fault injection (Fig. 1b + RAS).
     let sys = HeteroSystem::new(model, 3, 12e9)?;

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! reimplements the slice of proptest the workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, integer
+//! range and `any::<T>()` strategies, `prop_map`, tuple strategies,
+//! `collection::vec`, and `sample::select`. Semantics differ from real
+//! proptest in one deliberate way: there is **no shrinking** — a failing
+//! case reports the test name, case index, and seed so it can be replayed
+//! deterministically (every test derives its RNG seed from its name, so
+//! failures are stable across runs).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case configuration and failure plumbing.
+
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    /// A failed property: carries the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test seed: FNV-1a over the test path.
+    pub fn seed_for(name: &str) -> u64 {
+        name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — uniform over the whole domain of `T`.
+
+    use crate::strategy::Strategy;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Marker strategy for [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    /// Uniform strategy over the full domain of `T`.
+    pub fn any<T: rand::Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Element-count specification: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec size range is empty");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`, length from
+    /// `size` (a fixed `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value sets.
+
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly from a fixed set.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from `options` (must be non-empty).
+    pub fn select<T: Clone + std::fmt::Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option set");
+        Select { options }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports property tests are expected to glob.
+
+    /// `prop::...` paths (e.g. `prop::sample::select`) resolve to this
+    /// crate, mirroring real proptest's prelude.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Wraps property functions in a deterministic randomized runner.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10, ys in vec(any::<u64>(), 4)) { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                let mut __pt_rng =
+                    <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                for __pt_case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __pt_rng);)+
+                    let __pt_result = (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = __pt_result {
+                        panic!(
+                            "proptest {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            __pt_case + 1,
+                            config.cases,
+                            seed,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        // `match` (as in std's assert_eq!) extends temporaries from the
+        // operand expressions over the whole arm body.
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{}` != `{}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..10, y in -3i64..=3) {
+            prop_assert!(x < 10);
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in vec(0u64..100, 1..16),
+            w in vec(any::<u64>(), 4),
+            pair in (0u32..4, 0u32..4).prop_map(|(a, b)| a + b),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            prop_assert!(v.iter().all(|&x| x < 100));
+            prop_assert_eq!(w.len(), 4);
+            prop_assert!(pair <= 6);
+        }
+
+        #[test]
+        fn select_picks_from_set(x in prop::sample::select(vec![1usize, 2, 4, 8])) {
+            prop_assert!([1, 2, 4, 8].contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<u8>()) {
+            prop_assert!(u64::from(x) < 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest inner failed")]
+    fn failing_case_reports() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
