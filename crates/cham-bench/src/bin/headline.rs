@@ -16,8 +16,9 @@ use cham_sim::pipeline::HmvpCycleModel;
 fn main() {
     let mut run = BenchRun::from_env("headline");
     let params = ChamParams::cham_default().expect("paper params");
-    println!("measuring CPU per-op costs (N = 4096)...");
-    let cpu = CpuCosts::measure(&params);
+    let threads = run.threads();
+    println!("measuring CPU per-op costs (N = 4096, {threads} thread(s))...");
+    let cpu = CpuCosts::measure_with_threads(&params, threads);
     let model = HmvpCycleModel::cham();
     let n_ring = params.degree();
 

@@ -37,12 +37,15 @@ pub fn bench_rng() -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(0xCAB1E)
 }
 
-/// The shared CLI of every figure binary. Today that is one flag:
+/// The shared CLI of every figure binary:
 ///
 /// * `--json <path>` — write a structured [`RunRecord`]
 ///   (`cham-run-record/v1`, see `DESIGN.md` § Observability) when the
 ///   run finishes. With the `telemetry` feature enabled the record
 ///   embeds the full counter/timer snapshot.
+/// * `--threads <n>` — CPU-baseline parallelism for measurements that
+///   support it (see [`CpuCosts::measure_with_threads`]). Defaults to 1;
+///   always recorded as the `threads` param of the run record.
 ///
 /// Binaries call [`BenchRun::from_env`] first, attach `param`s and
 /// `metric`s while printing their usual tables, and end with
@@ -51,6 +54,7 @@ pub fn bench_rng() -> rand::rngs::StdRng {
 pub struct BenchRun {
     record: RunRecord,
     json_path: Option<PathBuf>,
+    threads: usize,
 }
 
 impl BenchRun {
@@ -67,6 +71,7 @@ impl BenchRun {
     #[must_use]
     pub fn from_args(name: &str, args: impl IntoIterator<Item = String>) -> Self {
         let mut json_path = None;
+        let mut threads = 1usize;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -77,9 +82,17 @@ impl BenchRun {
                         std::process::exit(2);
                     }
                 },
+                "--threads" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => threads = n,
+                    _ => {
+                        eprintln!("error: --threads requires a positive integer");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
-                    println!("usage: {name} [--json <path>]");
+                    println!("usage: {name} [--json <path>] [--threads <n>]");
                     println!("  --json <path>  write a cham-run-record/v1 JSON run record");
+                    println!("  --threads <n>  CPU-baseline thread count (default 1)");
                     std::process::exit(0);
                 }
                 other => {
@@ -88,10 +101,19 @@ impl BenchRun {
                 }
             }
         }
+        let mut record = RunRecord::start(name);
+        record.param("threads", threads as u64);
         Self {
-            record: RunRecord::start(name),
+            record,
             json_path,
+            threads,
         }
+    }
+
+    /// The `--threads` value (1 when the flag was not given).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Records an input parameter on the run record.
@@ -154,11 +176,25 @@ pub struct CpuCosts {
 }
 
 impl CpuCosts {
-    /// Measures the cost table on this machine at the given parameters.
+    /// Measures the cost table on this machine at the given parameters,
+    /// single-threaded (the paper's CPU baseline).
     ///
     /// # Panics
     /// Panics if key setup fails (cannot happen for valid parameters).
     pub fn measure(params: &ChamParams) -> Self {
+        Self::measure_with_threads(params, 1)
+    }
+
+    /// [`Self::measure`] with `threads`-way parallelism for the per-row
+    /// dot product (the only stage the HMVP pipeline parallelizes): the
+    /// amortized `dot_row` is measured over a `threads`-row matrix run
+    /// through `dot_products_parallel`, so extrapolations reflect the
+    /// multi-threaded CPU baseline selected by `--threads`.
+    ///
+    /// # Panics
+    /// Panics if key setup fails (cannot happen for valid parameters).
+    pub fn measure_with_threads(params: &ChamParams, threads: usize) -> Self {
+        let threads = threads.max(1);
         let mut rng = bench_rng();
         let sk = SecretKey::generate(params, &mut rng);
         let enc = Encryptor::new(params, &sk);
@@ -178,17 +214,19 @@ impl CpuCosts {
         }
         let encrypt = t0.elapsed().as_secs_f64() / reps as f64;
 
-        // Row dot product with a prepared matrix row.
-        let row: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
-        let matrix = Matrix::from_data(1, n, row).expect("shape");
+        // Per-row dot product with a prepared matrix, amortized over
+        // `threads` rows so thread-pool speedup lands in the figure.
+        let rows = threads;
+        let data: Vec<u64> = (0..rows * n).map(|_| rng.gen_range(0..t)).collect();
+        let matrix = Matrix::from_data(rows, n, data).expect("shape");
         let em = hmvp.encode_matrix(&matrix).expect("encode");
         let t1 = Instant::now();
         for _ in 0..reps {
             let _ = hmvp
-                .dot_products(&em, std::slice::from_ref(&ct))
+                .dot_products_parallel(&em, std::slice::from_ref(&ct), threads)
                 .expect("dot");
         }
-        let dot_row = t1.elapsed().as_secs_f64() / reps as f64;
+        let dot_row = t1.elapsed().as_secs_f64() / (reps * rows) as f64;
 
         // One pack reduction at level 1.
         let gkeys = GaloisKeys::generate_for_packing(&sk, 1, &mut rng).expect("gk");

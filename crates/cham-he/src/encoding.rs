@@ -57,15 +57,18 @@ impl Plaintext {
 /// Coefficient encoder (paper Eq. 1).
 #[derive(Debug, Clone)]
 pub struct CoeffEncoder {
-    params: ChamParams,
+    params: std::sync::Arc<ChamParams>,
 }
 
 impl CoeffEncoder {
     /// Creates an encoder for the parameter set.
     pub fn new(params: &ChamParams) -> Self {
-        Self {
-            params: params.clone(),
-        }
+        Self::from_arc(std::sync::Arc::new(params.clone()))
+    }
+
+    /// Creates an encoder sharing an existing parameter handle (no clone).
+    pub fn from_arc(params: std::sync::Arc<ChamParams>) -> Self {
+        Self { params }
     }
 
     fn t(&self) -> &Modulus {

@@ -21,12 +21,13 @@ use crate::encoding::CoeffEncoder;
 use crate::encrypt::{Decryptor, Encryptor};
 use crate::extract::extract_lwe;
 use crate::keys::GaloisKeys;
-use crate::ops::{lift_plaintext_ntt, mul_plain_prepared, rescale};
+use crate::ops::{lift_plaintext_ntt, rescale};
 use crate::pack::{pack_lwes, PackedRlwe};
 use crate::params::ChamParams;
 use crate::{HeError, Result};
 use cham_math::rns::RnsPoly;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A dense row-major matrix over `Z_t`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,12 +102,16 @@ impl Matrix {
 
 /// A matrix pre-encoded for HMVP: per row, per column tile, the Eq. 1
 /// plaintext lifted to NTT form over the augmented basis.
+///
+/// The prepared tiles live behind an `Arc`, so `clone()` is a cheap handle
+/// copy — a cache can hand the same NTT-form encoding to many workers
+/// without duplicating `rows × col_tiles` polynomials.
 #[derive(Debug, Clone)]
 pub struct EncodedMatrix {
     rows: usize,
     cols: usize,
-    /// `rows × col_tiles` prepared plaintexts.
-    tiles: Vec<Vec<RnsPoly>>,
+    /// `rows × col_tiles` prepared plaintexts (shared, immutable).
+    tiles: Arc<Vec<Vec<RnsPoly>>>,
 }
 
 impl EncodedMatrix {
@@ -132,19 +137,33 @@ pub struct HmvpResult {
 }
 
 /// The HMVP engine: encodes, multiplies, and decodes.
+///
+/// The parameter set is held behind an `Arc`: [`Hmvp::new`] clones the
+/// parameters once, while [`Hmvp::from_arc`] shares an existing handle —
+/// so a session cache can mint one engine per worker at pointer cost.
 #[derive(Debug, Clone)]
 pub struct Hmvp {
-    params: ChamParams,
+    params: Arc<ChamParams>,
     coder: CoeffEncoder,
 }
 
 impl Hmvp {
     /// Creates an HMVP engine for the parameter set.
     pub fn new(params: &ChamParams) -> Self {
-        Self {
-            params: params.clone(),
-            coder: CoeffEncoder::new(params),
-        }
+        Self::from_arc(Arc::new(params.clone()))
+    }
+
+    /// Creates an HMVP engine sharing an existing parameter handle
+    /// without cloning the parameter set.
+    pub fn from_arc(params: Arc<ChamParams>) -> Self {
+        let coder = CoeffEncoder::from_arc(Arc::clone(&params));
+        Self { params, coder }
+    }
+
+    /// The parameter set the engine operates over.
+    #[inline]
+    pub fn params(&self) -> &ChamParams {
+        &self.params
     }
 
     /// The coefficient encoder in use.
@@ -200,7 +219,7 @@ impl Hmvp {
         Ok(EncodedMatrix {
             rows: a.rows(),
             cols: a.cols(),
-            tiles,
+            tiles: Arc::new(tiles),
         })
     }
 
@@ -221,26 +240,48 @@ impl Hmvp {
                 got: cts.len(),
             });
         }
+        let cts_ntt = Self::lift_inputs_ntt(cts);
         matrix
             .tiles
             .iter()
-            .map(|row_tiles| {
-                // Accumulate partial dot products across column tiles
-                // ("a row residing in multiple ciphertexts needs to be
-                // aggregated", §V-B.2).
-                let mut acc: Option<RlweCiphertext> = None;
-                for (pt_ntt, ct) in row_tiles.iter().zip(cts) {
-                    let prod = mul_plain_prepared(ct, pt_ntt)?;
-                    acc = Some(match acc {
-                        Some(x) => x.add(&prod)?,
-                        None => prod,
-                    });
-                }
-                let acc = acc.expect("at least one column tile");
-                let rescaled = rescale(&acc, &self.params)?;
-                extract_lwe(&rescaled, 0)
+            .map(|row_tiles| self.dot_row(row_tiles, &cts_ntt))
+            .collect()
+    }
+
+    /// Transforms the input ciphertexts to NTT form once; every matrix row
+    /// reuses them (the pipeline keeps the vector resident in the NTT
+    /// domain across the whole DOTPRODUCT stage, §V-B.1).
+    fn lift_inputs_ntt(cts: &[RlweCiphertext]) -> Vec<RlweCiphertext> {
+        cts.iter()
+            .map(|ct| {
+                let mut c = ct.clone();
+                c.to_ntt();
+                c
             })
             .collect()
+    }
+
+    /// One row's dot product against NTT-form inputs: pointwise multiply
+    /// and accumulate per column tile ("a row residing in multiple
+    /// ciphertexts needs to be aggregated", §V-B.2), then a single INTT /
+    /// rescale / extract for the row.
+    fn dot_row(
+        &self,
+        row_tiles: &[cham_math::rns::RnsPoly],
+        cts_ntt: &[RlweCiphertext],
+    ) -> Result<LweCiphertext> {
+        let mut acc: Option<(cham_math::rns::RnsPoly, cham_math::rns::RnsPoly)> = None;
+        for (pt_ntt, ct) in row_tiles.iter().zip(cts_ntt) {
+            let b = ct.b().mul_pointwise(pt_ntt)?;
+            let a = ct.a().mul_pointwise(pt_ntt)?;
+            acc = Some(match acc {
+                Some((xb, xa)) => (xb.add(&b)?, xa.add(&a)?),
+                None => (b, a),
+            });
+        }
+        let (b, a) = acc.expect("at least one column tile");
+        let rescaled = rescale(&RlweCiphertext::new(b, a)?, &self.params)?;
+        extract_lwe(&rescaled, 0)
     }
 
     /// Multi-threaded dot-product phase: rows are partitioned across
@@ -263,26 +304,16 @@ impl Hmvp {
         }
         let threads = threads.max(1).min(matrix.rows.max(1));
         let chunk = matrix.rows.div_ceil(threads);
+        let cts_ntt = Self::lift_inputs_ntt(cts);
         let results: Vec<Result<Vec<LweCiphertext>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = matrix
                 .tiles
                 .chunks(chunk)
                 .map(|rows| {
+                    let cts_ntt = &cts_ntt;
                     scope.spawn(move || {
                         rows.iter()
-                            .map(|row_tiles| {
-                                let mut acc: Option<RlweCiphertext> = None;
-                                for (pt_ntt, ct) in row_tiles.iter().zip(cts) {
-                                    let prod = mul_plain_prepared(ct, pt_ntt)?;
-                                    acc = Some(match acc {
-                                        Some(x) => x.add(&prod)?,
-                                        None => prod,
-                                    });
-                                }
-                                let acc = acc.expect("at least one column tile");
-                                let rescaled = rescale(&acc, &self.params)?;
-                                extract_lwe(&rescaled, 0)
-                            })
+                            .map(|row_tiles| self.dot_row(row_tiles, cts_ntt))
                             .collect()
                     })
                 })
@@ -348,6 +379,71 @@ impl Hmvp {
             packed,
             len: matrix.rows,
         })
+    }
+
+    /// One coalesced dispatch of the same matrix against many encrypted
+    /// vectors: the batch is partitioned across `threads` OS threads, each
+    /// running the full per-vector pipeline (dot products + packing).
+    ///
+    /// This is the service-layer entry point: a batching scheduler that
+    /// has coalesced `k` queued requests against one [`EncodedMatrix`]
+    /// pays one thread-scope spawn for the whole batch instead of `k`.
+    /// Results come back in input order. A single-element batch falls
+    /// through to [`Hmvp::multiply_parallel`] so the row-partitioned path
+    /// still applies.
+    ///
+    /// # Errors
+    /// Propagates shape mismatches and missing Galois keys; the first
+    /// failing input aborts the batch.
+    pub fn multiply_many(
+        &self,
+        matrix: &EncodedMatrix,
+        inputs: &[Vec<RlweCiphertext>],
+        gkeys: &GaloisKeys,
+        threads: usize,
+    ) -> Result<Vec<HmvpResult>> {
+        cham_telemetry::counter_add!("cham_he.hmvp.multiply_many", 1);
+        cham_telemetry::time_scope!("cham_he.hmvp.multiply_many");
+        for cts in inputs {
+            if cts.len() != matrix.col_tiles() {
+                return Err(HeError::ShapeMismatch {
+                    expected: matrix.col_tiles(),
+                    got: cts.len(),
+                });
+            }
+        }
+        match inputs.len() {
+            0 => Ok(Vec::new()),
+            1 => Ok(vec![
+                self.multiply_parallel(matrix, &inputs[0], gkeys, threads)?
+            ]),
+            k => {
+                let threads = threads.max(1).min(k);
+                let chunk = k.div_ceil(threads);
+                let results: Vec<Result<Vec<HmvpResult>>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = inputs
+                        .chunks(chunk)
+                        .map(|batch| {
+                            scope.spawn(move || {
+                                batch
+                                    .iter()
+                                    .map(|cts| self.multiply(matrix, cts, gkeys))
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker must not panic"))
+                        .collect()
+                });
+                let mut out = Vec::with_capacity(k);
+                for r in results {
+                    out.extend(r?);
+                }
+                Ok(out)
+            }
+        }
     }
 
     /// Decrypts and decodes an HMVP result into the `m` output values.
@@ -494,6 +590,40 @@ mod tests {
         }
         // Shape mismatch propagates from workers too.
         assert!(hmvp.dot_products_parallel(&em, &cts[..1], 2).is_err());
+    }
+
+    #[test]
+    fn multiply_many_matches_per_request_results() {
+        let (params, _, enc, dec, gkeys, mut rng) = setup();
+        let t = params.plain_modulus();
+        let a = Matrix::random(16, 300, t.value(), &mut rng); // 2 column tiles
+        let hmvp = Hmvp::from_arc(std::sync::Arc::new(params.clone()));
+        let em = hmvp.encode_matrix(&a).unwrap();
+        // A cheap handle clone must see the same tiles.
+        let em2 = em.clone();
+        assert_eq!(em2.shape(), em.shape());
+        let inputs: Vec<Vec<RlweCiphertext>> = (0..5)
+            .map(|_| {
+                let v: Vec<u64> = (0..300).map(|_| rng.gen_range(0..t.value())).collect();
+                hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap()
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let batch = hmvp.multiply_many(&em2, &inputs, &gkeys, threads).unwrap();
+            assert_eq!(batch.len(), inputs.len());
+            for (cts, result) in inputs.iter().zip(&batch) {
+                let single = hmvp.multiply(&em, cts, &gkeys).unwrap();
+                assert_eq!(
+                    hmvp.decrypt_result(result, &dec).unwrap(),
+                    hmvp.decrypt_result(&single, &dec).unwrap(),
+                    "threads={threads}"
+                );
+            }
+        }
+        // Empty batch is a no-op; a bad input aborts the batch.
+        assert!(hmvp.multiply_many(&em, &[], &gkeys, 2).unwrap().is_empty());
+        let bad = vec![inputs[0][..1].to_vec()];
+        assert!(hmvp.multiply_many(&em, &bad, &gkeys, 2).is_err());
     }
 
     #[test]

@@ -512,8 +512,17 @@ impl RnsPoly {
                 "rescale requires at least two limbs",
             ));
         }
-        let expected = self.ctx.drop_last()?;
-        if *target != expected {
+        // Validate structurally (degree + prime prefix) instead of building
+        // the dropped context: constructing an RnsContext derives NTT
+        // tables, far too expensive for a per-rescale check.
+        let prefix_ok = target.degree == self.ctx.degree
+            && target.len() == k - 1
+            && target
+                .moduli
+                .iter()
+                .zip(self.ctx.moduli.iter())
+                .all(|(a, b)| a.value() == b.value());
+        if !prefix_ok {
             return Err(MathError::ContextMismatch);
         }
         let p_mod = self.ctx.moduli()[k - 1];

@@ -1,0 +1,137 @@
+//! `cham-serve` — the standalone HMVP server binary.
+//!
+//! ```text
+//! cham-serve [--addr HOST:PORT] [--params test|default|large]
+//!            [--workers N] [--queue N] [--max-batch N]
+//!            [--batch-threads N] [--key-cache N] [--matrix-cache N]
+//!            [--stats-every SECS]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts wait for that line),
+//! then serves until the process is killed. With `--stats-every` it also
+//! prints a one-line counter snapshot periodically.
+
+use cham_he::params::ChamParams;
+use cham_serve::server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    params: String,
+    config: ServerConfig,
+    stats_every: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7878".into(),
+        params: "default".into(),
+        config: ServerConfig::default(),
+        stats_every: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--params" => args.params = value("--params")?,
+            "--workers" => args.config.workers = parse_num(&value("--workers")?)?,
+            "--queue" => args.config.queue_capacity = parse_num(&value("--queue")?)?,
+            "--max-batch" => args.config.max_batch = parse_num(&value("--max-batch")?)?,
+            "--batch-threads" => args.config.batch_threads = parse_num(&value("--batch-threads")?)?,
+            "--key-cache" => args.config.key_cache = parse_num(&value("--key-cache")?)?,
+            "--matrix-cache" => args.config.matrix_cache = parse_num(&value("--matrix-cache")?)?,
+            "--stats-every" => args.stats_every = Some(parse_num(&value("--stats-every")?)? as u64),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: cham-serve [--addr HOST:PORT] [--params test|default|large] \
+                            [--workers N] [--queue N] [--max-batch N] [--batch-threads N] \
+                            [--key-cache N] [--matrix-cache N] [--stats-every SECS]"
+                        .into(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("not a number: {s}"))
+        .and_then(|n| {
+            if n == 0 {
+                Err(format!("must be positive: {s}"))
+            } else {
+                Ok(n)
+            }
+        })
+}
+
+fn params_by_name(name: &str) -> Result<ChamParams, String> {
+    match name {
+        "test" => ChamParams::insecure_test_default().map_err(|e| e.to_string()),
+        "default" => ChamParams::cham_default().map_err(|e| e.to_string()),
+        "large" => ChamParams::cham_large().map_err(|e| e.to_string()),
+        other => Err(format!(
+            "unknown params preset {other} (test|default|large)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let params = match params_by_name(&args.params) {
+        Ok(p) => Arc::new(p),
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(&args.addr, params, &args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    println!(
+        "params={} workers={} queue={} max_batch={} batch_threads={}",
+        args.params,
+        args.config.workers,
+        args.config.queue_capacity,
+        args.config.max_batch,
+        args.config.batch_threads
+    );
+
+    let every = args.stats_every.map(Duration::from_secs);
+    loop {
+        std::thread::sleep(every.unwrap_or(Duration::from_secs(3600)));
+        if every.is_some() {
+            let s = server.stats();
+            println!(
+                "accepted={} completed={} busy={} timed_out={} failed={} \
+                 batches={} avg_batch={:.2} peak_queue={}",
+                s.accepted,
+                s.completed,
+                s.rejected_busy,
+                s.timed_out,
+                s.failed,
+                s.batches,
+                s.avg_batch_size(),
+                s.peak_queue_depth
+            );
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Content-addressed session cache for key material and encoded matrices.
+//!
+//! The expensive per-session artifacts — Galois key sets and NTT-form
+//! [`EncodedMatrix`] encodings — are cached under the FNV-1a 64 hash of
+//! the raw bytes the client uploaded. Content addressing gives free
+//! dedup: two clients uploading the same matrix (byte-identical payload)
+//! resolve to the same cache entry and the server encodes it once. Each
+//! cache is bounded; inserting past the bound evicts the least recently
+//! used entry, so a long-running server cannot grow without limit.
+
+use crate::{Result, ServeError};
+use cham_he::hmvp::{EncodedMatrix, Hmvp, Matrix};
+use cham_he::keys::GaloisKeys;
+use cham_he::params::ChamParams;
+use cham_telemetry::counter_add;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a 64-bit hash of a byte string — the cache's content address.
+#[must_use]
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A bounded map with least-recently-used eviction.
+///
+/// Recency is a monotone tick bumped on every hit/insert; eviction scans
+/// for the minimum tick. That scan is O(n), which is the right trade for
+/// the handful-of-entries caches here (the entries themselves are
+/// megabytes of key material; the scan is nanoseconds).
+struct LruMap<V> {
+    entries: HashMap<u64, (Arc<V>, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<V> LruMap<V> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            entries: HashMap::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, id: u64) -> Option<Arc<V>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&id).map(|(v, t)| {
+            *t = tick;
+            Arc::clone(v)
+        })
+    }
+
+    /// Inserts (or refreshes) `id`, evicting the LRU entry when full.
+    /// Returns `true` when an entry was evicted.
+    fn insert(&mut self, id: u64, value: Arc<V>) -> bool {
+        self.tick += 1;
+        let mut evicted = false;
+        if !self.entries.contains_key(&id) && self.entries.len() >= self.capacity {
+            if let Some(&lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&lru);
+                evicted = true;
+            }
+        }
+        self.entries.insert(id, (value, self.tick));
+        evicted
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.entries.contains_key(&id)
+    }
+}
+
+/// Shared session state: the parameter set, the HMVP engine built on it,
+/// and the two content-addressed LRU caches.
+///
+/// Cheap to share (`Arc` internally); all methods take `&self`.
+pub struct SessionCache {
+    params: Arc<ChamParams>,
+    hmvp: Hmvp,
+    keys: Mutex<LruMap<GaloisKeys>>,
+    matrices: Mutex<LruMap<EncodedMatrix>>,
+}
+
+impl SessionCache {
+    /// Builds a cache over `params` with the given per-kind entry bounds.
+    #[must_use]
+    pub fn new(params: Arc<ChamParams>, key_capacity: usize, matrix_capacity: usize) -> Self {
+        let hmvp = Hmvp::from_arc(Arc::clone(&params));
+        Self {
+            params,
+            hmvp,
+            keys: Mutex::new(LruMap::new(key_capacity)),
+            matrices: Mutex::new(LruMap::new(matrix_capacity)),
+        }
+    }
+
+    /// The parameter set every cached artifact belongs to.
+    #[must_use]
+    pub fn params(&self) -> &Arc<ChamParams> {
+        &self.params
+    }
+
+    /// The shared HMVP engine (borrows the same params `Arc`).
+    #[must_use]
+    pub fn hmvp(&self) -> &Hmvp {
+        &self.hmvp
+    }
+
+    /// Caches a Galois key set uploaded as raw `cham_he::wire` bytes and
+    /// returns its content id. Re-uploading identical bytes is an O(hash)
+    /// no-op returning the same id.
+    ///
+    /// # Errors
+    /// Payload validation errors from `cham_he::wire`.
+    pub fn put_keys_bytes(&self, bytes: &[u8]) -> Result<u64> {
+        let id = content_hash(bytes);
+        {
+            let mut keys = self.keys.lock().expect("keys cache poisoned");
+            if keys.contains(id) {
+                counter_add!("cham_serve.cache.keys_hit", 1);
+                // Refresh recency for the dedup hit.
+                let _ = keys.get(id);
+                return Ok(id);
+            }
+        }
+        let parsed = cham_he::wire::galois_keys_from_bytes(bytes, &self.params)?;
+        let evicted = self
+            .keys
+            .lock()
+            .expect("keys cache poisoned")
+            .insert(id, Arc::new(parsed));
+        counter_add!("cham_serve.cache.keys_insert", 1);
+        if evicted {
+            counter_add!("cham_serve.cache.keys_evict", 1);
+        }
+        Ok(id)
+    }
+
+    /// Looks up a cached key set.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownKey`] when absent (or already evicted).
+    pub fn get_keys(&self, id: u64) -> Result<Arc<GaloisKeys>> {
+        self.keys
+            .lock()
+            .expect("keys cache poisoned")
+            .get(id)
+            .ok_or(ServeError::UnknownKey(id))
+    }
+
+    /// Encodes a plaintext matrix to NTT form (the expensive, reusable
+    /// step) and caches it under the content hash of `bytes` — the raw
+    /// `LoadMatrix` payload it arrived as. Returns the content id.
+    ///
+    /// # Errors
+    /// HE-layer encoding errors.
+    pub fn put_matrix(&self, bytes: &[u8], matrix: &Matrix) -> Result<u64> {
+        let id = content_hash(bytes);
+        {
+            let mut matrices = self.matrices.lock().expect("matrix cache poisoned");
+            if matrices.contains(id) {
+                counter_add!("cham_serve.cache.matrix_hit", 1);
+                let _ = matrices.get(id);
+                return Ok(id);
+            }
+        }
+        // Encode outside the lock: this is seconds of NTT work at
+        // production sizes and must not serialize unrelated lookups.
+        let encoded = self.hmvp.encode_matrix(matrix)?;
+        let evicted = self
+            .matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .insert(id, Arc::new(encoded));
+        counter_add!("cham_serve.cache.matrix_insert", 1);
+        if evicted {
+            counter_add!("cham_serve.cache.matrix_evict", 1);
+        }
+        Ok(id)
+    }
+
+    /// Looks up a cached encoded matrix.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownMatrix`] when absent (or already evicted).
+    pub fn get_matrix(&self, id: u64) -> Result<Arc<EncodedMatrix>> {
+        self.matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .get(id)
+            .ok_or(ServeError::UnknownMatrix(id))
+    }
+
+    /// `(cached key sets, cached matrices)` — for reporting.
+    #[must_use]
+    pub fn lens(&self) -> (usize, usize) {
+        (
+            self.keys.lock().expect("keys cache poisoned").len(),
+            self.matrices.lock().expect("matrix cache poisoned").len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_he::keys::SecretKey;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fnv_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(content_hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(content_hash(b"ab"), content_hash(b"ba"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut m: LruMap<u32> = LruMap::new(2);
+        assert!(!m.insert(1, Arc::new(10)));
+        assert!(!m.insert(2, Arc::new(20)));
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(*m.get(1).unwrap(), 10);
+        assert!(m.insert(3, Arc::new(30)));
+        assert!(m.get(2).is_none());
+        assert!(m.get(1).is_some());
+        assert!(m.get(3).is_some());
+        assert_eq!(m.len(), 2);
+        // Re-inserting an existing id does not evict.
+        assert!(!m.insert(1, Arc::new(11)));
+        assert_eq!(*m.get(1).unwrap(), 11);
+    }
+
+    #[test]
+    fn session_cache_roundtrip_dedup_and_eviction() {
+        let params = Arc::new(ChamParams::insecure_test_default().unwrap());
+        let cache = SessionCache::new(Arc::clone(&params), 1, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+        // Keys: insert, hit, unknown.
+        let sk = SecretKey::generate(&params, &mut rng);
+        let gk = GaloisKeys::generate_for_packing(&sk, 2, &mut rng).unwrap();
+        let indices: Vec<usize> = (1..=2).map(|j| (1usize << j) + 1).collect();
+        let gk_bytes = cham_he::wire::galois_keys_to_bytes(&gk, &indices).unwrap();
+        let id = cache.put_keys_bytes(&gk_bytes).unwrap();
+        assert_eq!(id, content_hash(&gk_bytes));
+        // Dedup: same bytes, same id, still one entry.
+        assert_eq!(cache.put_keys_bytes(&gk_bytes).unwrap(), id);
+        assert_eq!(cache.lens().0, 1);
+        assert!(cache.get_keys(id).is_ok());
+        assert!(matches!(
+            cache.get_keys(id ^ 1),
+            Err(ServeError::UnknownKey(_))
+        ));
+
+        // Matrices: fill past capacity 2 and watch the LRU fall out.
+        let t = params.plain_modulus().value();
+        let mut ids = Vec::new();
+        for seed in 0..3u64 {
+            let mut mrng = rand::rngs::StdRng::seed_from_u64(seed);
+            let m = Matrix::random(2, 3, t, &mut mrng);
+            let bytes = crate::protocol::matrix_to_bytes(&m);
+            ids.push(cache.put_matrix(&bytes, &m).unwrap());
+        }
+        assert_eq!(cache.lens().1, 2);
+        assert!(matches!(
+            cache.get_matrix(ids[0]),
+            Err(ServeError::UnknownMatrix(_))
+        ));
+        assert!(cache.get_matrix(ids[1]).is_ok());
+        assert!(cache.get_matrix(ids[2]).is_ok());
+    }
+}

@@ -1,0 +1,167 @@
+//! Blocking client for the cham-serve wire protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection and issues one request at
+//! a time (the protocol is strictly request/response per connection).
+//! Open several clients from several threads to exercise the server's
+//! batching — that is exactly what the loopback integration tests do.
+
+use crate::protocol::{self, FrameKind, Hello, Response};
+use crate::{Result, ServeError};
+use cham_he::ciphertext::RlweCiphertext;
+use cham_he::hmvp::{HmvpResult, Matrix};
+use cham_he::keys::GaloisKeys;
+use cham_he::params::ChamParams;
+use cham_he::wire;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server shape reported in the hello exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Worker pool size.
+    pub workers: u16,
+    /// Bounded queue capacity.
+    pub queue_capacity: u32,
+    /// Maximum coalesced batch size.
+    pub max_batch: u32,
+}
+
+/// A connected, hello-verified client.
+pub struct ServeClient {
+    stream: TcpStream,
+    params: Arc<ChamParams>,
+    info: ServerInfo,
+}
+
+impl ServeClient {
+    /// Connects and performs the hello exchange, verifying that both
+    /// sides run the same parameter set and protocol revision.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Incompatible`] on mismatch.
+    pub fn connect(addr: impl ToSocketAddrs, params: Arc<ChamParams>) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self {
+            stream,
+            params,
+            info: ServerInfo {
+                workers: 0,
+                queue_capacity: 0,
+                max_batch: 0,
+            },
+        };
+        let hello = Hello::for_params(&client.params);
+        let resp = client.roundtrip(FrameKind::Hello, &hello.to_bytes())?;
+        let Response::Hello {
+            workers,
+            queue_capacity,
+            max_batch,
+        } = resp
+        else {
+            return Err(ServeError::BadFrame("hello answered with wrong response"));
+        };
+        client.info = ServerInfo {
+            workers,
+            queue_capacity,
+            max_batch,
+        };
+        Ok(client)
+    }
+
+    /// The serving shape the server reported at connect time.
+    #[must_use]
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Uploads a Galois key set and returns its content id. `indices`
+    /// selects which automorphism keys to ship (usually the packing
+    /// ladder `2^j + 1`).
+    ///
+    /// # Errors
+    /// Transport or server-side validation errors.
+    pub fn load_keys(&mut self, keys: &GaloisKeys, indices: &[usize]) -> Result<u64> {
+        let bytes = wire::galois_keys_to_bytes(keys, indices)?;
+        self.load_keys_bytes(&bytes)
+    }
+
+    /// Uploads an already-serialized Galois key set.
+    ///
+    /// # Errors
+    /// Transport or server-side validation errors.
+    pub fn load_keys_bytes(&mut self, bytes: &[u8]) -> Result<u64> {
+        match self.roundtrip(FrameKind::LoadKeys, bytes)? {
+            Response::KeysLoaded { key_id } => Ok(key_id),
+            _ => Err(ServeError::BadFrame(
+                "load-keys answered with wrong response",
+            )),
+        }
+    }
+
+    /// Uploads a plaintext matrix; the server encodes it to NTT form once
+    /// and caches it under the returned content id.
+    ///
+    /// # Errors
+    /// Transport or server-side validation errors.
+    pub fn load_matrix(&mut self, matrix: &Matrix) -> Result<u64> {
+        let body = protocol::matrix_to_bytes(matrix);
+        match self.roundtrip(FrameKind::LoadMatrix, &body)? {
+            Response::MatrixLoaded {
+                matrix_id,
+                rows,
+                cols,
+            } => {
+                if (rows as usize, cols as usize) != (matrix.rows(), matrix.cols()) {
+                    return Err(ServeError::BadFrame("server accepted a different shape"));
+                }
+                Ok(matrix_id)
+            }
+            _ => Err(ServeError::BadFrame(
+                "load-matrix answered with wrong response",
+            )),
+        }
+    }
+
+    /// Runs one HMVP against cached keys + matrix. `deadline` bounds how
+    /// long the request may wait server-side before it is dropped with
+    /// [`ServeError::TimedOut`]; `None` waits as long as it takes.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] under backpressure, [`ServeError::TimedOut`]
+    /// past the deadline, [`ServeError::UnknownKey`]/
+    /// [`ServeError::UnknownMatrix`] after eviction, transport errors.
+    pub fn hmvp(
+        &mut self,
+        key_id: u64,
+        matrix_id: u64,
+        cts: &[RlweCiphertext],
+        deadline: Option<Duration>,
+    ) -> Result<HmvpResult> {
+        let deadline_ms = deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+        let body = protocol::hmvp_request_to_bytes(key_id, matrix_id, deadline_ms, cts);
+        match self.roundtrip(FrameKind::Hmvp, &body)? {
+            Response::HmvpDone { len, packed } => Ok(HmvpResult {
+                packed,
+                len: len as usize,
+            }),
+            _ => Err(ServeError::BadFrame("hmvp answered with wrong response")),
+        }
+    }
+
+    /// Sends one frame and parses the response, turning `Error` frames
+    /// back into their local [`ServeError`] variants.
+    fn roundtrip(&mut self, kind: FrameKind, body: &[u8]) -> Result<Response> {
+        protocol::write_frame(&mut self.stream, kind, body)?;
+        let (kind, body) = protocol::read_frame(&mut self.stream)?;
+        match kind {
+            FrameKind::Result => Response::from_bytes(&body, &self.params),
+            FrameKind::Error => {
+                let (code, message) = protocol::error_from_body(&body)?;
+                Err(protocol::wire_to_error(code, message))
+            }
+            _ => Err(ServeError::BadFrame("server sent a request frame")),
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! # cham-serve — the batched, multi-worker HMVP service layer
+//!
+//! The paper's end-to-end claims (§V, Fig. 7) are about *serving*
+//! HMVP-heavy workloads — HeteroLR iterations and Beaver triple batches —
+//! not single-shot kernels. This crate turns the `cham-he` library into a
+//! system that accepts concurrent clients over TCP and amortizes the
+//! expensive precomputation (NTT-form matrix encoding, Galois key
+//! material) across requests, the same way Intel HEXL amortizes operand
+//! forms and per-modulus tables:
+//!
+//! * [`protocol`] — a length-prefixed framed wire protocol
+//!   (`Hello`/`LoadKeys`/`LoadMatrix`/`Hmvp`/`Result`/`Error`) whose
+//!   ciphertext payloads reuse `cham_he::wire`,
+//! * [`cache`] — a content-addressed session cache: Galois key sets and
+//!   NTT-form [`cham_he::hmvp::EncodedMatrix`] encodings are stored once
+//!   per distinct content hash with an LRU eviction bound,
+//! * [`scheduler`] — a bounded request queue with per-request deadlines;
+//!   queued requests against the same matrix coalesce into one batch, and
+//!   a full queue rejects with [`ServeError::Busy`] instead of growing,
+//! * [`worker`] — a fixed-size pool of `std::thread` workers with graceful
+//!   shutdown; each batch becomes one `Hmvp::multiply_many` dispatch,
+//! * [`server`] / [`client`] — the blocking TCP server and client library,
+//! * [`stats`] — always-on service counters (plus `cham-telemetry`
+//!   counters and histograms when the `telemetry` feature is enabled).
+//!
+//! ```text
+//!   clients ──TCP──▶ conn threads ──▶ bounded queue ──▶ worker pool
+//!                        │                (Busy when full,   │
+//!                        │                 TimedOut on       ▼
+//!                        │                 expiry)     multiply_many
+//!                        ◀───────────── mpsc reply ──────────┘
+//! ```
+//!
+//! See `DESIGN.md` § Serving for the frame layout and scheduling policy,
+//! and `README.md` § Serving for a quick-start.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+pub mod worker;
+
+use std::error::Error;
+use std::fmt;
+
+pub use cache::SessionCache;
+pub use client::ServeClient;
+pub use scheduler::Scheduler;
+pub use server::{Server, ServerConfig};
+pub use stats::{ServeStats, StatsSnapshot};
+
+/// Errors from the serving layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request queue is full; retry later (explicit backpressure).
+    Busy,
+    /// The request's deadline expired before a worker could run it.
+    TimedOut,
+    /// A frame or payload failed to parse.
+    BadFrame(&'static str),
+    /// The referenced Galois key set is not (or no longer) cached.
+    UnknownKey(u64),
+    /// The referenced matrix is not (or no longer) cached.
+    UnknownMatrix(u64),
+    /// Client and server parameter sets (or protocol versions) differ.
+    Incompatible(&'static str),
+    /// The server is shutting down.
+    Shutdown,
+    /// An HE-layer failure while executing the request.
+    He(cham_he::HeError),
+    /// A transport failure.
+    Io(std::io::Error),
+    /// An error frame from the remote peer that maps to no local variant.
+    Remote {
+        /// The wire error code.
+        code: protocol::ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy => write!(f, "server busy: request queue is full"),
+            ServeError::TimedOut => write!(f, "request deadline expired before execution"),
+            ServeError::BadFrame(m) => write!(f, "bad frame: {m}"),
+            ServeError::UnknownKey(id) => write!(f, "unknown key set {id:#018x}"),
+            ServeError::UnknownMatrix(id) => write!(f, "unknown matrix {id:#018x}"),
+            ServeError::Incompatible(m) => write!(f, "incompatible peer: {m}"),
+            ServeError::Shutdown => write!(f, "server is shutting down"),
+            ServeError::He(e) => write!(f, "he error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Remote { code, message } => {
+                write!(f, "remote error {code:?}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::He(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cham_he::HeError> for ServeError {
+    fn from(e: cham_he::HeError) -> Self {
+        ServeError::He(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

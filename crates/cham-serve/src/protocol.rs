@@ -1,0 +1,836 @@
+//! The framed wire protocol.
+//!
+//! Every message is one length-prefixed frame over the TCP stream:
+//!
+//! ```text
+//! [len u32 LE] [kind u8] [body: len−1 bytes]
+//! ```
+//!
+//! `len` counts the kind byte plus the body, so an empty body frames as
+//! `len = 1`. Six frame kinds exist; ciphertext and key payloads inside
+//! bodies reuse the versioned `cham_he::wire` codecs unchanged, so the
+//! serving layer inherits their parameter validation (foreign modulus
+//! chains, out-of-range coefficients and truncation are rejected at the
+//! payload layer, not re-implemented here).
+//!
+//! | kind | direction | body |
+//! |------|-----------|------|
+//! | `Hello` (1) | c→s | `[proto u16] [degree u32] [t u64] [n u8] [ct primes u64×n] [special u64]` |
+//! | `LoadKeys` (2) | c→s | `cham_he::wire::galois_keys_to_bytes` payload |
+//! | `LoadMatrix` (3) | c→s | `[rows u32] [cols u32] [values u64 × rows·cols]` |
+//! | `Hmvp` (4) | c→s | `[key_id u64] [matrix_id u64] [deadline_ms u32] [k u16] ([len u32] [rlwe bytes])×k` |
+//! | `Result` (5) | s→c | `[tag u8] [tag-specific payload]` (see [`Response`]) |
+//! | `Error` (6) | s→c | `[code u8] [msg_len u16] [utf-8 message]` |
+//!
+//! `deadline_ms = 0` means "no deadline". Key and matrix ids are content
+//! hashes (FNV-1a 64 of the raw payload bytes), so retransmitting the same
+//! material from any connection resolves to the same cache entry.
+
+use crate::{Result, ServeError};
+use cham_he::ciphertext::RlweCiphertext;
+use cham_he::hmvp::Matrix;
+use cham_he::pack::PackedRlwe;
+use cham_he::params::ChamParams;
+use cham_he::wire;
+use std::io::{Read, Write};
+
+/// Protocol revision spoken by this crate.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on a single frame; larger length prefixes are rejected
+/// before any allocation (a malicious peer cannot OOM the server with one
+/// header).
+pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Frame discriminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client hello: protocol version + parameter fingerprint.
+    Hello = 1,
+    /// Galois key set upload.
+    LoadKeys = 2,
+    /// Plain matrix upload (server encodes to NTT form once).
+    LoadMatrix = 3,
+    /// One HMVP request against cached keys + matrix.
+    Hmvp = 4,
+    /// Success response (tagged by request kind).
+    Result = 5,
+    /// Failure response.
+    Error = 6,
+}
+
+impl FrameKind {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(FrameKind::Hello),
+            2 => Ok(FrameKind::LoadKeys),
+            3 => Ok(FrameKind::LoadMatrix),
+            4 => Ok(FrameKind::Hmvp),
+            5 => Ok(FrameKind::Result),
+            6 => Ok(FrameKind::Error),
+            _ => Err(ServeError::BadFrame("unknown frame kind")),
+        }
+    }
+}
+
+/// Wire error codes carried by `Error` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Queue full — retry with backoff.
+    Busy = 1,
+    /// Deadline expired before execution.
+    TimedOut = 2,
+    /// Malformed frame or payload.
+    BadFrame = 3,
+    /// Key id not cached.
+    UnknownKey = 4,
+    /// Matrix id not cached.
+    UnknownMatrix = 5,
+    /// Parameter or version mismatch.
+    Incompatible = 6,
+    /// Server shutting down.
+    Shutdown = 7,
+    /// HE-layer or other internal failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(ErrorCode::Busy),
+            2 => Ok(ErrorCode::TimedOut),
+            3 => Ok(ErrorCode::BadFrame),
+            4 => Ok(ErrorCode::UnknownKey),
+            5 => Ok(ErrorCode::UnknownMatrix),
+            6 => Ok(ErrorCode::Incompatible),
+            7 => Ok(ErrorCode::Shutdown),
+            8 => Ok(ErrorCode::Internal),
+            _ => Err(ServeError::BadFrame("unknown error code")),
+        }
+    }
+}
+
+/// Maps a serve error to the wire code + message it travels as.
+#[must_use]
+pub fn error_to_wire(e: &ServeError) -> (ErrorCode, String) {
+    match e {
+        ServeError::Busy => (ErrorCode::Busy, "request queue is full".into()),
+        ServeError::TimedOut => (ErrorCode::TimedOut, "deadline expired".into()),
+        ServeError::BadFrame(m) => (ErrorCode::BadFrame, (*m).to_string()),
+        ServeError::UnknownKey(id) => (ErrorCode::UnknownKey, format!("{id:#018x}")),
+        ServeError::UnknownMatrix(id) => (ErrorCode::UnknownMatrix, format!("{id:#018x}")),
+        ServeError::Incompatible(m) => (ErrorCode::Incompatible, (*m).to_string()),
+        ServeError::Shutdown => (ErrorCode::Shutdown, "server shutting down".into()),
+        other => (ErrorCode::Internal, other.to_string()),
+    }
+}
+
+/// Reconstructs the local error a wire code stands for (so client callers
+/// can match on [`ServeError::Busy`] / [`ServeError::TimedOut`] directly).
+#[must_use]
+pub fn wire_to_error(code: ErrorCode, message: String) -> ServeError {
+    match code {
+        ErrorCode::Busy => ServeError::Busy,
+        ErrorCode::TimedOut => ServeError::TimedOut,
+        ErrorCode::Shutdown => ServeError::Shutdown,
+        _ => ServeError::Remote { code, message },
+    }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+/// Propagates transport errors; rejects oversized bodies.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> Result<()> {
+    if body.len() + 1 > MAX_FRAME_BYTES {
+        return Err(ServeError::BadFrame("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let len = (body.len() + 1) as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[kind as u8])?;
+    w.write_all(body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame (blocking).
+///
+/// # Errors
+/// Transport errors, zero/oversized length prefixes, unknown kinds.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(ServeError::BadFrame("zero-length frame"));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::BadFrame("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut kind_buf = [0u8; 1];
+    r.read_exact(&mut kind_buf)?;
+    let kind = FrameKind::from_u8(kind_buf[0])?;
+    let mut body = vec![0u8; len - 1];
+    r.read_exact(&mut body)?;
+    Ok((kind, body))
+}
+
+/// Little-endian cursor over a frame body.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.data.len() {
+            return Err(ServeError::BadFrame("truncated frame body"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn done(&self) -> Result<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(ServeError::BadFrame("trailing bytes in frame body"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------- Hello
+
+/// Parameter fingerprint sent in a `Hello` frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol revision the client speaks.
+    pub version: u16,
+    /// Ring degree `N`.
+    pub degree: u64,
+    /// Plaintext modulus `t`.
+    pub plain_modulus: u64,
+    /// Ciphertext prime chain (without the special prime).
+    pub ct_primes: Vec<u64>,
+    /// The special (key-switching) prime.
+    pub special_prime: u64,
+}
+
+impl Hello {
+    /// The fingerprint of a parameter set.
+    #[must_use]
+    pub fn for_params(params: &ChamParams) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            degree: params.degree() as u64,
+            plain_modulus: params.plain_modulus().value(),
+            ct_primes: params
+                .ciphertext_context()
+                .moduli()
+                .iter()
+                .map(cham_math::Modulus::value)
+                .collect(),
+            special_prime: params.special_prime(),
+        }
+    }
+
+    /// Checks the fingerprint against a local parameter set.
+    ///
+    /// # Errors
+    /// [`ServeError::Incompatible`] naming the first mismatching field.
+    pub fn check(&self, params: &ChamParams) -> Result<()> {
+        if self.version != PROTOCOL_VERSION {
+            return Err(ServeError::Incompatible("protocol version mismatch"));
+        }
+        let local = Self::for_params(params);
+        if self.degree != local.degree {
+            return Err(ServeError::Incompatible("ring degree mismatch"));
+        }
+        if self.plain_modulus != local.plain_modulus {
+            return Err(ServeError::Incompatible("plaintext modulus mismatch"));
+        }
+        if self.ct_primes != local.ct_primes {
+            return Err(ServeError::Incompatible("ciphertext prime chain mismatch"));
+        }
+        if self.special_prime != local.special_prime {
+            return Err(ServeError::Incompatible("special prime mismatch"));
+        }
+        Ok(())
+    }
+
+    /// Serializes the hello body.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(23 + 8 * self.ct_primes.len());
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.degree as u32).to_le_bytes());
+        out.extend_from_slice(&self.plain_modulus.to_le_bytes());
+        out.push(self.ct_primes.len() as u8);
+        for &q in &self.ct_primes {
+            out.extend_from_slice(&q.to_le_bytes());
+        }
+        out.extend_from_slice(&self.special_prime.to_le_bytes());
+        out
+    }
+
+    /// Parses a hello body.
+    ///
+    /// # Errors
+    /// [`ServeError::BadFrame`] for truncated or trailing bytes.
+    pub fn from_bytes(body: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(body);
+        let version = r.u16()?;
+        let degree = u64::from(r.u32()?);
+        let plain_modulus = r.u64()?;
+        let n = r.u8()? as usize;
+        let mut ct_primes = Vec::with_capacity(n);
+        for _ in 0..n {
+            ct_primes.push(r.u64()?);
+        }
+        let special_prime = r.u64()?;
+        r.done()?;
+        Ok(Self {
+            version,
+            degree,
+            plain_modulus,
+            ct_primes,
+            special_prime,
+        })
+    }
+}
+
+// ----------------------------------------------------------- LoadMatrix
+
+/// Serializes a `LoadMatrix` body.
+#[must_use]
+pub fn matrix_to_bytes(m: &Matrix) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 * m.rows() * m.cols());
+    out.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    for i in 0..m.rows() {
+        for &v in m.row(i) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Parses a `LoadMatrix` body. Entries must be below the plaintext
+/// modulus.
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for truncation, trailing bytes, implausible
+/// shapes, or out-of-range entries.
+pub fn matrix_from_bytes(body: &[u8], params: &ChamParams) -> Result<Matrix> {
+    let mut r = Reader::new(body);
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    if rows == 0 || cols == 0 {
+        return Err(ServeError::BadFrame("empty matrix"));
+    }
+    let Some(n) = rows.checked_mul(cols) else {
+        return Err(ServeError::BadFrame("matrix shape overflows"));
+    };
+    if n.checked_mul(8).is_none_or(|bytes| bytes > MAX_FRAME_BYTES) {
+        return Err(ServeError::BadFrame("matrix exceeds frame bound"));
+    }
+    let t = params.plain_modulus().value();
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = r.u64()?;
+        if v >= t {
+            return Err(ServeError::BadFrame("matrix entry exceeds the modulus"));
+        }
+        data.push(v);
+    }
+    r.done()?;
+    Matrix::from_data(rows, cols, data).map_err(ServeError::He)
+}
+
+// ----------------------------------------------------------------- Hmvp
+
+/// A parsed `Hmvp` request body.
+#[derive(Debug, Clone)]
+pub struct HmvpRequest {
+    /// Content hash of the Galois key set to use.
+    pub key_id: u64,
+    /// Content hash of the matrix to multiply by.
+    pub matrix_id: u64,
+    /// Deadline in milliseconds from receipt; 0 = none.
+    pub deadline_ms: u32,
+    /// The encrypted vector, one ciphertext per column tile.
+    pub cts: Vec<RlweCiphertext>,
+}
+
+/// Serializes an `Hmvp` request body.
+#[must_use]
+pub fn hmvp_request_to_bytes(
+    key_id: u64,
+    matrix_id: u64,
+    deadline_ms: u32,
+    cts: &[RlweCiphertext],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&key_id.to_le_bytes());
+    out.extend_from_slice(&matrix_id.to_le_bytes());
+    out.extend_from_slice(&deadline_ms.to_le_bytes());
+    out.extend_from_slice(&(cts.len() as u16).to_le_bytes());
+    for ct in cts {
+        let bytes = wire::rlwe_to_bytes(ct);
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Parses an `Hmvp` request body (ciphertexts validated against `params`).
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for framing faults; HE-layer errors for
+/// invalid ciphertext payloads.
+pub fn hmvp_request_from_bytes(body: &[u8], params: &ChamParams) -> Result<HmvpRequest> {
+    let mut r = Reader::new(body);
+    let key_id = r.u64()?;
+    let matrix_id = r.u64()?;
+    let deadline_ms = r.u32()?;
+    let k = r.u16()? as usize;
+    if k == 0 {
+        return Err(ServeError::BadFrame("hmvp request with no ciphertexts"));
+    }
+    let mut cts = Vec::with_capacity(k);
+    for _ in 0..k {
+        let len = r.u32()? as usize;
+        let bytes = r.take(len)?;
+        cts.push(wire::rlwe_from_bytes(bytes, params)?);
+    }
+    r.done()?;
+    Ok(HmvpRequest {
+        key_id,
+        matrix_id,
+        deadline_ms,
+        cts,
+    })
+}
+
+// ------------------------------------------------------------- Response
+
+/// Tag byte of a `Result` frame, matching the request kind it answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum ResponseTag {
+    Hello = 1,
+    KeysLoaded = 2,
+    MatrixLoaded = 3,
+    HmvpDone = 4,
+}
+
+/// A parsed `Result` frame.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Answer to `Hello`: the server's serving shape.
+    Hello {
+        /// Worker pool size.
+        workers: u16,
+        /// Bounded queue capacity.
+        queue_capacity: u32,
+        /// Maximum coalesced batch size.
+        max_batch: u32,
+    },
+    /// Answer to `LoadKeys`: the content hash the set is cached under.
+    KeysLoaded {
+        /// Content hash id.
+        key_id: u64,
+    },
+    /// Answer to `LoadMatrix`: the content hash + accepted shape.
+    MatrixLoaded {
+        /// Content hash id.
+        matrix_id: u64,
+        /// Accepted row count.
+        rows: u32,
+        /// Accepted column count.
+        cols: u32,
+    },
+    /// Answer to `Hmvp`: the packed output ciphertexts.
+    HmvpDone {
+        /// Total output entries (`m`).
+        len: u64,
+        /// Packed outputs, each covering up to `N` entries.
+        packed: Vec<PackedRlwe>,
+    },
+}
+
+impl Response {
+    /// Serializes the response into a `Result` frame body.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hello {
+                workers,
+                queue_capacity,
+                max_batch,
+            } => {
+                out.push(ResponseTag::Hello as u8);
+                out.extend_from_slice(&workers.to_le_bytes());
+                out.extend_from_slice(&queue_capacity.to_le_bytes());
+                out.extend_from_slice(&max_batch.to_le_bytes());
+            }
+            Response::KeysLoaded { key_id } => {
+                out.push(ResponseTag::KeysLoaded as u8);
+                out.extend_from_slice(&key_id.to_le_bytes());
+            }
+            Response::MatrixLoaded {
+                matrix_id,
+                rows,
+                cols,
+            } => {
+                out.push(ResponseTag::MatrixLoaded as u8);
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.extend_from_slice(&rows.to_le_bytes());
+                out.extend_from_slice(&cols.to_le_bytes());
+            }
+            Response::HmvpDone { len, packed } => {
+                out.push(ResponseTag::HmvpDone as u8);
+                out.extend_from_slice(&len.to_le_bytes());
+                out.extend_from_slice(&(packed.len() as u16).to_le_bytes());
+                for p in packed {
+                    let bytes = wire::rlwe_to_bytes(&p.ciphertext);
+                    out.push(p.log_count as u8);
+                    out.extend_from_slice(&(p.count as u32).to_le_bytes());
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a `Result` frame body.
+    ///
+    /// # Errors
+    /// [`ServeError::BadFrame`] for framing faults; HE-layer errors for
+    /// invalid ciphertext payloads.
+    pub fn from_bytes(body: &[u8], params: &ChamParams) -> Result<Self> {
+        let mut r = Reader::new(body);
+        let tag = r.u8()?;
+        let resp = match tag {
+            t if t == ResponseTag::Hello as u8 => Response::Hello {
+                workers: r.u16()?,
+                queue_capacity: r.u32()?,
+                max_batch: r.u32()?,
+            },
+            t if t == ResponseTag::KeysLoaded as u8 => Response::KeysLoaded { key_id: r.u64()? },
+            t if t == ResponseTag::MatrixLoaded as u8 => Response::MatrixLoaded {
+                matrix_id: r.u64()?,
+                rows: r.u32()?,
+                cols: r.u32()?,
+            },
+            t if t == ResponseTag::HmvpDone as u8 => {
+                let len = r.u64()?;
+                let count = r.u16()? as usize;
+                let mut packed = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let log_count = u32::from(r.u8()?);
+                    let filled = r.u32()? as usize;
+                    let ct_len = r.u32()? as usize;
+                    let bytes = r.take(ct_len)?;
+                    packed.push(PackedRlwe {
+                        ciphertext: wire::rlwe_from_bytes(bytes, params)?,
+                        log_count,
+                        count: filled,
+                    });
+                }
+                Response::HmvpDone { len, packed }
+            }
+            _ => return Err(ServeError::BadFrame("unknown response tag")),
+        };
+        r.done()?;
+        Ok(resp)
+    }
+}
+
+/// Serializes an `Error` frame body.
+#[must_use]
+pub fn error_body(code: ErrorCode, message: &str) -> Vec<u8> {
+    let msg = message.as_bytes();
+    let take = msg.len().min(u16::MAX as usize);
+    let mut out = Vec::with_capacity(3 + take);
+    out.push(code as u8);
+    out.extend_from_slice(&(take as u16).to_le_bytes());
+    out.extend_from_slice(&msg[..take]);
+    out
+}
+
+/// Parses an `Error` frame body into `(code, message)`.
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for framing faults.
+pub fn error_from_body(body: &[u8]) -> Result<(ErrorCode, String)> {
+    let mut r = Reader::new(body);
+    let code = ErrorCode::from_u8(r.u8()?)?;
+    let len = r.u16()? as usize;
+    let msg = String::from_utf8_lossy(r.take(len)?).into_owned();
+    r.done()?;
+    Ok((code, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cham_he::encoding::CoeffEncoder;
+    use cham_he::encrypt::Encryptor;
+    use cham_he::keys::SecretKey;
+    use rand::SeedableRng;
+
+    fn params() -> ChamParams {
+        ChamParams::insecure_test_default().unwrap()
+    }
+
+    #[test]
+    fn frame_roundtrip_and_rejections() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Hello, &[1, 2, 3]).unwrap();
+        let (kind, body) = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        assert_eq!(body, vec![1, 2, 3]);
+
+        // Zero length prefix.
+        let zero = 0u32.to_le_bytes();
+        assert!(read_frame(&mut zero.as_slice()).is_err());
+        // Oversized length prefix — rejected before allocation.
+        let huge = (u32::MAX).to_le_bytes();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // Unknown kind.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.push(99);
+        bad.push(0);
+        assert!(read_frame(&mut bad.as_slice()).is_err());
+        // Truncated body.
+        assert!(read_frame(&mut buf[..6].as_ref()).is_err());
+    }
+
+    #[test]
+    fn hello_roundtrip_and_check() {
+        let p = params();
+        let hello = Hello::for_params(&p);
+        let back = Hello::from_bytes(&hello.to_bytes()).unwrap();
+        assert_eq!(back, hello);
+        assert!(back.check(&p).is_ok());
+
+        // Any field mismatch is named.
+        let other = cham_he::params::ChamParamsBuilder::new()
+            .degree(512)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            back.check(&other),
+            Err(ServeError::Incompatible(_))
+        ));
+        let mut v = hello.clone();
+        v.version = 9;
+        assert!(v.check(&p).is_err());
+        let mut t = hello.clone();
+        t.plain_modulus += 2;
+        assert!(t.check(&p).is_err());
+        let mut s = hello;
+        s.special_prime += 2;
+        assert!(s.check(&p).is_err());
+
+        // Truncation / trailing garbage.
+        let bytes = Hello::for_params(&p).to_bytes();
+        assert!(Hello::from_bytes(&bytes[..5]).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Hello::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn matrix_roundtrip_and_validation() {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = Matrix::random(3, 7, p.plain_modulus().value(), &mut rng);
+        let bytes = matrix_to_bytes(&m);
+        let back = matrix_from_bytes(&bytes, &p).unwrap();
+        assert_eq!(back, m);
+
+        // Out-of-range entry.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matrix_from_bytes(&bad, &p).is_err());
+        // Empty shape.
+        let empty = matrix_to_bytes(&m);
+        let mut z = empty;
+        z[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matrix_from_bytes(&z, &p).is_err());
+        // Truncated.
+        assert!(matrix_from_bytes(&bytes[..bytes.len() - 1], &p).is_err());
+        // Shape overflow guard.
+        let mut of = matrix_to_bytes(&m);
+        of[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        of[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matrix_from_bytes(&of, &p).is_err());
+    }
+
+    #[test]
+    fn hmvp_request_roundtrip() {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let enc = Encryptor::new(&p, &sk);
+        let coder = CoeffEncoder::new(&p);
+        let ct = enc.encrypt_augmented(&coder.encode_vector(&[1, 2, 3]).unwrap(), &mut rng);
+        let body = hmvp_request_to_bytes(7, 9, 250, std::slice::from_ref(&ct));
+        let req = hmvp_request_from_bytes(&body, &p).unwrap();
+        assert_eq!(req.key_id, 7);
+        assert_eq!(req.matrix_id, 9);
+        assert_eq!(req.deadline_ms, 250);
+        assert_eq!(req.cts.len(), 1);
+        assert_eq!(req.cts[0], ct);
+
+        // No ciphertexts / truncation rejected.
+        let none = hmvp_request_to_bytes(1, 2, 0, &[]);
+        assert!(hmvp_request_from_bytes(&none, &p).is_err());
+        assert!(hmvp_request_from_bytes(&body[..20], &p).is_err());
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let enc = Encryptor::new(&p, &sk);
+        let coder = CoeffEncoder::new(&p);
+        let ct = enc.encrypt(&coder.encode_vector(&[4]).unwrap(), &mut rng);
+
+        let cases = [
+            Response::Hello {
+                workers: 4,
+                queue_capacity: 64,
+                max_batch: 8,
+            },
+            Response::KeysLoaded { key_id: 0xDEAD },
+            Response::MatrixLoaded {
+                matrix_id: 0xBEEF,
+                rows: 10,
+                cols: 20,
+            },
+            Response::HmvpDone {
+                len: 3,
+                packed: vec![PackedRlwe {
+                    ciphertext: ct,
+                    log_count: 2,
+                    count: 3,
+                }],
+            },
+        ];
+        for case in cases {
+            let bytes = case.to_bytes();
+            let back = Response::from_bytes(&bytes, &p).unwrap();
+            match (&case, &back) {
+                (
+                    Response::Hello {
+                        workers: a,
+                        queue_capacity: b,
+                        max_batch: c,
+                    },
+                    Response::Hello {
+                        workers: x,
+                        queue_capacity: y,
+                        max_batch: z,
+                    },
+                ) => assert_eq!((a, b, c), (x, y, z)),
+                (Response::KeysLoaded { key_id: a }, Response::KeysLoaded { key_id: b }) => {
+                    assert_eq!(a, b);
+                }
+                (
+                    Response::MatrixLoaded {
+                        matrix_id: a,
+                        rows: r1,
+                        cols: c1,
+                    },
+                    Response::MatrixLoaded {
+                        matrix_id: b,
+                        rows: r2,
+                        cols: c2,
+                    },
+                ) => assert_eq!((a, r1, c1), (b, r2, c2)),
+                (
+                    Response::HmvpDone { len: a, packed: pa },
+                    Response::HmvpDone { len: b, packed: pb },
+                ) => {
+                    assert_eq!(a, b);
+                    assert_eq!(pa.len(), pb.len());
+                    assert_eq!(pa[0].log_count, pb[0].log_count);
+                    assert_eq!(pa[0].count, pb[0].count);
+                }
+                _ => panic!("response kind changed across the wire"),
+            }
+            // Trailing garbage rejected for every tag.
+            let mut bad = case.to_bytes();
+            bad.push(0);
+            assert!(Response::from_bytes(&bad, &p).is_err());
+        }
+        assert!(Response::from_bytes(&[99], &p).is_err());
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for (code, expect_local) in [
+            (ErrorCode::Busy, true),
+            (ErrorCode::TimedOut, true),
+            (ErrorCode::Shutdown, true),
+            (ErrorCode::UnknownKey, false),
+            (ErrorCode::Internal, false),
+        ] {
+            let body = error_body(code, "msg");
+            let (back, msg) = error_from_body(&body).unwrap();
+            assert_eq!(back, code);
+            assert_eq!(msg, "msg");
+            let local = wire_to_error(back, msg);
+            match (expect_local, &local) {
+                (true, ServeError::Busy | ServeError::TimedOut | ServeError::Shutdown) => {}
+                (false, ServeError::Remote { .. }) => {}
+                other => panic!("unexpected mapping {other:?}"),
+            }
+        }
+        assert!(error_from_body(&[42, 0, 0]).is_err());
+        assert!(error_from_body(&error_body(ErrorCode::Busy, "m")[..2]).is_err());
+    }
+
+    #[test]
+    fn serve_error_to_wire_covers_variants() {
+        let (c, _) = error_to_wire(&ServeError::Busy);
+        assert_eq!(c, ErrorCode::Busy);
+        let (c, _) = error_to_wire(&ServeError::TimedOut);
+        assert_eq!(c, ErrorCode::TimedOut);
+        let (c, m) = error_to_wire(&ServeError::UnknownKey(16));
+        assert_eq!(c, ErrorCode::UnknownKey);
+        assert!(m.contains("0x"));
+        let (c, _) = error_to_wire(&ServeError::He(cham_he::HeError::NoiseBudgetExhausted));
+        assert_eq!(c, ErrorCode::Internal);
+    }
+}

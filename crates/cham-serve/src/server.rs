@@ -1,0 +1,346 @@
+//! The blocking TCP server.
+//!
+//! One accept thread, one thread per connection, and the shared
+//! [`Scheduler`] + [`WorkerPool`] behind them. Connection threads parse
+//! frames, resolve cache handles, and block on the job's `mpsc` reply —
+//! so a connection issues one HMVP at a time, and concurrency comes from
+//! multiple connections (which is what lets the scheduler coalesce).
+//!
+//! Shutdown order matters and is encoded in [`Server::shutdown`]:
+//! 1. flip the shutdown flag (connection threads stop reading),
+//! 2. self-connect to wake the blocking `accept`, join the accept thread,
+//! 3. join connection threads (in-flight replies still delivered),
+//! 4. drain the scheduler and join the workers.
+
+use crate::cache::SessionCache;
+use crate::protocol::{self, FrameKind, Hello, Response};
+use crate::scheduler::{HmvpJob, Scheduler};
+use crate::stats::{ServeStats, StatsSnapshot};
+use crate::worker::WorkerPool;
+use crate::{Result, ServeError};
+use cham_he::params::ChamParams;
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving shape: pool size, queue bound, batching and cache limits.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Bounded queue capacity (requests beyond it get `Busy`).
+    pub queue_capacity: usize,
+    /// Maximum requests coalesced into one batch.
+    pub max_batch: usize,
+    /// Intra-batch threads each worker hands to `multiply_many`.
+    pub batch_threads: usize,
+    /// LRU bound on cached Galois key sets.
+    pub key_cache: usize,
+    /// LRU bound on cached NTT-form matrices.
+    pub matrix_cache: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_threads: 1,
+            key_cache: 4,
+            matrix_cache: 8,
+        }
+    }
+}
+
+/// A running server. Dropping without [`Server::shutdown`] leaks the
+/// threads until process exit; call `shutdown` for a graceful drain.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    scheduler: Arc<Scheduler>,
+    stats: Arc<ServeStats>,
+    cache: Arc<SessionCache>,
+    accept_handle: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral port), spawns
+    /// the worker pool and accept thread, and returns the handle.
+    ///
+    /// # Errors
+    /// Bind failures.
+    pub fn start(addr: &str, params: Arc<ChamParams>, config: &ServerConfig) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServeStats::new());
+        let scheduler = Arc::new(Scheduler::new(
+            config.queue_capacity,
+            config.max_batch,
+            Arc::clone(&stats),
+        ));
+        let cache = Arc::new(SessionCache::new(
+            params,
+            config.key_cache,
+            config.matrix_cache,
+        ));
+        let pool = WorkerPool::spawn(
+            Arc::clone(&scheduler),
+            Arc::clone(&cache),
+            Arc::clone(&stats),
+            config.workers,
+            config.batch_threads,
+        );
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let scheduler = Arc::clone(&scheduler);
+            let cache = Arc::clone(&cache);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("cham-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shutdown = Arc::clone(&shutdown);
+                        let scheduler = Arc::clone(&scheduler);
+                        let cache = Arc::clone(&cache);
+                        let config = config.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("cham-serve-conn".into())
+                            .spawn(move || {
+                                let _ = handle_connection(
+                                    stream, &cache, &scheduler, &config, &shutdown,
+                                );
+                            })
+                            .expect("spawn connection thread");
+                        conns.lock().expect("conn list poisoned").push(handle);
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            addr,
+            shutdown,
+            scheduler,
+            stats,
+            cache,
+            accept_handle: Some(accept_handle),
+            conns,
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time service counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The shared session cache (for in-process serving and tests).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<SessionCache> {
+        &self.cache
+    }
+
+    /// The shared scheduler (for in-process serving and tests).
+    #[must_use]
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Gracefully stops the server: refuses new work, drains queued
+    /// requests, joins every thread, and returns the final counters.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so the accept thread sees the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for h in conns {
+            let _ = h.join();
+        }
+        self.scheduler.shutdown();
+        if let Some(pool) = self.pool.take() {
+            pool.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+/// Reads one frame, polling the shutdown flag while idle.
+///
+/// Returns `Ok(None)` on clean EOF or shutdown. The 250 ms read timeout
+/// only gates the *first* byte of a frame; once a frame has started, the
+/// remainder is read with a long timeout so a slow client mid-frame is
+/// not mistaken for an idle one.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> Result<Option<(FrameKind, Vec<u8>)>> {
+    let mut first = [0u8; 1];
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+        match stream.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut rest = [0u8; 3];
+    stream.read_exact(&mut rest)?;
+    let len = u32::from_le_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
+    if len == 0 {
+        return Err(ServeError::BadFrame("zero-length frame"));
+    }
+    if len > protocol::MAX_FRAME_BYTES {
+        return Err(ServeError::BadFrame("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let mut kind = [0u8; 1];
+    stream.read_exact(&mut kind)?;
+    let mut body = vec![0u8; len - 1];
+    stream.read_exact(&mut body)?;
+    let kind = match kind[0] {
+        1 => FrameKind::Hello,
+        2 => FrameKind::LoadKeys,
+        3 => FrameKind::LoadMatrix,
+        4 => FrameKind::Hmvp,
+        5 => FrameKind::Result,
+        6 => FrameKind::Error,
+        _ => return Err(ServeError::BadFrame("unknown frame kind")),
+    };
+    Ok(Some((kind, body)))
+}
+
+fn send_error(stream: &mut TcpStream, e: &ServeError) -> Result<()> {
+    let (code, message) = protocol::error_to_wire(e);
+    protocol::write_frame(
+        stream,
+        FrameKind::Error,
+        &protocol::error_body(code, &message),
+    )
+}
+
+/// Serves one connection until EOF, shutdown, or a framing fault.
+fn handle_connection(
+    mut stream: TcpStream,
+    cache: &SessionCache,
+    scheduler: &Scheduler,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    while let Some((kind, body)) = read_frame_interruptible(&mut stream, shutdown)? {
+        match handle_frame(kind, &body, cache, scheduler, config) {
+            Ok(response) => {
+                protocol::write_frame(&mut stream, FrameKind::Result, &response.to_bytes())?;
+            }
+            Err(e) => {
+                send_error(&mut stream, &e)?;
+                // A framing fault may have desynced the stream — close.
+                if matches!(e, ServeError::BadFrame(_)) {
+                    let _ = stream.shutdown(NetShutdown::Both);
+                    return Err(e);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dispatches one request frame to the cache/scheduler.
+fn handle_frame(
+    kind: FrameKind,
+    body: &[u8],
+    cache: &SessionCache,
+    scheduler: &Scheduler,
+    config: &ServerConfig,
+) -> Result<Response> {
+    match kind {
+        FrameKind::Hello => {
+            let hello = Hello::from_bytes(body)?;
+            hello.check(cache.params())?;
+            Ok(Response::Hello {
+                workers: config.workers as u16,
+                queue_capacity: scheduler.capacity() as u32,
+                max_batch: scheduler.max_batch() as u32,
+            })
+        }
+        FrameKind::LoadKeys => {
+            let key_id = cache.put_keys_bytes(body)?;
+            Ok(Response::KeysLoaded { key_id })
+        }
+        FrameKind::LoadMatrix => {
+            let matrix = protocol::matrix_from_bytes(body, cache.params())?;
+            let matrix_id = cache.put_matrix(body, &matrix)?;
+            Ok(Response::MatrixLoaded {
+                matrix_id,
+                rows: matrix.rows() as u32,
+                cols: matrix.cols() as u32,
+            })
+        }
+        FrameKind::Hmvp => {
+            let req = protocol::hmvp_request_from_bytes(body, cache.params())?;
+            let keys = cache.get_keys(req.key_id)?;
+            let matrix = cache.get_matrix(req.matrix_id)?;
+            if req.cts.len() != matrix.col_tiles() {
+                return Err(ServeError::Incompatible(
+                    "ciphertext count does not match the matrix's column tiles",
+                ));
+            }
+            let deadline = if req.deadline_ms == 0 {
+                None
+            } else {
+                Some(Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)))
+            };
+            let (tx, rx) = mpsc::channel();
+            scheduler.submit(HmvpJob {
+                key_id: req.key_id,
+                matrix_id: req.matrix_id,
+                keys,
+                matrix,
+                cts: req.cts,
+                deadline,
+                enqueued: Instant::now(),
+                reply: tx,
+            })?;
+            // The worker always replies (success, HE failure, or
+            // TimedOut); a disconnected channel means the pool died.
+            let result = rx
+                .recv()
+                .map_err(|_| ServeError::Incompatible("worker pool terminated"))??;
+            Ok(Response::HmvpDone {
+                len: result.len as u64,
+                packed: result.packed,
+            })
+        }
+        FrameKind::Result | FrameKind::Error => {
+            Err(ServeError::BadFrame("response frame sent to server"))
+        }
+    }
+}

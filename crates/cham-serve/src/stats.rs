@@ -1,0 +1,144 @@
+//! Always-on service counters.
+//!
+//! The scheduler and worker pool record what the service actually did —
+//! accepted/rejected/expired requests, batches, queue depth — into plain
+//! relaxed atomics that work in every build. With the `telemetry` cargo
+//! feature the same events additionally flow into the process-wide
+//! `cham-telemetry` registries (so run records and text reports pick them
+//! up); without it this struct is the only (and sufficient) source.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters for one server instance. All methods are lock-free and
+/// safe to call from any thread.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    timed_out: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batch_requests: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+impl ServeStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request entered the queue; `depth` is the queue depth after the
+    /// push (tracked as a high-water mark).
+    pub fn on_accepted(&self, depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A request bounced off a full queue.
+    pub fn on_rejected_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request's deadline expired before execution.
+    pub fn on_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` requests finished successfully.
+    pub fn on_completed(&self, n: usize) {
+        self.completed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` requests failed in the HE layer.
+    pub fn on_failed(&self, n: usize) {
+        self.failed.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// One coalesced batch of `size` requests was dispatched.
+    pub fn on_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen view of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected with `Busy` (queue full).
+    pub rejected_busy: u64,
+    /// Requests dropped with `TimedOut` (deadline expired in queue).
+    pub timed_out: u64,
+    /// Requests that produced a result.
+    pub completed: u64,
+    /// Requests that failed in the HE layer.
+    pub failed: u64,
+    /// Coalesced batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Total requests across all dispatched batches.
+    pub batch_requests: u64,
+    /// High-water mark of the queue depth.
+    pub peak_queue_depth: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean requests per dispatched batch (0 when no batch ran).
+    #[must_use]
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batch_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = ServeStats::new();
+        s.on_accepted(3);
+        s.on_accepted(1);
+        s.on_rejected_busy();
+        s.on_timed_out();
+        s.on_batch(4);
+        s.on_batch(2);
+        s.on_completed(5);
+        s.on_failed(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected_busy, 1);
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.batch_requests, 6);
+        assert_eq!(snap.peak_queue_depth, 3);
+        assert!((snap.avg_batch_size() - 3.0).abs() < f64::EPSILON);
+        assert_eq!(StatsSnapshot::default().avg_batch_size(), 0.0);
+    }
+}

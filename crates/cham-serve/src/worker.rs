@@ -1,0 +1,133 @@
+//! Fixed-size worker pool over `std::thread`.
+//!
+//! Each worker blocks on [`Scheduler::next_batch`], executes the batch as
+//! one [`Hmvp::multiply_many`](cham_he::hmvp::Hmvp::multiply_many)
+//! dispatch (reusing the cached NTT-form matrix across every request in
+//! the batch), and sends each job's result down its `mpsc` reply channel.
+//! Workers exit when the scheduler is shut down and its queue has
+//! drained, so `join` is a graceful drain, not an abort.
+
+use crate::cache::SessionCache;
+use crate::scheduler::{HmvpJob, Scheduler};
+use crate::stats::ServeStats;
+use crate::ServeError;
+use cham_telemetry::counter_add;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Handle to a spawned pool; dropping it without [`WorkerPool::join`]
+/// detaches the threads (they still exit on scheduler shutdown).
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads executing batches from `scheduler`.
+    ///
+    /// `batch_threads` is the intra-batch parallelism each worker hands
+    /// to `multiply_many` — keep it at 1 when `workers` already covers
+    /// the cores, raise it for few-worker/large-batch deployments.
+    #[must_use]
+    pub fn spawn(
+        scheduler: Arc<Scheduler>,
+        cache: Arc<SessionCache>,
+        stats: Arc<ServeStats>,
+        workers: usize,
+        batch_threads: usize,
+    ) -> Self {
+        assert!(workers > 0, "worker pool must have at least one thread");
+        let batch_threads = batch_threads.max(1);
+        let handles = (0..workers)
+            .map(|i| {
+                let scheduler = Arc::clone(&scheduler);
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("cham-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&scheduler, &cache, &stats, batch_threads))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Waits for every worker to exit (call after `Scheduler::shutdown`).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Pool size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the pool is empty (never true for a spawned pool).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+}
+
+fn worker_loop(
+    scheduler: &Scheduler,
+    cache: &SessionCache,
+    stats: &ServeStats,
+    batch_threads: usize,
+) {
+    while let Some(batch) = scheduler.next_batch() {
+        execute_batch(cache, stats, batch, batch_threads);
+    }
+}
+
+/// Runs one coalesced batch and replies to every job in it.
+fn execute_batch(
+    cache: &SessionCache,
+    stats: &ServeStats,
+    batch: Vec<HmvpJob>,
+    batch_threads: usize,
+) {
+    cham_telemetry::time_scope!("cham_serve.batch.execute");
+    // Pre-execution deadline check: batch formation already filtered
+    // expired jobs, but a long predecessor batch may have aged these.
+    let now = Instant::now();
+    let (live, expired): (Vec<_>, Vec<_>) = batch
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| d > now));
+    for job in expired {
+        stats.on_timed_out();
+        counter_add!("cham_serve.queue.timed_out", 1);
+        let _ = job.reply.send(Err(ServeError::TimedOut));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // All jobs in a batch share (key_id, matrix_id) by construction.
+    let keys = Arc::clone(&live[0].keys);
+    let matrix = Arc::clone(&live[0].matrix);
+    let inputs: Vec<Vec<_>> = live.iter().map(|j| j.cts.clone()).collect();
+    match cache
+        .hmvp()
+        .multiply_many(&matrix, &inputs, &keys, batch_threads)
+    {
+        Ok(results) => {
+            debug_assert_eq!(results.len(), live.len());
+            stats.on_completed(live.len());
+            counter_add!("cham_serve.requests.completed", live.len() as u64);
+            for (job, result) in live.into_iter().zip(results) {
+                let _ = job.reply.send(Ok(result));
+            }
+        }
+        Err(e) => {
+            stats.on_failed(live.len());
+            counter_add!("cham_serve.requests.failed", live.len() as u64);
+            for job in live {
+                let _ = job.reply.send(Err(ServeError::He(e.clone())));
+            }
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! End-to-end tests: real server on an ephemeral loopback port, real
+//! clients over TCP, results verified against the plain reference
+//! product. Uses the insecure N=256 test parameters so the suite stays
+//! fast in debug builds (tier-1 runs `cargo test -q` unoptimized).
+
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, SecretKey};
+use cham_he::params::ChamParams;
+use cham_serve::protocol::ErrorCode;
+use cham_serve::server::{Server, ServerConfig};
+use cham_serve::{ServeClient, ServeError};
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+struct Fixture {
+    params: Arc<ChamParams>,
+    sk: SecretKey,
+    gkeys: GaloisKeys,
+    indices: Vec<usize>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let params = Arc::new(ChamParams::insecure_test_default().unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let max_log = params.max_pack_log();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, max_log, &mut rng).unwrap();
+        let indices = (1..=max_log).map(|j| (1usize << j) + 1).collect();
+        Fixture {
+            params,
+            sk,
+            gkeys,
+            indices,
+        }
+    })
+}
+
+fn start_server(config: &ServerConfig) -> Server {
+    let f = fixture();
+    Server::start("127.0.0.1:0", Arc::clone(&f.params), config).unwrap()
+}
+
+fn connect(server: &Server) -> ServeClient {
+    ServeClient::connect(server.local_addr(), Arc::clone(&fixture().params)).unwrap()
+}
+
+/// Rows for a matrix whose multiply pins a worker for ≥1 s in the
+/// *current* build profile — packing cost is per row, but debug builds
+/// run it an order of magnitude slower than release.
+fn slow_rows() -> usize {
+    if cfg!(debug_assertions) {
+        1024
+    } else {
+        4096
+    }
+}
+
+/// ≥8 concurrent HMVPs from ≥2 client threads, keys + matrix loaded
+/// once, every decrypted result equal to `Matrix::mul_vector_mod`.
+#[test]
+fn concurrent_clients_all_match_reference() {
+    let f = fixture();
+    let server = start_server(&ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 8,
+        ..ServerConfig::default()
+    });
+
+    let mut main_client = connect(&server);
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let matrix = Matrix::random(8, 32, t.value(), &mut rng);
+    let key_id = main_client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = main_client.load_matrix(&matrix).unwrap();
+
+    const THREADS: u64 = 3;
+    const PER_THREAD: usize = 3;
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    std::thread::scope(|scope| {
+        for thread_id in 0..THREADS {
+            let matrix = &matrix;
+            let hmvp = &hmvp;
+            let server = &server;
+            scope.spawn(move || {
+                let mut client = connect(server);
+                let enc = Encryptor::new(&f.params, &f.sk);
+                let dec = Decryptor::new(&f.params, &f.sk);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(100 + thread_id);
+                for _ in 0..PER_THREAD {
+                    let v: Vec<u64> = (0..matrix.cols())
+                        .map(|_| rng.gen_range(0..t.value()))
+                        .collect();
+                    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+                    let result = client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+                    let got = hmvp.decrypt_result(&result, &dec).unwrap();
+                    assert_eq!(got, matrix.mul_vector_mod(&v, t).unwrap());
+                }
+            });
+        }
+    });
+
+    let stats = server.shutdown();
+    let total = THREADS * PER_THREAD as u64;
+    assert_eq!(stats.accepted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.batch_requests, total);
+    assert_eq!(stats.rejected_busy, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.batches >= 2 && stats.batches <= total);
+}
+
+/// With one worker and a queue bound of one, a third in-flight request
+/// deterministically bounces with `Busy`.
+#[test]
+fn full_queue_rejects_with_busy() {
+    let f = fixture();
+    let server = start_server(&ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        ..ServerConfig::default()
+    });
+
+    let mut main_client = connect(&server);
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    // Pins the worker for ≥1 s while the queue fills behind it.
+    let slow = Matrix::random(slow_rows(), 32, t.value(), &mut rng);
+    let small = Matrix::random(8, 32, t.value(), &mut rng);
+    let key_id = main_client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let slow_id = main_client.load_matrix(&slow).unwrap();
+    let small_id = main_client.load_matrix(&small).unwrap();
+
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let slow_cts = hmvp.encrypt_vector(&[1u64; 32], &enc, &mut rng).unwrap();
+    let small_cts = hmvp.encrypt_vector(&[2u64; 32], &enc, &mut rng).unwrap();
+
+    std::thread::scope(|scope| {
+        // A: occupies the single worker.
+        let a = {
+            let cts = slow_cts.clone();
+            let server = &server;
+            scope.spawn(move || connect(server).hmvp(key_id, slow_id, &cts, None))
+        };
+        std::thread::sleep(Duration::from_millis(400));
+        // B: fills the one queue slot.
+        let b = {
+            let cts = small_cts.clone();
+            let server = &server;
+            scope.spawn(move || connect(server).hmvp(key_id, small_id, &cts, None))
+        };
+        std::thread::sleep(Duration::from_millis(200));
+        // C: queue full, worker busy → explicit backpressure.
+        let c = main_client.hmvp(key_id, small_id, &small_cts, None);
+        assert!(
+            matches!(c, Err(ServeError::Busy)),
+            "expected Busy, got {c:?}"
+        );
+        assert!(a.join().unwrap().is_ok());
+        assert!(b.join().unwrap().is_ok());
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected_busy, 1);
+    assert_eq!(stats.completed, 2);
+}
+
+/// A queued request whose deadline expires while the worker is pinned
+/// comes back `TimedOut` — the server never computes for it.
+#[test]
+fn expired_deadline_returns_timed_out() {
+    let f = fixture();
+    let server = start_server(&ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        max_batch: 1,
+        ..ServerConfig::default()
+    });
+
+    let mut main_client = connect(&server);
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let slow = Matrix::random(slow_rows(), 32, t.value(), &mut rng);
+    let small = Matrix::random(8, 32, t.value(), &mut rng);
+    let key_id = main_client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let slow_id = main_client.load_matrix(&slow).unwrap();
+    let small_id = main_client.load_matrix(&small).unwrap();
+
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let slow_cts = hmvp.encrypt_vector(&[3u64; 32], &enc, &mut rng).unwrap();
+    let small_cts = hmvp.encrypt_vector(&[4u64; 32], &enc, &mut rng).unwrap();
+
+    std::thread::scope(|scope| {
+        let a = {
+            let cts = slow_cts.clone();
+            let server = &server;
+            scope.spawn(move || connect(server).hmvp(key_id, slow_id, &cts, None))
+        };
+        std::thread::sleep(Duration::from_millis(400));
+        // Deadline far shorter than the slow request pinning the worker.
+        let r = main_client.hmvp(
+            key_id,
+            small_id,
+            &small_cts,
+            Some(Duration::from_millis(100)),
+        );
+        assert!(
+            matches!(r, Err(ServeError::TimedOut)),
+            "expected TimedOut, got {r:?}"
+        );
+        assert!(a.join().unwrap().is_ok());
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// Unknown ids and incompatible parameter sets travel as typed error
+/// frames, not connection drops.
+#[test]
+fn wire_errors_are_typed() {
+    let f = fixture();
+    let server = start_server(&ServerConfig::default());
+
+    // Unknown key / matrix ids.
+    let mut client = connect(&server);
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&[1u64; 8], &enc, &mut rng).unwrap();
+    let r = client.hmvp(0xDEAD, 0xBEEF, &cts, None);
+    assert!(matches!(
+        r,
+        Err(ServeError::Remote {
+            code: ErrorCode::UnknownKey,
+            ..
+        })
+    ));
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let r = client.hmvp(key_id, 0xBEEF, &cts, None);
+    assert!(matches!(
+        r,
+        Err(ServeError::Remote {
+            code: ErrorCode::UnknownMatrix,
+            ..
+        })
+    ));
+
+    // Wrong ciphertext count for the matrix's column tiles.
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+    let two = vec![cts[0].clone(), cts[0].clone()];
+    let r = client.hmvp(key_id, matrix_id, &two, None);
+    assert!(matches!(
+        r,
+        Err(ServeError::Remote {
+            code: ErrorCode::Incompatible,
+            ..
+        })
+    ));
+
+    // The connection survives typed errors: a valid request still works.
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let result = client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+    let got = hmvp.decrypt_result(&result, &dec).unwrap();
+    assert_eq!(got, matrix.mul_vector_mod(&[1; 8], t).unwrap());
+
+    // A client on a different parameter set is refused at hello.
+    let other = Arc::new(
+        cham_he::params::ChamParamsBuilder::new()
+            .degree(512)
+            .build()
+            .unwrap(),
+    );
+    let r = ServeClient::connect(server.local_addr(), other);
+    assert!(matches!(
+        r,
+        Err(ServeError::Remote {
+            code: ErrorCode::Incompatible,
+            ..
+        })
+    ));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0);
+}
+
+/// Content-addressed dedup: re-uploading identical payloads returns the
+/// same ids and does not grow the cache.
+#[test]
+fn reuploads_dedup_by_content_hash() {
+    let f = fixture();
+    let server = start_server(&ServerConfig::default());
+    let mut a = connect(&server);
+    let mut b = connect(&server);
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+
+    let key_a = a.load_keys(&f.gkeys, &f.indices).unwrap();
+    let key_b = b.load_keys(&f.gkeys, &f.indices).unwrap();
+    assert_eq!(key_a, key_b);
+    let m_a = a.load_matrix(&matrix).unwrap();
+    let m_b = b.load_matrix(&matrix).unwrap();
+    assert_eq!(m_a, m_b);
+    assert_eq!(server.cache().lens(), (1, 1));
+    server.shutdown();
+}
