@@ -6,7 +6,7 @@
 //! 90% of compute offloaded, larger matrices gain more, and CHAM latency
 //! is 0.3–0.7× the GPU's.
 
-use cham_bench::{eng, BenchRun, CpuCosts};
+use cham_bench::{eng, BenchRun, CpuCosts, DotPhaseBench};
 use cham_he::params::ChamParams;
 use cham_sim::baselines::GpuModel;
 use cham_sim::pipeline::HmvpCycleModel;
@@ -59,8 +59,28 @@ fn main() {
     println!("paper claims: >10x over the CPU baseline, 0.3x–0.7x of GPU latency,");
     println!("higher gains for matrices with more rows — see ratio columns.");
 
+    // Measured (not modelled) dot-product-phase speedup: the same rows ×
+    // N workload, first capped at 1 row task, then fanned out at the
+    // requested cap on the shared pool. On a single-core host this stays
+    // ≈ 1.0 regardless of --threads; the pool's benefit needs real cores.
+    let rows = (threads.max(1) * 16).max(32);
+    let bench = DotPhaseBench::prepare(&params, rows);
+    let serial_s = bench.seconds(1, 3);
+    let parallel_s = bench.seconds(threads, 3);
+    let dot_speedup = serial_s / parallel_s;
+    println!();
+    println!(
+        "dot-product phase ({rows} rows): {} serial vs {} at {threads} thread(s) => {dot_speedup:.2}x",
+        eng(serial_s),
+        eng(parallel_s),
+    );
+
     run.param("degree", params.degree())
         .param("clock_hz", model.config().clock_hz);
     run.metric("points", JsonValue::Array(points));
+    run.metric("dot_phase_rows", rows);
+    run.metric("dot_phase_serial_seconds", JsonValue::Float(serial_s));
+    run.metric("dot_phase_parallel_seconds", JsonValue::Float(parallel_s));
+    run.metric("dot_phase_speedup", JsonValue::Float(dot_speedup));
     run.finish();
 }

@@ -20,9 +20,10 @@
 //! table formatting.
 
 #![warn(missing_docs)]
+use cham_he::ciphertext::RlweCiphertext;
 use cham_he::encrypt::{Decryptor, Encryptor};
 use cham_he::extract::extract_lwe;
-use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::hmvp::{EncodedMatrix, Hmvp, Matrix};
 use cham_he::keys::{GaloisKeys, KeySwitchKey, SecretKey};
 use cham_he::ops::{keyswitch_mask, mul_plain_prepared, rescale};
 use cham_he::pack::pack_two;
@@ -45,7 +46,10 @@ pub fn bench_rng() -> rand::rngs::StdRng {
 ///   embeds the full counter/timer snapshot.
 /// * `--threads <n>` — CPU-baseline parallelism for measurements that
 ///   support it (see [`CpuCosts::measure_with_threads`]). Defaults to 1;
-///   always recorded as the `threads` param of the run record.
+///   always recorded as the `threads` param of the run record. The value
+///   also sizes the process-global `cham-pool` kernel pool (unless
+///   `CHAM_POOL_THREADS` or an earlier pool use already fixed its size),
+///   so limb/row-parallel kernels fan out to exactly this many workers.
 ///
 /// Binaries call [`BenchRun::from_env`] first, attach `param`s and
 /// `metric`s while printing their usual tables, and end with
@@ -101,8 +105,13 @@ impl BenchRun {
                 }
             }
         }
+        // Route --threads to the shared kernel pool. First configuration
+        // wins pool-wide; an explicit CHAM_POOL_THREADS env (read on first
+        // pool use) or an earlier benchmark in-process takes precedence.
+        cham_pool::configure_global(threads);
         let mut record = RunRecord::start(name);
         record.param("threads", threads as u64);
+        record.param("pool_threads", cham_pool::global().threads() as u64);
         Self {
             record,
             json_path,
@@ -140,9 +149,20 @@ impl BenchRun {
     /// record (panicking on I/O errors — a benchmark that cannot write
     /// its results should fail loudly).
     ///
+    /// Pool activity (`pool_tasks`, `pool_steals`, `pool_parks`,
+    /// `pool_idle_ns`) is snapshotted into the record's metrics — these
+    /// counters are always on (plain atomics), independent of the
+    /// `telemetry` feature.
+    ///
     /// # Panics
     /// Panics when the record file cannot be written.
     pub fn finish(mut self) {
+        if let Some(stats) = cham_pool::global_stats() {
+            self.record.metric("pool_tasks", stats.tasks);
+            self.record.metric("pool_steals", stats.steals);
+            self.record.metric("pool_parks", stats.parks);
+            self.record.metric("pool_idle_ns", stats.idle_ns);
+        }
         self.record.finish();
         if let Some(path) = &self.json_path {
             self.record
@@ -298,6 +318,71 @@ impl CpuCosts {
     /// (one op = one 3-limb plaintext transform).
     pub fn ntt_ops_per_sec(&self, aug_limbs: usize) -> f64 {
         1.0 / (self.ntt * aug_limbs as f64)
+    }
+}
+
+/// A prepared dot-product-phase benchmark: one encoded `rows × N` matrix
+/// and one encrypted input vector, reusable across thread counts so a
+/// reported speedup ratio compares the *same* work at different
+/// parallelism caps (the pool itself stays at its configured size; the
+/// cap bounds how many row tasks run concurrently).
+#[derive(Debug)]
+pub struct DotPhaseBench {
+    hmvp: Hmvp,
+    em: EncodedMatrix,
+    ct: RlweCiphertext,
+    rows: usize,
+}
+
+impl DotPhaseBench {
+    /// Encrypts an input vector and encodes a random `rows × N` matrix at
+    /// the given parameters.
+    ///
+    /// # Panics
+    /// Panics if encoding/encryption fails (cannot happen for valid
+    /// parameters and `rows ≥ 1`).
+    #[must_use]
+    pub fn prepare(params: &ChamParams, rows: usize) -> Self {
+        let mut rng = bench_rng();
+        let sk = SecretKey::generate(params, &mut rng);
+        let enc = Encryptor::new(params, &sk);
+        let coder = cham_he::encoding::CoeffEncoder::new(params);
+        let hmvp = Hmvp::new(params);
+        let t = params.plain_modulus().value();
+        let n = params.degree();
+        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
+        let ct = enc.encrypt_augmented(&coder.encode_vector(&v).expect("vector fits"), &mut rng);
+        let data: Vec<u64> = (0..rows * n).map(|_| rng.gen_range(0..t)).collect();
+        let em = hmvp
+            .encode_matrix(&Matrix::from_data(rows, n, data).expect("shape"))
+            .expect("encode");
+        Self { hmvp, em, ct, rows }
+    }
+
+    /// Number of matrix rows per run.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Best-of-`reps` wall-clock seconds for one dot-product phase at the
+    /// given row-parallelism cap.
+    ///
+    /// # Panics
+    /// Panics if the dot-product phase fails (cannot happen for the
+    /// shapes [`DotPhaseBench::prepare`] builds).
+    #[must_use]
+    pub fn seconds(&self, threads: usize, reps: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let _ = self
+                .hmvp
+                .dot_products_parallel(&self.em, std::slice::from_ref(&self.ct), threads)
+                .expect("dot phase");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
     }
 }
 

@@ -250,15 +250,15 @@ impl Hmvp {
 
     /// Transforms the input ciphertexts to NTT form once; every matrix row
     /// reuses them (the pipeline keeps the vector resident in the NTT
-    /// domain across the whole DOTPRODUCT stage, §V-B.1).
+    /// domain across the whole DOTPRODUCT stage, §V-B.1). The per-tile
+    /// transforms are independent, so they fan out across the shared
+    /// `cham-pool` thread pool.
     fn lift_inputs_ntt(cts: &[RlweCiphertext]) -> Vec<RlweCiphertext> {
-        cts.iter()
-            .map(|ct| {
-                let mut c = ct.clone();
-                c.to_ntt();
-                c
-            })
-            .collect()
+        cham_pool::map(cts, |_, ct| {
+            let mut c = ct.clone();
+            c.to_ntt();
+            c
+        })
     }
 
     /// One row's dot product against NTT-form inputs: pointwise multiply
@@ -284,9 +284,13 @@ impl Hmvp {
         extract_lwe(&rescaled, 0)
     }
 
-    /// Multi-threaded dot-product phase: rows are partitioned across
-    /// `threads` OS threads (the multi-thread host side of Fig. 1b; also
-    /// the honest way to measure a parallel CPU baseline).
+    /// Multi-threaded dot-product phase: rows fan out across the shared
+    /// `cham-pool` work-stealing pool (the multi-thread host side of
+    /// Fig. 1b; also the honest way to measure a parallel CPU baseline).
+    /// `threads` caps the row-level parallelism; actual concurrency is
+    /// additionally bounded by the pool's worker count. Results are
+    /// bit-identical to [`Hmvp::dot_products`] at any thread count — every
+    /// row's reduction runs whole on one task.
     ///
     /// # Errors
     /// Same conditions as [`Hmvp::dot_products`].
@@ -302,32 +306,12 @@ impl Hmvp {
                 got: cts.len(),
             });
         }
-        let threads = threads.max(1).min(matrix.rows.max(1));
-        let chunk = matrix.rows.div_ceil(threads);
         let cts_ntt = Self::lift_inputs_ntt(cts);
-        let results: Vec<Result<Vec<LweCiphertext>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = matrix
-                .tiles
-                .chunks(chunk)
-                .map(|rows| {
-                    let cts_ntt = &cts_ntt;
-                    scope.spawn(move || {
-                        rows.iter()
-                            .map(|row_tiles| self.dot_row(row_tiles, cts_ntt))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker thread must not panic"))
-                .collect()
-        });
-        let mut out = Vec::with_capacity(matrix.rows);
-        for r in results {
-            out.extend(r?);
-        }
-        Ok(out)
+        cham_pool::map_capped(&matrix.tiles, threads.max(1), |_, row_tiles| {
+            self.dot_row(row_tiles, &cts_ntt)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Full HMVP (Alg. 1): dot products, extraction, and packing.
@@ -354,9 +338,10 @@ impl Hmvp {
         })
     }
 
-    /// Full HMVP with the dot-product phase parallelised over `threads`
-    /// host threads (packing remains sequential — it is a chain of
-    /// dependent reductions).
+    /// Full HMVP with the dot-product phase fanned out across the shared
+    /// pool, capped at `threads` concurrent rows (packing parallelises
+    /// per level inside [`pack_lwes`] — the reduction tree's pairs at one
+    /// level are independent).
     ///
     /// # Errors
     /// Propagates shape mismatches and missing Galois keys.
@@ -382,15 +367,17 @@ impl Hmvp {
     }
 
     /// One coalesced dispatch of the same matrix against many encrypted
-    /// vectors: the batch is partitioned across `threads` OS threads, each
-    /// running the full per-vector pipeline (dot products + packing).
+    /// vectors: the batch fans out across the shared `cham-pool` pool
+    /// (capped at `threads` concurrent inputs), each task running the full
+    /// per-vector pipeline (dot products + packing).
     ///
     /// This is the service-layer entry point: a batching scheduler that
     /// has coalesced `k` queued requests against one [`EncodedMatrix`]
-    /// pays one thread-scope spawn for the whole batch instead of `k`.
-    /// Results come back in input order. A single-element batch falls
-    /// through to [`Hmvp::multiply_parallel`] so the row-partitioned path
-    /// still applies.
+    /// pays zero thread spawns — the work rides the persistent kernel
+    /// pool, so many serve workers compose without oversubscribing the
+    /// machine. Results come back in input order. A single-element batch
+    /// falls through to [`Hmvp::multiply_parallel`] so the row-partitioned
+    /// path still applies.
     ///
     /// # Errors
     /// Propagates shape mismatches and missing Galois keys; the first
@@ -417,32 +404,11 @@ impl Hmvp {
             1 => Ok(vec![
                 self.multiply_parallel(matrix, &inputs[0], gkeys, threads)?
             ]),
-            k => {
-                let threads = threads.max(1).min(k);
-                let chunk = k.div_ceil(threads);
-                let results: Vec<Result<Vec<HmvpResult>>> = std::thread::scope(|scope| {
-                    let handles: Vec<_> = inputs
-                        .chunks(chunk)
-                        .map(|batch| {
-                            scope.spawn(move || {
-                                batch
-                                    .iter()
-                                    .map(|cts| self.multiply(matrix, cts, gkeys))
-                                    .collect()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("batch worker must not panic"))
-                        .collect()
-                });
-                let mut out = Vec::with_capacity(k);
-                for r in results {
-                    out.extend(r?);
-                }
-                Ok(out)
-            }
+            _ => cham_pool::map_capped(inputs, threads.max(1), |_, cts| {
+                self.multiply(matrix, cts, gkeys)
+            })
+            .into_iter()
+            .collect(),
         }
     }
 

@@ -212,18 +212,24 @@ pub fn keyswitch_mask(
     let target = params.ciphertext_context();
     let mut a_coeff = a.clone();
     a_coeff.to_coeff();
-    let digits = a_coeff.decompose_digits(aug)?;
+    let mut digits = a_coeff.decompose_digits(aug)?;
     if digits.len() != ksk.digit_count() {
         return Err(HeError::Incompatible(
             "digit count does not match the key-switch key",
         ));
     }
+    // The per-digit NTT + KSK multiplies are independent — fan them out
+    // across the pool; only the accumulation is a (cheap) reduction, kept
+    // sequential in digit order so the result is bit-identical to the
+    // serial loop.
+    cham_pool::for_each_mut(&mut digits, |_, d| d.to_ntt());
+    let terms = cham_pool::map(&digits, |i, d| -> Result<(RnsPoly, RnsPoly)> {
+        Ok((d.mul_pointwise(&ksk.b[i])?, d.mul_pointwise(&ksk.a[i])?))
+    });
     let mut acc_b: Option<RnsPoly> = None;
     let mut acc_a: Option<RnsPoly> = None;
-    for (i, mut d) in digits.into_iter().enumerate() {
-        d.to_ntt();
-        let tb = d.mul_pointwise(&ksk.b[i])?;
-        let ta = d.mul_pointwise(&ksk.a[i])?;
+    for term in terms {
+        let (tb, ta) = term?;
         acc_b = Some(match acc_b {
             Some(x) => x.add(&tb)?,
             None => tb,

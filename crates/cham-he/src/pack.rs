@@ -146,10 +146,16 @@ pub fn pack_lwes(
     let mut level = reordered;
     let mut h = 1u32;
     while level.len() > 1 {
-        let mut next = Vec::with_capacity(level.len() / 2);
-        for pair in level.chunks(2) {
-            next.push(pack_two(h, &pair[0], &pair[1], gkeys, params)?);
-        }
+        // Within one tree level every pair reduction is independent (the
+        // dependency chain runs *between* levels), so pairs fan out across
+        // the pool; a two-element level short-circuits to the plain loop
+        // inside `map`.
+        let pairs: Vec<&[RlweCiphertext]> = level.chunks(2).collect();
+        let next = cham_pool::map(&pairs, |_, pair| {
+            pack_two(h, &pair[0], &pair[1], gkeys, params)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?;
         level = next;
         h += 1;
     }

@@ -1,0 +1,147 @@
+//! Parallel-equivalence suite for the cham-he entry points that ride the
+//! `cham-pool` thread pool: the HMVP dot-product phase, the batched
+//! service dispatch, key-switching, and the LWE→RLWE pack tree.
+//!
+//! Each test computes a *sequential twin* on a single-thread pool (the
+//! pool's inline fast path — identical code, no tasks queued) and asserts
+//! **bit-exact** equality at pool sizes {1, 2, 3, 7, 8}. HE ciphertexts
+//! make good witnesses here: a single flipped bit anywhere in a limb
+//! shows up directly in the comparison, long before decryption.
+
+use cham_he::ciphertext::RlweCiphertext;
+use cham_he::encrypt::Encryptor;
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, KeySwitchKey, SecretKey};
+use cham_he::ops::keyswitch_mask;
+use cham_he::pack::pack_lwes;
+use cham_he::params::ChamParams;
+use cham_pool::ThreadPool;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 7, 8];
+
+struct Fixture {
+    params: ChamParams,
+    sk: SecretKey,
+    enc: Encryptor,
+    gkeys: GaloisKeys,
+    rng: rand::rngs::StdRng,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let params = ChamParams::insecure_test_default().unwrap();
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let gkeys = GaloisKeys::generate_for_packing(&sk, params.max_pack_log(), &mut rng).unwrap();
+    Fixture {
+        params,
+        sk,
+        enc,
+        gkeys,
+        rng,
+    }
+}
+
+fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    ThreadPool::new(1).install(f)
+}
+
+#[test]
+fn dot_products_bit_exact_across_pool_sizes() {
+    let mut f = fixture(0x5EED_0001);
+    let t = f.params.plain_modulus();
+    // 37 rows (odd, larger than any tested pool) over 2 column tiles.
+    let a = Matrix::random(37, 300, t.value(), &mut f.rng);
+    let v: Vec<u64> = (0..300).map(|_| f.rng.gen_range(0..t.value())).collect();
+    let hmvp = Hmvp::new(&f.params);
+    let cts = hmvp.encrypt_vector(&v, &f.enc, &mut f.rng).unwrap();
+    let em = hmvp.encode_matrix(&a).unwrap();
+    let expect = sequential(|| hmvp.dot_products(&em, &cts).unwrap());
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        // Cap = pool size, and an uncapped variant: both must agree with
+        // the serial twin bit for bit.
+        let capped = pool.install(|| hmvp.dot_products_parallel(&em, &cts, threads).unwrap());
+        let uncapped = pool.install(|| hmvp.dot_products_parallel(&em, &cts, usize::MAX).unwrap());
+        assert_eq!(capped, expect, "capped threads={threads}");
+        assert_eq!(uncapped, expect, "uncapped threads={threads}");
+    }
+}
+
+#[test]
+fn multiply_many_bit_exact_across_pool_sizes() {
+    let mut f = fixture(0x5EED_0002);
+    let t = f.params.plain_modulus();
+    let a = Matrix::random(12, 300, t.value(), &mut f.rng);
+    let hmvp = Hmvp::from_arc(Arc::new(f.params.clone()));
+    let em = hmvp.encode_matrix(&a).unwrap();
+    let inputs: Vec<Vec<RlweCiphertext>> = (0..5)
+        .map(|_| {
+            let v: Vec<u64> = (0..300).map(|_| f.rng.gen_range(0..t.value())).collect();
+            hmvp.encrypt_vector(&v, &f.enc, &mut f.rng).unwrap()
+        })
+        .collect();
+    let expect = sequential(|| {
+        inputs
+            .iter()
+            .map(|cts| hmvp.multiply(&em, cts, &f.gkeys).unwrap())
+            .collect::<Vec<_>>()
+    });
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let got = pool.install(|| hmvp.multiply_many(&em, &inputs, &f.gkeys, threads).unwrap());
+        assert_eq!(got.len(), expect.len(), "threads={threads}");
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.len, e.len, "threads={threads}");
+            assert_eq!(g.packed.len(), e.packed.len(), "threads={threads}");
+            for (gp, ep) in g.packed.iter().zip(&e.packed) {
+                assert_eq!(gp.ciphertext, ep.ciphertext, "threads={threads}");
+                assert_eq!(gp.log_count, ep.log_count, "threads={threads}");
+                assert_eq!(gp.count, ep.count, "threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn keyswitch_bit_exact_across_pool_sizes() {
+    let mut f = fixture(0x5EED_0003);
+    let ksk = KeySwitchKey::generate(&f.sk, f.sk.coeffs(), &mut f.rng).unwrap();
+    let coder = cham_he::encoding::CoeffEncoder::new(&f.params);
+    let ct = f
+        .enc
+        .encrypt(&coder.encode_vector(&[42, 17, 999]).unwrap(), &mut f.rng);
+    let expect = sequential(|| keyswitch_mask(ct.a(), &ksk, &f.params).unwrap());
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let got = pool.install(|| keyswitch_mask(ct.a(), &ksk, &f.params).unwrap());
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn pack_tree_bit_exact_across_pool_sizes() {
+    let mut f = fixture(0x5EED_0004);
+    let t = f.params.plain_modulus();
+    let coder = cham_he::encoding::CoeffEncoder::new(&f.params);
+    // 11 inputs: padded to 16, a 4-level tree with odd leftovers.
+    let lwes: Vec<_> = (0..11)
+        .map(|_| {
+            let v = f.rng.gen_range(0..t.value());
+            let ct = f
+                .enc
+                .encrypt(&coder.encode_vector(&[v]).unwrap(), &mut f.rng);
+            cham_he::extract::extract_lwe(&ct, 0).unwrap()
+        })
+        .collect();
+    let expect = sequential(|| pack_lwes(&lwes, &f.gkeys, &f.params).unwrap());
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let got = pool.install(|| pack_lwes(&lwes, &f.gkeys, &f.params).unwrap());
+        assert_eq!(got.ciphertext, expect.ciphertext, "threads={threads}");
+        assert_eq!(got.log_count, expect.log_count, "threads={threads}");
+        assert_eq!(got.count, expect.count, "threads={threads}");
+    }
+}

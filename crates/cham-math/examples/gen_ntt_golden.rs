@@ -1,0 +1,63 @@
+//! Regenerates the NTT known-answer vectors in `tests/golden/`.
+//!
+//! Each golden file holds a seeded random pair `(a, b)` and their
+//! negacyclic product `c = a * b mod (X^n + 1, q)` computed by the
+//! O(n²) schoolbook oracle — deliberately *not* by any NTT, so the
+//! files stay valid evidence against both the Cooley-Tukey and the
+//! constant-geometry transform. Run with:
+//!
+//! ```text
+//! cargo run --release -p cham-math --example gen_ntt_golden
+//! ```
+//!
+//! The files are checked in; rerunning must be a no-op unless the
+//! seeds, sizes, or moduli below change.
+
+use cham_math::modulus::{Q0, Q1, SPECIAL_P};
+use cham_math::ntt::negacyclic_mul_schoolbook;
+use cham_math::Modulus;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn render(n: usize, q: u64, seed: u64) -> String {
+    let modulus = Modulus::new(q).expect("NTT-friendly modulus");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+    let b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+    let c = negacyclic_mul_schoolbook(&a, &b, &modulus);
+
+    let mut out = String::new();
+    writeln!(out, "# negacyclic known-answer vector (schoolbook oracle)").unwrap();
+    writeln!(
+        out,
+        "# regenerate: cargo run --release -p cham-math --example gen_ntt_golden"
+    )
+    .unwrap();
+    writeln!(out, "{n} {q} {seed}").unwrap();
+    for row in [&a, &b, &c] {
+        let line: Vec<String> = row.iter().map(u64::to_string).collect();
+        writeln!(out, "{}", line.join(" ")).unwrap();
+    }
+    out
+}
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    // N = 16 exercises all three production moduli; the large sizes use
+    // Q0 (the schoolbook oracle is O(n²), keep regeneration quick).
+    let cases: &[(usize, u64, &str)] = &[
+        (16, Q0, "q0"),
+        (16, Q1, "q1"),
+        (16, SPECIAL_P, "p"),
+        (1024, Q0, "q0"),
+        (4096, Q0, "q0"),
+    ];
+    for (i, &(n, q, label)) in cases.iter().enumerate() {
+        let seed = 0x6010_D000 + i as u64;
+        let path = dir.join(format!("ntt_n{n}_{label}.txt"));
+        std::fs::write(&path, render(n, q, seed)).expect("write golden file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -333,24 +333,31 @@ impl RnsPoly {
     }
 
     /// Converts to NTT form in place (no-op when already there).
+    ///
+    /// The limb transforms are independent (one prime each — exactly the
+    /// parallelism the FPGA exploits with per-limb functional units), so
+    /// they fan out across the `cham-pool` thread pool.
     pub fn to_ntt(&mut self) {
         if self.form == Form::Ntt {
             return;
         }
-        for (limb, table) in self.limbs.iter_mut().zip(self.ctx.tables()) {
-            table.forward(limb.coeffs_mut());
-        }
+        let tables = self.ctx.tables.as_slice();
+        cham_pool::for_each_mut(&mut self.limbs, |i, limb| {
+            tables[i].forward(limb.coeffs_mut());
+        });
         self.form = Form::Ntt;
     }
 
     /// Converts to coefficient form in place (no-op when already there).
+    /// Limb-parallel like [`RnsPoly::to_ntt`].
     pub fn to_coeff(&mut self) {
         if self.form == Form::Coeff {
             return;
         }
-        for (limb, table) in self.limbs.iter_mut().zip(self.ctx.tables()) {
-            table.inverse(limb.coeffs_mut());
-        }
+        let tables = self.ctx.tables.as_slice();
+        cham_pool::for_each_mut(&mut self.limbs, |i, limb| {
+            tables[i].inverse(limb.coeffs_mut());
+        });
         self.form = Form::Coeff;
     }
 
@@ -528,8 +535,9 @@ impl RnsPoly {
         let p_mod = self.ctx.moduli()[k - 1];
         let last = &self.limbs[k - 1];
         let n = self.ctx.degree();
-        let mut limbs = Vec::with_capacity(k - 1);
-        for (i, m) in self.ctx.moduli()[..k - 1].iter().enumerate() {
+        // Each surviving limb is computed independently from (its own
+        // residues, the dropped residues) — fan out across the pool.
+        let limbs = cham_pool::map(&self.ctx.moduli()[..k - 1], |i, m| {
             let inv_p = self.ctx.inv_last[i];
             let mut out = Vec::with_capacity(n);
             for j in 0..n {
@@ -540,8 +548,8 @@ impl RnsPoly {
                 let diff = m.sub(self.limbs[i].coeffs()[j], cp_in_qi);
                 out.push(m.mul(diff, inv_p));
             }
-            limbs.push(Poly::from_coeffs(out));
-        }
+            Poly::from_coeffs(out)
+        });
         Ok(Self {
             ctx: target.clone(),
             limbs,
@@ -560,10 +568,14 @@ impl RnsPoly {
         if self.form != Form::Coeff {
             return Err(MathError::ContextMismatch);
         }
-        self.limbs
-            .iter()
-            .map(|limb| RnsPoly::from_unsigned(target, limb.coeffs()))
-            .collect()
+        // Digit i depends only on limb i; the basis extension (a reduction
+        // of every coefficient into each target modulus) is the dominant
+        // cost of key-switching, so build the digits limb-parallel.
+        cham_pool::map(&self.limbs, |_, limb| {
+            RnsPoly::from_unsigned(target, limb.coeffs())
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Max centred infinity norm across limbs — only meaningful when the

@@ -1,0 +1,188 @@
+//! Parallel-equivalence suite for the cham-math kernels that fan out
+//! across the `cham-pool` thread pool: batched NTT/INTT, RNS domain
+//! conversion, rescale, and digit decomposition (basis extension).
+//!
+//! Every test computes a *sequential twin* on a single-thread pool (the
+//! inline fast path — no tasks are queued) and asserts **bit-exact**
+//! equality against the pooled run at thread counts {1, 2, 3, 7, 8}.
+//! Equality must be exact, not approximate: each output element is a
+//! pure function of its own inputs, so chunking may only change the
+//! schedule, never a single bit of the result.
+
+use cham_math::modulus::{Q0, Q1, SPECIAL_P};
+use cham_math::rns::{Form, RnsContext, RnsPoly};
+use cham_math::{Modulus, NttTable};
+use cham_pool::ThreadPool;
+use rand::{Rng, SeedableRng};
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 3, 7, 8];
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn random_polys(count: usize, n: usize, q: &Modulus, rng: &mut impl Rng) -> Vec<Vec<u64>> {
+    (0..count)
+        .map(|_| (0..n).map(|_| rng.gen_range(0..q.value())).collect())
+        .collect()
+}
+
+fn random_rns(ctx: &RnsContext, rng: &mut impl Rng) -> RnsPoly {
+    let limbs = ctx
+        .moduli()
+        .iter()
+        .map(|m| {
+            cham_math::poly::Poly::from_coeffs(
+                (0..ctx.degree())
+                    .map(|_| rng.gen_range(0..m.value()))
+                    .collect(),
+            )
+        })
+        .collect();
+    RnsPoly::from_limbs(ctx, limbs, Form::Coeff).unwrap()
+}
+
+/// Runs `f` on a fresh single-thread pool — the sequential twin.
+fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    ThreadPool::new(1).install(f)
+}
+
+#[test]
+fn batched_ntt_matches_sequential_at_every_thread_count() {
+    let q = Modulus::new(Q0).unwrap();
+    let n = 256;
+    let table = NttTable::new(n, q).unwrap();
+    // Batch sizes around the chunking boundaries: empty, one, odd, larger
+    // than any thread count.
+    for count in [0usize, 1, 5, 13, 32] {
+        let mut r = rng(0xA11CE + count as u64);
+        let polys = random_polys(count, n, &q, &mut r);
+        let expect = sequential(|| {
+            let mut ps = polys.clone();
+            table.forward_batch(&mut ps);
+            ps
+        });
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let got = pool.install(|| {
+                let mut ps = polys.clone();
+                table.forward_batch(&mut ps);
+                ps
+            });
+            assert_eq!(got, expect, "forward count={count} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn batched_intt_roundtrips_and_matches_sequential() {
+    let q = Modulus::new(Q1).unwrap();
+    let n = 128;
+    let table = NttTable::new(n, q).unwrap();
+    let mut r = rng(0xB0B);
+    let polys = random_polys(9, n, &q, &mut r);
+    let expect = sequential(|| {
+        let mut ps = polys.clone();
+        table.forward_batch(&mut ps);
+        table.inverse_batch(&mut ps);
+        ps
+    });
+    assert_eq!(expect, polys, "batched roundtrip must be the identity");
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let got = pool.install(|| {
+            let mut ps = polys.clone();
+            table.forward_batch(&mut ps);
+            table.inverse_batch(&mut ps);
+            ps
+        });
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[test]
+fn rns_domain_conversion_matches_sequential() {
+    let ctx = RnsContext::new(64, &[Q0, Q1, SPECIAL_P]).unwrap();
+    let mut r = rng(0xC0FFEE);
+    let a = random_rns(&ctx, &mut r);
+    let expect = sequential(|| {
+        let mut x = a.clone();
+        x.to_ntt();
+        let ntt = x.clone();
+        x.to_coeff();
+        (ntt, x)
+    });
+    assert_eq!(expect.1, a, "to_ntt/to_coeff roundtrip");
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let got = pool.install(|| {
+            let mut x = a.clone();
+            x.to_ntt();
+            let ntt = x.clone();
+            x.to_coeff();
+            (ntt, x)
+        });
+        assert_eq!(got.0, expect.0, "to_ntt threads={threads}");
+        assert_eq!(got.1, expect.1, "to_coeff threads={threads}");
+    }
+}
+
+#[test]
+fn rescale_matches_sequential() {
+    let full = RnsContext::new(32, &[Q0, Q1, SPECIAL_P]).unwrap();
+    let target = full.drop_last().unwrap();
+    for seed in 0..5u64 {
+        let mut r = rng(0xD00D + seed);
+        let a = random_rns(&full, &mut r);
+        let expect = sequential(|| a.rescale_by_last(&target).unwrap());
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let got = pool.install(|| a.rescale_by_last(&target).unwrap());
+            assert_eq!(got, expect, "seed={seed} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn basis_extension_matches_sequential() {
+    let two = RnsContext::new(32, &[Q0, Q1]).unwrap();
+    let full = RnsContext::new(32, &[Q0, Q1, SPECIAL_P]).unwrap();
+    for seed in 0..5u64 {
+        let mut r = rng(0xE66 + seed);
+        let a = random_rns(&two, &mut r);
+        let expect = sequential(|| a.decompose_digits(&full).unwrap());
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let got = pool.install(|| a.decompose_digits(&full).unwrap());
+            assert_eq!(got, expect, "seed={seed} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn pooled_pointwise_pipeline_matches_schoolbook_oracle() {
+    // End-to-end sanity at an awkward thread count: a pooled NTT multiply
+    // equals the O(N^2) schoolbook oracle, so parallel chunking cannot
+    // have permuted or corrupted any lane.
+    let q = Modulus::new(Q0).unwrap();
+    let n = 64;
+    let table = NttTable::new(n, q).unwrap();
+    let mut r = rng(0xF00D);
+    let a: Vec<u64> = (0..n).map(|_| r.gen_range(0..q.value())).collect();
+    let b: Vec<u64> = (0..n).map(|_| r.gen_range(0..q.value())).collect();
+    let expect = cham_math::ntt::negacyclic_mul_schoolbook(&a, &b, &q);
+    let pool = ThreadPool::new(3);
+    let got = pool.install(|| {
+        let mut batch = vec![a.clone(), b.clone()];
+        table.forward_batch(&mut batch);
+        let fc: Vec<u64> = batch[0]
+            .iter()
+            .zip(&batch[1])
+            .map(|(&x, &y)| q.mul(x, y))
+            .collect();
+        let mut out = vec![fc];
+        table.inverse_batch(&mut out);
+        out.pop().unwrap()
+    });
+    assert_eq!(got, expect);
+}

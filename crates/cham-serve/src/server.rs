@@ -35,7 +35,8 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Maximum requests coalesced into one batch.
     pub max_batch: usize,
-    /// Intra-batch threads each worker hands to `multiply_many`.
+    /// Intra-batch parallelism cap each worker hands to `multiply_many`
+    /// (kernel-pool task fan-out per batch, not OS threads).
     pub batch_threads: usize,
     /// LRU bound on cached Galois key sets.
     pub key_cache: usize,

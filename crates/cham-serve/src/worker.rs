@@ -6,6 +6,15 @@
 //! the batch), and sends each job's result down its `mpsc` reply channel.
 //! Workers exit when the scheduler is shut down and its queue has
 //! drained, so `join` is a graceful drain, not an abort.
+//!
+//! **Composition with the kernel pool.** `multiply_many` no longer spawns
+//! OS threads per call: batch items (and the limb/row loops underneath)
+//! run as tasks on the shared `cham-pool` work-stealing pool, whose size
+//! is fixed process-wide (`CHAM_POOL_THREADS`, default
+//! `available_parallelism`). However many serve workers dispatch
+//! concurrently, kernel concurrency stays bounded by that one pool —
+//! workers merely *feed* it, so workers × batch_threads can exceed the
+//! core count without oversubscribing the machine.
 
 use crate::cache::SessionCache;
 use crate::scheduler::{HmvpJob, Scheduler};
@@ -25,9 +34,12 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads executing batches from `scheduler`.
     ///
-    /// `batch_threads` is the intra-batch parallelism each worker hands
-    /// to `multiply_many` — keep it at 1 when `workers` already covers
-    /// the cores, raise it for few-worker/large-batch deployments.
+    /// `batch_threads` is the intra-batch parallelism cap each worker
+    /// hands to `multiply_many` (how many batch items may run as
+    /// concurrent kernel-pool tasks) — keep it at 1 when `workers`
+    /// already covers the cores, raise it for few-worker/large-batch
+    /// deployments. It caps task fan-out, not OS threads: actual
+    /// concurrency is always bounded by the shared kernel pool.
     #[must_use]
     pub fn spawn(
         scheduler: Arc<Scheduler>,
