@@ -75,6 +75,33 @@ fn main() {
         eng(parallel_s),
     );
 
+    // Fused-vs-unfused ablation on the same workload: the unfused
+    // reference kernel does strict per-term MODMUL + MODADD with per-term
+    // allocations; the fused kernel accumulates in u128 lanes over
+    // worker-pinned scratch. Both serial, so the ratio isolates the
+    // lazy-accumulation + scratch-reuse gain from pool parallelism. A
+    // second, wide shape (many column tiles per row) exercises the deep
+    // accumulation regime the fused kernel targets — one-tile rows are
+    // dominated by the shared rescale/extract stage.
+    let unfused_s = bench.seconds_unfused(3);
+    let fused_speedup = unfused_s / serial_s;
+    println!(
+        "dot-product phase ({rows} rows, 1 tile/row): {} unfused vs {} fused => {fused_speedup:.2}x",
+        eng(unfused_s),
+        eng(serial_s),
+    );
+    let n = params.degree();
+    let (wide_rows, wide_tiles) = (8usize, 8usize);
+    let wide = DotPhaseBench::prepare_cols(&params, wide_rows, wide_tiles * n);
+    let wide_fused_s = wide.seconds(1, 3);
+    let wide_unfused_s = wide.seconds_unfused(3);
+    let wide_fused_speedup = wide_unfused_s / wide_fused_s;
+    println!(
+        "dot-product phase ({wide_rows} rows, {wide_tiles} tiles/row): {} unfused vs {} fused => {wide_fused_speedup:.2}x",
+        eng(wide_unfused_s),
+        eng(wide_fused_s),
+    );
+
     run.param("degree", params.degree())
         .param("clock_hz", model.config().clock_hz);
     run.metric("points", JsonValue::Array(points));
@@ -82,5 +109,20 @@ fn main() {
     run.metric("dot_phase_serial_seconds", JsonValue::Float(serial_s));
     run.metric("dot_phase_parallel_seconds", JsonValue::Float(parallel_s));
     run.metric("dot_phase_speedup", JsonValue::Float(dot_speedup));
+    run.metric("dot_phase_unfused_seconds", JsonValue::Float(unfused_s));
+    run.metric("dot_phase_fused_speedup", JsonValue::Float(fused_speedup));
+    run.metric("dot_phase_wide_tiles", wide_tiles);
+    run.metric(
+        "dot_phase_wide_fused_seconds",
+        JsonValue::Float(wide_fused_s),
+    );
+    run.metric(
+        "dot_phase_wide_unfused_seconds",
+        JsonValue::Float(wide_unfused_s),
+    );
+    run.metric(
+        "dot_phase_wide_fused_speedup",
+        JsonValue::Float(wide_fused_speedup),
+    );
     run.finish();
 }

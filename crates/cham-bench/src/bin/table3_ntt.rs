@@ -8,9 +8,24 @@
 
 use cham_bench::{si, BenchRun, CpuCosts};
 use cham_he::params::ChamParams;
+use cham_math::NttTable;
 use cham_sim::baselines::published_ntt;
 use cham_sim::pipeline::HmvpCycleModel;
 use cham_sim::report::table3;
+use std::time::Instant;
+
+/// Best-of-3 seconds for `reps` transforms of one N-point limb.
+fn time_ntt(reps: usize, mut transform: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            transform();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
 
 fn main() {
     let mut run = BenchRun::from_env("table3_ntt");
@@ -50,7 +65,38 @@ fn main() {
         model.keyswitch_ops_per_sec() / cpu_ks
     );
 
+    // Strict-vs-lazy ablation on one single-limb N = 4096 forward NTT:
+    // the same table, the same buffer, only the reduction discipline
+    // differs (canonical per butterfly vs Harvey [0, 4q) + one final pass).
+    let n = params.degree();
+    let q = params.ciphertext_context().moduli()[0];
+    let table = NttTable::new(n, q).expect("NTT table");
+    let mut poly: Vec<u64> = (0..n as u64).map(|i| i % q.value()).collect();
+    let reps = 200;
+    let strict_s = time_ntt(reps, || table.forward_strict(&mut poly));
+    let lazy_s = time_ntt(reps, || table.forward(&mut poly));
+    let lazy_speedup = strict_s / lazy_s;
+    println!();
+    println!("=== Ablation: strict vs lazy reduction (single-limb forward NTT, N = {n}) ===");
+    println!("{:>24} {:>14} {:>14}", "datapath", "sec/transform", "ops/s");
+    println!(
+        "{:>24} {:>14.3e} {:>14}",
+        "strict (reference)",
+        strict_s / reps as f64,
+        si(reps as f64 / strict_s)
+    );
+    println!(
+        "{:>24} {:>14.3e} {:>14}",
+        "lazy (production)",
+        lazy_s / reps as f64,
+        si(reps as f64 / lazy_s)
+    );
+    println!("lazy-reduction speedup:         {lazy_speedup:.2}x");
+
     run.param("degree", params.degree());
+    run.metric("ntt_strict_seconds", strict_s / reps as f64)
+        .metric("ntt_lazy_seconds", lazy_s / reps as f64)
+        .metric("ntt_lazy_speedup", lazy_speedup);
     run.metric("cham_ntt_ops_per_sec", model.ntt_ops_per_sec())
         .metric("cham_keyswitch_ops_per_sec", model.keyswitch_ops_per_sec())
         .metric("cpu_ntt_ops_per_sec", cpu_ntt)

@@ -163,6 +163,13 @@ impl BenchRun {
             self.record.metric("pool_parks", stats.parks);
             self.record.metric("pool_idle_ns", stats.idle_ns);
         }
+        // Lazy-reduction datapath activity: deferred-reduction flush passes
+        // and scratch-pool reuse. Always-on atomics, like the pool stats.
+        self.record
+            .metric("lazy_flushes", cham_math::modulus::lazy_flush_count());
+        let (hits, misses) = cham_he::scratch::scratch_stats();
+        self.record.metric("scratch_hits", hits);
+        self.record.metric("scratch_misses", misses);
         self.record.finish();
         if let Some(path) = &self.json_path {
             self.record
@@ -321,16 +328,16 @@ impl CpuCosts {
     }
 }
 
-/// A prepared dot-product-phase benchmark: one encoded `rows × N` matrix
-/// and one encrypted input vector, reusable across thread counts so a
-/// reported speedup ratio compares the *same* work at different
-/// parallelism caps (the pool itself stays at its configured size; the
-/// cap bounds how many row tasks run concurrently).
+/// A prepared dot-product-phase benchmark: one encoded `rows × cols` matrix
+/// and one encrypted input vector (one ciphertext per `N`-column tile),
+/// reusable across thread counts so a reported speedup ratio compares the
+/// *same* work at different parallelism caps (the pool itself stays at its
+/// configured size; the cap bounds how many row tasks run concurrently).
 #[derive(Debug)]
 pub struct DotPhaseBench {
     hmvp: Hmvp,
     em: EncodedMatrix,
-    ct: RlweCiphertext,
+    cts: Vec<RlweCiphertext>,
     rows: usize,
 }
 
@@ -343,6 +350,18 @@ impl DotPhaseBench {
     /// parameters and `rows ≥ 1`).
     #[must_use]
     pub fn prepare(params: &ChamParams, rows: usize) -> Self {
+        Self::prepare_cols(params, rows, params.degree())
+    }
+
+    /// [`Self::prepare`] with an explicit column count: `⌈cols/N⌉` column
+    /// tiles per row, so the per-row accumulation depth (the regime the
+    /// fused kernel targets) scales with `cols`.
+    ///
+    /// # Panics
+    /// Panics if encoding/encryption fails (cannot happen for valid
+    /// parameters, `rows ≥ 1` and `cols ≥ 1`).
+    #[must_use]
+    pub fn prepare_cols(params: &ChamParams, rows: usize, cols: usize) -> Self {
         let mut rng = bench_rng();
         let sk = SecretKey::generate(params, &mut rng);
         let enc = Encryptor::new(params, &sk);
@@ -350,13 +369,23 @@ impl DotPhaseBench {
         let hmvp = Hmvp::new(params);
         let t = params.plain_modulus().value();
         let n = params.degree();
-        let v: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
-        let ct = enc.encrypt_augmented(&coder.encode_vector(&v).expect("vector fits"), &mut rng);
-        let data: Vec<u64> = (0..rows * n).map(|_| rng.gen_range(0..t)).collect();
+        let v: Vec<u64> = (0..cols).map(|_| rng.gen_range(0..t)).collect();
+        let cts: Vec<RlweCiphertext> = v
+            .chunks(n)
+            .map(|tile| {
+                enc.encrypt_augmented(&coder.encode_vector(tile).expect("vector fits"), &mut rng)
+            })
+            .collect();
+        let data: Vec<u64> = (0..rows * cols).map(|_| rng.gen_range(0..t)).collect();
         let em = hmvp
-            .encode_matrix(&Matrix::from_data(rows, n, data).expect("shape"))
+            .encode_matrix(&Matrix::from_data(rows, cols, data).expect("shape"))
             .expect("encode");
-        Self { hmvp, em, ct, rows }
+        Self {
+            hmvp,
+            em,
+            cts,
+            rows,
+        }
     }
 
     /// Number of matrix rows per run.
@@ -378,7 +407,30 @@ impl DotPhaseBench {
             let t0 = Instant::now();
             let _ = self
                 .hmvp
-                .dot_products_parallel(&self.em, std::slice::from_ref(&self.ct), threads)
+                .dot_products_parallel(&self.em, &self.cts, threads)
+                .expect("dot phase");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    /// Best-of-`reps` wall-clock seconds for one dot-product phase through
+    /// the pre-fusion reference kernel (`dot_products_unfused`): strict
+    /// per-term MODMUL/MODADD with per-term allocations, serial over rows.
+    /// Paired with [`DotPhaseBench::seconds`] at `threads = 1` this isolates
+    /// the lazy-accumulation + scratch-reuse gain from pool parallelism.
+    ///
+    /// # Panics
+    /// Panics if the dot-product phase fails (cannot happen for the
+    /// shapes [`DotPhaseBench::prepare`] builds).
+    #[must_use]
+    pub fn seconds_unfused(&self, reps: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let _ = self
+                .hmvp
+                .dot_products_unfused(&self.em, &self.cts)
                 .expect("dot phase");
             best = best.min(t0.elapsed().as_secs_f64());
         }

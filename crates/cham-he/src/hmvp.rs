@@ -25,7 +25,7 @@ use crate::ops::{lift_plaintext_ntt, rescale};
 use crate::pack::{pack_lwes, PackedRlwe};
 use crate::params::ChamParams;
 use crate::{HeError, Result};
-use cham_math::rns::RnsPoly;
+use cham_math::rns::{FusedAccumulator, RnsPoly};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -261,11 +261,38 @@ impl Hmvp {
         })
     }
 
-    /// One row's dot product against NTT-form inputs: pointwise multiply
-    /// and accumulate per column tile ("a row residing in multiple
+    /// One row's dot product against NTT-form inputs: fused pointwise
+    /// multiply-accumulate per column tile ("a row residing in multiple
     /// ciphertexts needs to be aggregated", §V-B.2), then a single INTT /
     /// rescale / extract for the row.
+    ///
+    /// Products are accumulated with reduction deferred
+    /// ([`FusedAccumulator`]) into per-worker scratch, so the tile loop
+    /// performs no modular correction and no heap allocation — bit-identical
+    /// to the strict [`Hmvp::dot_products_unfused`] twin.
     fn dot_row(
+        &self,
+        row_tiles: &[cham_math::rns::RnsPoly],
+        cts_ntt: &[RlweCiphertext],
+    ) -> Result<LweCiphertext> {
+        let aug = self.params.augmented_context();
+        let lanes = aug.len() * aug.degree();
+        let (b, a) = crate::scratch::with_dot_scratch(lanes, |s| -> Result<_> {
+            let mut b_acc = FusedAccumulator::new(aug, &mut s.b_acc)?;
+            let mut a_acc = FusedAccumulator::new(aug, &mut s.a_acc)?;
+            for (pt_ntt, ct) in row_tiles.iter().zip(cts_ntt) {
+                b_acc.accumulate(ct.b(), pt_ntt)?;
+                a_acc.accumulate(ct.a(), pt_ntt)?;
+            }
+            Ok((b_acc.finish(), a_acc.finish()))
+        })?;
+        let rescaled = rescale(&RlweCiphertext::new(b, a)?, &self.params)?;
+        extract_lwe(&rescaled, 0)
+    }
+
+    /// Strict-reduction, allocating twin of [`Hmvp::dot_row`] — kept for
+    /// equivalence tests and the `fig8_hmvp` ablation column.
+    fn dot_row_unfused(
         &self,
         row_tiles: &[cham_math::rns::RnsPoly],
         cts_ntt: &[RlweCiphertext],
@@ -282,6 +309,32 @@ impl Hmvp {
         let (b, a) = acc.expect("at least one column tile");
         let rescaled = rescale(&RlweCiphertext::new(b, a)?, &self.params)?;
         extract_lwe(&rescaled, 0)
+    }
+
+    /// Dot-product phase through the strict per-tile multiply/add path (no
+    /// deferred reduction, two allocations per row×tile) — the ablation
+    /// baseline for the fused kernel; results are bit-identical to
+    /// [`Hmvp::dot_products`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Hmvp::dot_products`].
+    pub fn dot_products_unfused(
+        &self,
+        matrix: &EncodedMatrix,
+        cts: &[RlweCiphertext],
+    ) -> Result<Vec<LweCiphertext>> {
+        if cts.len() != matrix.col_tiles() {
+            return Err(HeError::ShapeMismatch {
+                expected: matrix.col_tiles(),
+                got: cts.len(),
+            });
+        }
+        let cts_ntt = Self::lift_inputs_ntt(cts);
+        matrix
+            .tiles
+            .iter()
+            .map(|row_tiles| self.dot_row_unfused(row_tiles, &cts_ntt))
+            .collect()
     }
 
     /// Multi-threaded dot-product phase: rows fan out across the shared
@@ -556,6 +609,50 @@ mod tests {
         }
         // Shape mismatch propagates from workers too.
         assert!(hmvp.dot_products_parallel(&em, &cts[..1], 2).is_err());
+    }
+
+    #[test]
+    fn fused_dot_products_match_unfused() {
+        let (params, _, enc, _, _, mut rng) = setup();
+        let t = params.plain_modulus();
+        // 2 column tiles exercises cross-tile accumulation; 37 rows the
+        // odd-count path.
+        let a = Matrix::random(37, 300, t.value(), &mut rng);
+        let v: Vec<u64> = (0..300).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        let fused = hmvp.dot_products(&em, &cts).unwrap();
+        let unfused = hmvp.dot_products_unfused(&em, &cts).unwrap();
+        assert_eq!(fused, unfused, "lazy datapath must be bit-identical");
+    }
+
+    #[test]
+    fn steady_state_dot_phase_does_not_allocate_scratch() {
+        let (params, _, enc, _, _, mut rng) = setup();
+        let t = params.plain_modulus();
+        let a = Matrix::random(16, 300, t.value(), &mut rng);
+        let v: Vec<u64> = (0..300).map(|_| rng.gen_range(0..t.value())).collect();
+        let hmvp = Hmvp::new(&params);
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+        let em = hmvp.encode_matrix(&a).unwrap();
+        // Warm-up populates every worker's scratch slot.
+        hmvp.dot_products_parallel(&em, &cts, 4).unwrap();
+        // Concurrently running tests share slot 0 and can steal a buffer
+        // mid-measurement; retry so only a systematic per-row miss fails.
+        let mut flat = false;
+        for _ in 0..5 {
+            let (_, misses_before) = crate::scratch::scratch_stats();
+            for _ in 0..3 {
+                hmvp.dot_products_parallel(&em, &cts, 4).unwrap();
+            }
+            let (_, misses_after) = crate::scratch::scratch_stats();
+            if misses_after == misses_before {
+                flat = true;
+                break;
+            }
+        }
+        assert!(flat, "steady-state dot phase must not allocate scratch");
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod noise;
 pub mod ops;
 pub mod pack;
 pub mod params;
+pub mod scratch;
 pub(crate) mod telemetry;
 pub mod wire;
 

@@ -13,7 +13,7 @@ use crate::encoding::Plaintext;
 use crate::keys::{GaloisKeys, KeySwitchKey};
 use crate::params::ChamParams;
 use crate::{HeError, Result};
-use cham_math::rns::{Form, RnsContext, RnsPoly};
+use cham_math::rns::{Form, FusedAccumulator, RnsContext, RnsPoly};
 
 /// Lifts a plaintext into an RNS basis with **centred** coefficients (so
 /// multiplication noise scales with `t/2`, not `t`), returning it in NTT
@@ -59,8 +59,8 @@ pub fn mul_plain(
     let mut a = ct.a().clone();
     b.to_ntt();
     a.to_ntt();
-    let mut b = b.mul_pointwise(&pt_ntt)?;
-    let mut a = a.mul_pointwise(&pt_ntt)?;
+    b.mul_pointwise_assign(&pt_ntt)?;
+    a.mul_pointwise_assign(&pt_ntt)?;
     b.to_coeff();
     a.to_coeff();
     RlweCiphertext::new(b, a)
@@ -82,8 +82,8 @@ pub fn mul_plain_prepared(ct: &RlweCiphertext, pt_ntt: &RnsPoly) -> Result<RlweC
     let mut a = ct.a().clone();
     b.to_ntt();
     a.to_ntt();
-    let mut b = b.mul_pointwise(pt_ntt)?;
-    let mut a = a.mul_pointwise(pt_ntt)?;
+    b.mul_pointwise_assign(pt_ntt)?;
+    a.mul_pointwise_assign(pt_ntt)?;
     b.to_coeff();
     a.to_coeff();
     RlweCiphertext::new(b, a)
@@ -123,7 +123,10 @@ pub fn add_plain(
     if ct.form() == Form::Ntt {
         scaled.to_ntt();
     }
-    RlweCiphertext::new(ct.b().add(&scaled)?, ct.a().clone())
+    // Fold `b` into the freshly built Δ·pt in place — one allocation for
+    // the sum instead of a second from `add`.
+    scaled.add_assign(ct.b())?;
+    RlweCiphertext::new(scaled, ct.a().clone())
 }
 
 /// Small-scalar multiplication: `ct' = c·ct`, multiplying the plaintext by
@@ -218,29 +221,23 @@ pub fn keyswitch_mask(
             "digit count does not match the key-switch key",
         ));
     }
-    // The per-digit NTT + KSK multiplies are independent — fan them out
-    // across the pool; only the accumulation is a (cheap) reduction, kept
-    // sequential in digit order so the result is bit-identical to the
-    // serial loop.
+    // The per-digit NTTs are independent — fan them out across the pool.
+    // The digit × KSK multiplies then run through one fused accumulator
+    // pair over per-worker scratch (deferred reduction, no per-term
+    // allocation); the sum of products is the same residues the strict
+    // multiply/add sequence produces, so the result stays bit-identical.
     cham_pool::for_each_mut(&mut digits, |_, d| d.to_ntt());
-    let terms = cham_pool::map(&digits, |i, d| -> Result<(RnsPoly, RnsPoly)> {
-        Ok((d.mul_pointwise(&ksk.b[i])?, d.mul_pointwise(&ksk.a[i])?))
-    });
-    let mut acc_b: Option<RnsPoly> = None;
-    let mut acc_a: Option<RnsPoly> = None;
-    for term in terms {
-        let (tb, ta) = term?;
-        acc_b = Some(match acc_b {
-            Some(x) => x.add(&tb)?,
-            None => tb,
-        });
-        acc_a = Some(match acc_a {
-            Some(x) => x.add(&ta)?,
-            None => ta,
-        });
-    }
-    let mut acc_b = acc_b.expect("at least one digit");
-    let mut acc_a = acc_a.expect("at least one digit");
+    let lanes = aug.len() * aug.degree();
+    let (mut acc_b, mut acc_a) =
+        crate::scratch::with_dot_scratch(lanes, |s| -> Result<(RnsPoly, RnsPoly)> {
+            let mut b_acc = FusedAccumulator::new(aug, &mut s.b_acc)?;
+            let mut a_acc = FusedAccumulator::new(aug, &mut s.a_acc)?;
+            for (i, d) in digits.iter().enumerate() {
+                b_acc.accumulate(d, &ksk.b[i])?;
+                a_acc.accumulate(d, &ksk.a[i])?;
+            }
+            Ok((b_acc.finish(), a_acc.finish()))
+        })?;
     acc_b.to_coeff();
     acc_a.to_coeff();
     Ok((

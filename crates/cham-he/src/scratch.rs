@@ -1,0 +1,139 @@
+//! Per-worker scratch buffers for the fused HMVP kernels.
+//!
+//! The dot phase runs one [`cham_math::rns::FusedAccumulator`] pair per row;
+//! backing those with freshly allocated `u128` vectors would put two heap
+//! allocations back on every row — exactly the churn the fused kernel
+//! removes. Instead, workers check buffers out of a small pool keyed by the
+//! `cham-pool` worker index, so the steady state recycles one scratch pair
+//! per worker with no locking contention (each worker hits its own slot).
+//!
+//! Ownership rules:
+//! * a scratch is owned exclusively for the duration of one
+//!   [`with_dot_scratch`] call and returned to the caller's slot afterwards,
+//! * buffers are size-matched, never resized — a request for an unseen
+//!   `(degree, limbs)` shape allocates (a *miss*) and the buffer joins the
+//!   pool on release,
+//! * slot depth is bounded ([`MAX_PER_SLOT`]); excess buffers are dropped
+//!   rather than hoarded.
+//!
+//! Hit/miss counts are always-on atomics (like the pool stats from
+//! `cham-pool`) so run records can report them without the `telemetry`
+//! feature; with the feature they are mirrored to the
+//! `cham_he.hmvp.scratch.{hit,miss}` counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bound on buffers parked per worker slot.
+const MAX_PER_SLOT: usize = 4;
+
+/// A reusable pair of deferred-reduction accumulators (`b` and `a`
+/// components of a ciphertext row), each `limbs × degree` lanes.
+pub(crate) struct DotScratch {
+    pub(crate) b_acc: Vec<u128>,
+    pub(crate) a_acc: Vec<u128>,
+}
+
+struct ScratchPool {
+    /// Slot 0 serves non-pool threads; slot `i + 1` serves pool worker `i`.
+    slots: Vec<Mutex<Vec<DotScratch>>>,
+}
+
+static POOL: OnceLock<ScratchPool> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn pool() -> &'static ScratchPool {
+    POOL.get_or_init(|| {
+        let slots = cham_pool::current_threads() + 1;
+        ScratchPool {
+            slots: (0..slots).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    })
+}
+
+/// The calling thread's slot. Worker indices from a private (non-global)
+/// pool may exceed the slot count sized off the global pool — the modulo
+/// keeps them valid at worst sharing a slot.
+fn slot_index(p: &ScratchPool) -> usize {
+    cham_pool::current_worker_index().map_or(0, |i| (i + 1) % p.slots.len())
+}
+
+/// Scratch-pool hit and miss totals `(hits, misses)` since process start.
+/// A flat miss count across repeated dot phases is the zero-allocation
+/// steady-state witness asserted by tests and reported in run records.
+#[must_use]
+pub fn scratch_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+/// Runs `f` with a checked-out scratch of exactly `len` lanes per
+/// accumulator, returning the buffer to the worker's slot afterwards.
+pub(crate) fn with_dot_scratch<T>(len: usize, f: impl FnOnce(&mut DotScratch) -> T) -> T {
+    let p = pool();
+    let idx = slot_index(p);
+    let mut scratch = {
+        let mut stack = p.slots[idx].lock().expect("scratch slot poisoned");
+        match stack.iter().position(|s| s.b_acc.len() == len) {
+            Some(pos) => {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                cham_telemetry::counter_add!("cham_he.hmvp.scratch.hit", 1);
+                stack.swap_remove(pos)
+            }
+            None => {
+                MISSES.fetch_add(1, Ordering::Relaxed);
+                cham_telemetry::counter_add!("cham_he.hmvp.scratch.miss", 1);
+                DotScratch {
+                    b_acc: vec![0u128; len],
+                    a_acc: vec![0u128; len],
+                }
+            }
+        }
+    };
+    let out = f(&mut scratch);
+    // Return to the slot we took it from; a worker migrating between
+    // calls only costs a future miss, never correctness.
+    let mut stack = p.slots[idx].lock().expect("scratch slot poisoned");
+    if stack.len() < MAX_PER_SLOT {
+        stack.push(scratch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_is_a_hit_and_misses_stay_flat() {
+        let len = 48;
+        let (_, m0) = scratch_stats();
+        with_dot_scratch(len, |s| {
+            assert_eq!(s.b_acc.len(), len);
+            assert_eq!(s.a_acc.len(), len);
+        });
+        let (_, m1) = scratch_stats();
+        let h1 = scratch_stats().0;
+        // Every subsequent same-shape call on this thread reuses the buffer.
+        for _ in 0..10 {
+            with_dot_scratch(len, |_| {});
+        }
+        let (h2, m2) = scratch_stats();
+        assert_eq!(m2, m1, "steady state must not allocate");
+        assert!(h2 >= h1 + 10);
+        assert!(m1 > m0, "first call was a miss");
+    }
+
+    #[test]
+    fn distinct_shapes_do_not_alias() {
+        with_dot_scratch(16, |s| s.b_acc.fill(7));
+        with_dot_scratch(32, |s| {
+            assert_eq!(s.b_acc.len(), 32);
+        });
+        // The 16-lane buffer is still pooled and comes back dirty — callers
+        // (FusedAccumulator::new) zero it.
+        with_dot_scratch(16, |s| {
+            assert_eq!(s.b_acc.len(), 16);
+        });
+    }
+}

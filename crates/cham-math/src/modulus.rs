@@ -15,6 +15,28 @@
 //! all prime and all `≡ 1 (mod 2^13)`, hence NTT-friendly for `N = 4096`.
 
 use crate::{MathError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Count of deferred-reduction flushes (always-on relaxed atomic, mirrored
+/// into the `cham_math.modulus.reduce.lazy_flush` telemetry counter when the
+/// `telemetry` feature is enabled). A *flush* is one canonical-reduction
+/// pass over a lazy `u128` accumulator vector — see
+/// [`crate::poly::flush_accumulator`].
+static LAZY_FLUSHES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of deferred-reduction flushes performed by lazy accumulation
+/// kernels since process start. Exposed so run records can report flush
+/// activity even without the `telemetry` feature (like the pool stats).
+pub fn lazy_flush_count() -> u64 {
+    LAZY_FLUSHES.load(Ordering::Relaxed)
+}
+
+/// Records one deferred-reduction flush pass.
+#[inline]
+pub(crate) fn record_lazy_flush() {
+    LAZY_FLUSHES.fetch_add(1, Ordering::Relaxed);
+    cham_telemetry::counter_add!("cham_math.modulus.reduce.lazy_flush", 1);
+}
 
 /// CHAM ciphertext modulus `q0 = 2^34 + 2^27 + 1`.
 pub const Q0: u64 = (1 << 34) + (1 << 27) + 1;
@@ -239,6 +261,61 @@ impl Modulus {
     #[inline]
     pub fn mul(&self, a: u64, b: u64) -> u64 {
         self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Twice the modulus — the lazy-domain correction constant. Fits in
+    /// `u64` because `q < 2^62`.
+    #[inline]
+    pub const fn two_q(&self) -> u64 {
+        self.value << 1
+    }
+
+    /// Lazy addition: `a + b` with **no** modular correction. For operands
+    /// in `[0, 2q)` the result is in `[0, 4q)`, which still fits in `u64`
+    /// thanks to the `q < 2^62` headroom bound enforced by
+    /// [`Modulus::new`]. Feed results to [`Modulus::reduce_from_lazy`] (or
+    /// keep them in the lazy pipeline) before comparing against canonical
+    /// values.
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.two_q() && b < self.two_q());
+        a + b
+    }
+
+    /// Lazy subtraction: `a + 2q − b`, correction-free. For `a, b` in
+    /// `[0, 2q)` the result is in `(0, 4q)` and congruent to `a − b mod q`.
+    #[inline]
+    pub fn sub_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.two_q() && b <= self.two_q());
+        a + self.two_q() - b
+    }
+
+    /// Shoup multiplication without the final conditional subtraction:
+    /// result in `[0, 2q)`, congruent to `a·w mod q`. Valid for **any**
+    /// `u64` operand `a` (in particular lazy `[0, 4q)` values) and a
+    /// canonical constant `w < q` with `w_shoup = self.shoup(w)` — the
+    /// quotient estimate `⌊a·w_shoup/2^64⌋` is off by at most one, so the
+    /// remainder stays below `2q`.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.value))
+    }
+
+    /// Finishes a lazy value: maps `x ∈ [0, 4q)` to canonical `[0, q)`
+    /// with two conditional subtractions (the single normalization pass at
+    /// the end of a lazy NTT).
+    #[inline]
+    pub fn reduce_from_lazy(&self, x: u64) -> u64 {
+        debug_assert!(x < 2 * self.two_q());
+        let mut r = x;
+        if r >= self.two_q() {
+            r -= self.two_q();
+        }
+        if r >= self.value {
+            r -= self.value;
+        }
+        r
     }
 
     /// `a * b mod q` via the hardware shift-add path when available, else

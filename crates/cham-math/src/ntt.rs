@@ -10,6 +10,25 @@
 //! multiplication. Twiddles fold the `ψ^i` pre/post-twist into the butterfly
 //! constants (Harvey/SEAL layout), and every constant carries a Shoup
 //! companion word so butterflies cost one high-half and one low multiply.
+//!
+//! ## Lazy-reduction datapath
+//!
+//! The default [`NttTable::forward`]/[`NttTable::inverse`] run Harvey-style
+//! *lazy* butterflies: operands travel in `[0, 4q)` (forward) / `[0, 2q)`
+//! (inverse), each butterfly pays **one** conditional `−2q` correction
+//! instead of two full modular corrections, and canonical form is restored
+//! by a single normalization pass at the end (forward) or by folding the
+//! `n^{-1}` scaling into the last butterfly stage (inverse — the separate
+//! full-array scaling loop is gone). This is safe because every workspace
+//! modulus satisfies `q < 2^62` ([`Modulus::new`]), so `4q` sums fit `u64`
+//! and Shoup products of lazy operands stay below `2q`
+//! ([`Modulus::mul_shoup_lazy`]).
+//!
+//! The strict-reduction twins ([`NttTable::forward_strict`],
+//! [`NttTable::inverse_strict`]) are kept callable in every build so the
+//! equivalence property tests, golden KATs, and the `table3_ntt` ablation
+//! can compare the two datapaths bit for bit; production code should not
+//! call them.
 
 use crate::modulus::Modulus;
 use crate::primality::min_primitive_root_of_unity;
@@ -42,6 +61,11 @@ pub struct NttTable {
     inv_root_powers_shoup: Vec<u64>,
     n_inv: u64,
     n_inv_shoup: u64,
+    /// `inv_root_powers[1] · n^{-1}` — the last GS stage's single twiddle
+    /// with the transform scaling folded in, so the lazy inverse needs no
+    /// final full-array scaling loop.
+    inv_last_scaled: u64,
+    inv_last_scaled_shoup: u64,
     psi: u64,
 }
 
@@ -81,6 +105,7 @@ impl NttTable {
         let root_powers_shoup = root_powers.iter().map(|&w| q.shoup(w)).collect();
         let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| q.shoup(w)).collect();
         let n_inv = q.inv(n as u64)?;
+        let inv_last_scaled = q.mul(inv_root_powers[1], n_inv);
         Ok(Self {
             n,
             log_n,
@@ -91,6 +116,8 @@ impl NttTable {
             inv_root_powers_shoup,
             n_inv,
             n_inv_shoup: q.shoup(n_inv),
+            inv_last_scaled,
+            inv_last_scaled_shoup: q.shoup(inv_last_scaled),
             psi,
         })
     }
@@ -120,11 +147,108 @@ impl NttTable {
     }
 
     /// In-place forward negacyclic NTT. Input in normal order, output in
-    /// bit-reversed order.
+    /// bit-reversed order. Runs the lazy Harvey datapath (see the module
+    /// docs); output is canonical, bit-identical to
+    /// [`NttTable::forward_strict`].
     ///
     /// # Panics
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_forward(&self.q, self.n, self.log_n);
+        let q = &self.q;
+        let two_q = q.two_q();
+        let mut t = self.n;
+        let mut m = 1usize;
+        while m < self.n {
+            t >>= 1;
+            for i in 0..m {
+                let w = self.root_powers[m + i];
+                let ws = self.root_powers_shoup[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    // Harvey butterfly: operands live in [0, 4q); one
+                    // conditional −2q on u is the only correction.
+                    let mut u = a[j];
+                    if u >= two_q {
+                        u -= two_q;
+                    }
+                    let v = q.mul_shoup_lazy(a[j + t], w, ws);
+                    a[j] = u + v;
+                    a[j + t] = u + two_q - v;
+                }
+            }
+            m <<= 1;
+        }
+        // Single normalization pass: [0, 4q) → [0, q).
+        for x in a.iter_mut() {
+            *x = q.reduce_from_lazy(*x);
+        }
+    }
+
+    /// In-place inverse negacyclic NTT. Input in bit-reversed order, output
+    /// in normal order, scaled by `n^{-1}`. Lazy Gentleman–Sande datapath:
+    /// values stay in `[0, 2q)` between stages, and the `n^{-1}` scaling is
+    /// folded into the last stage's twiddle so no final scaling loop runs.
+    /// Bit-identical to [`NttTable::inverse_strict`].
+    ///
+    /// # Panics
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "operand length mismatch");
+        crate::telemetry::ntt_inverse(&self.q, self.n, self.log_n);
+        let q = &self.q;
+        let two_q = q.two_q();
+        let mut t = 1usize;
+        let mut m = self.n;
+        while m > 2 {
+            let h = m >> 1;
+            let mut j1 = 0usize;
+            for i in 0..h {
+                let w = self.inv_root_powers[h + i];
+                let ws = self.inv_root_powers_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    // Lazy GS: one conditional −2q on the sum; the
+                    // difference leg absorbs its 2q offset in the Shoup
+                    // multiply's implicit reduction to [0, 2q).
+                    let mut s = u + v;
+                    if s >= two_q {
+                        s -= two_q;
+                    }
+                    a[j] = s;
+                    a[j + t] = q.mul_shoup_lazy(u + two_q - v, w, ws);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        // Last stage (m == 2): a single twiddle across n/2 butterflies;
+        // scale both legs by n^{-1} via pre-scaled constants, producing
+        // canonical output directly — the full-array scaling loop is gone.
+        debug_assert_eq!(t, self.n / 2);
+        for j in 0..t {
+            let u = a[j];
+            let v = a[j + t];
+            a[j] = q.mul_shoup(u + v, self.n_inv, self.n_inv_shoup);
+            a[j + t] = q.mul_shoup(
+                u + two_q - v,
+                self.inv_last_scaled,
+                self.inv_last_scaled_shoup,
+            );
+        }
+    }
+
+    /// Strict-reduction forward transform — every butterfly fully reduces
+    /// to `[0, q)`. Reference datapath for the lazy/strict equivalence
+    /// tests and the `table3_ntt` ablation; production code uses
+    /// [`NttTable::forward`].
+    ///
+    /// # Panics
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
         crate::telemetry::ntt_forward(&self.q, self.n, self.log_n);
         let q = &self.q;
@@ -147,12 +271,12 @@ impl NttTable {
         }
     }
 
-    /// In-place inverse negacyclic NTT. Input in bit-reversed order, output
-    /// in normal order, scaled by `n^{-1}`.
+    /// Strict-reduction inverse transform with the separate `n^{-1}`
+    /// scaling loop — the reference twin of [`NttTable::inverse`].
     ///
     /// # Panics
     /// Panics if `a.len() != self.n()`.
-    pub fn inverse(&self, a: &mut [u64]) {
+    pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "operand length mismatch");
         crate::telemetry::ntt_inverse(&self.q, self.n, self.log_n);
         let q = &self.q;
@@ -180,10 +304,34 @@ impl NttTable {
         }
     }
 
+    /// Out-of-place forward transform: `dst = NTT(src)` without touching
+    /// `src` and without allocating — the batch-call-site replacement for
+    /// [`NttTable::forward_to_vec`].
+    ///
+    /// # Panics
+    /// Panics if either slice's length differs from `self.n()`.
+    pub fn forward_into(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.n, "operand length mismatch");
+        assert_eq!(dst.len(), self.n, "operand length mismatch");
+        dst.copy_from_slice(src);
+        self.forward(dst);
+    }
+
+    /// Out-of-place inverse transform: `dst = INTT(src)`, allocation-free.
+    ///
+    /// # Panics
+    /// Panics if either slice's length differs from `self.n()`.
+    pub fn inverse_into(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.n, "operand length mismatch");
+        assert_eq!(dst.len(), self.n, "operand length mismatch");
+        dst.copy_from_slice(src);
+        self.inverse(dst);
+    }
+
     /// Convenience: returns `NTT(a)` without mutating the input.
     pub fn forward_to_vec(&self, a: &[u64]) -> Vec<u64> {
-        let mut v = a.to_vec();
-        self.forward(&mut v);
+        let mut v = vec![0u64; self.n];
+        self.forward_into(a, &mut v);
         v
     }
 

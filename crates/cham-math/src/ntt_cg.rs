@@ -135,11 +135,35 @@ impl CgNttTable {
             .sum()
     }
 
+    /// One forward CG stage (scatter dataflow) in Harvey lazy form: inputs
+    /// in `[0, 4q)`, outputs in `[0, 4q)`, a single conditional `−2q` on the
+    /// `u` leg per butterfly.
+    #[inline]
+    fn forward_stage_lazy(&self, i: usize, src: &[u64], dst: &mut [u64]) {
+        let q = &self.q;
+        let two_q = q.two_q();
+        let half = self.n / 2;
+        let base = i * half;
+        for j in 0..half {
+            let w = self.twiddles[base + j];
+            let ws = self.twiddles_shoup[base + j];
+            let mut u = src[j];
+            if u >= two_q {
+                u -= two_q;
+            }
+            let v = q.mul_shoup_lazy(src[j + half], w, ws);
+            dst[2 * j] = u + v;
+            dst[2 * j + 1] = u + two_q - v;
+        }
+    }
+
     /// Forward negacyclic CG-NTT. Input normal order, output bit-reversed —
     /// identical to [`crate::ntt::NttTable::forward`].
     ///
-    /// Out-of-place ping-pong between two scratch buffers, mirroring the
-    /// RAM-0/RAM-1 alternation of the hardware (§IV-A.1).
+    /// Out-of-place ping-pong between `a` and one scratch buffer, mirroring
+    /// the RAM-0/RAM-1 alternation of the hardware (§IV-A.1). Butterflies
+    /// run lazily in `[0, 4q)`; the copy-back/store stage normalizes to
+    /// canonical form, so the result is bit-identical to the strict datapath.
     ///
     /// # Panics
     /// Panics if `a.len() != self.n()`.
@@ -147,26 +171,54 @@ impl CgNttTable {
         assert_eq!(a.len(), self.n, "operand length mismatch");
         crate::telemetry::ntt_cg_forward(&self.q, self.n, self.log_n);
         let q = &self.q;
-        let half = self.n / 2;
-        // Twist: fold ψ^j into the load stage.
+        // Twist: fold ψ^j into the load stage. Lazy product lands in
+        // [0, 2q) ⊂ [0, 4q), the stage input invariant.
         for j in 0..self.n {
-            a[j] = q.mul_shoup(a[j], self.twist[j], self.twist_shoup[j]);
+            a[j] = q.mul_shoup_lazy(a[j], self.twist[j], self.twist_shoup[j]);
         }
-        let mut ping = a.to_vec();
-        let mut pong = vec![0u64; self.n];
+        let mut scratch = vec![0u64; self.n];
+        let mut in_a = true;
         for i in 0..self.log_n as usize {
-            let base = i * half;
-            for j in 0..half {
-                let w = self.twiddles[base + j];
-                let ws = self.twiddles_shoup[base + j];
-                let u = ping[j];
-                let v = q.mul_shoup(ping[j + half], w, ws);
-                pong[2 * j] = q.add(u, v);
-                pong[2 * j + 1] = q.sub(u, v);
+            if in_a {
+                self.forward_stage_lazy(i, a, &mut scratch);
+            } else {
+                self.forward_stage_lazy(i, &scratch, a);
             }
-            std::mem::swap(&mut ping, &mut pong);
+            in_a = !in_a;
         }
-        a.copy_from_slice(&ping);
+        // Store stage: normalize [0, 4q) → [0, q), fused with the final
+        // RAM copy-back when the data ended in the scratch bank.
+        if in_a {
+            for x in a.iter_mut() {
+                *x = q.reduce_from_lazy(*x);
+            }
+        } else {
+            for (x, &s) in a.iter_mut().zip(scratch.iter()) {
+                *x = q.reduce_from_lazy(s);
+            }
+        }
+    }
+
+    /// One inverse CG stage (gather dataflow) in lazy form: inputs and
+    /// outputs both in `[0, 2q)`.
+    #[inline]
+    fn inverse_stage_lazy(&self, i: usize, src: &[u64], dst: &mut [u64]) {
+        let q = &self.q;
+        let two_q = q.two_q();
+        let half = self.n / 2;
+        let base = i * half;
+        for j in 0..half {
+            let winv = self.inv_twiddles[base + j];
+            let ws = self.inv_twiddles_shoup[base + j];
+            let x = src[2 * j];
+            let y = src[2 * j + 1];
+            let mut s = x + y;
+            if s >= two_q {
+                s -= two_q;
+            }
+            dst[j] = s;
+            dst[j + half] = q.mul_shoup_lazy(x + two_q - y, winv, ws);
+        }
     }
 
     /// Inverse negacyclic CG-NTT. Input bit-reversed, output normal order.
@@ -174,7 +226,9 @@ impl CgNttTable {
     /// Runs the reversed (gather) dataflow: stage `i` of the forward network
     /// is undone by reading pairs `(2j, 2j+1)` and writing `(j, j + N/2)` —
     /// still constant geometry, with its own twiddle ROM (`inv_twiddles`).
-    /// The `1/N` scale and ψ^{-j} untwist are fused into the store stage.
+    /// The `1/N` scale and ψ^{-j} untwist are fused into the store stage,
+    /// whose strict Shoup multiply also collapses the `[0, 2q)` lazy values
+    /// back to canonical form.
     ///
     /// # Panics
     /// Panics if `a.len() != self.n()`.
@@ -182,24 +236,26 @@ impl CgNttTable {
         assert_eq!(a.len(), self.n, "operand length mismatch");
         crate::telemetry::ntt_cg_inverse(&self.q, self.n, self.log_n);
         let q = &self.q;
-        let half = self.n / 2;
-        let mut ping = a.to_vec();
-        let mut pong = vec![0u64; self.n];
+        let mut scratch = vec![0u64; self.n];
+        let mut in_a = true;
         for i in (0..self.log_n as usize).rev() {
-            let base = i * half;
-            for j in 0..half {
-                let winv = self.inv_twiddles[base + j];
-                let ws = self.inv_twiddles_shoup[base + j];
-                let x = ping[2 * j];
-                let y = ping[2 * j + 1];
-                pong[j] = q.add(x, y);
-                pong[j + half] = q.mul_shoup(q.sub(x, y), winv, ws);
+            if in_a {
+                self.inverse_stage_lazy(i, a, &mut scratch);
+            } else {
+                self.inverse_stage_lazy(i, &scratch, a);
             }
-            std::mem::swap(&mut ping, &mut pong);
+            in_a = !in_a;
         }
         // Untwist and scale (the deferred /2 per stage == 1/N overall).
-        for j in 0..self.n {
-            a[j] = q.mul_shoup(ping[j], self.untwist[j], self.untwist_shoup[j]);
+        // `mul_shoup` fully reduces, so this also finishes the lazy values.
+        if in_a {
+            for j in 0..self.n {
+                a[j] = q.mul_shoup(a[j], self.untwist[j], self.untwist_shoup[j]);
+            }
+        } else {
+            for j in 0..self.n {
+                a[j] = q.mul_shoup(scratch[j], self.untwist[j], self.untwist_shoup[j]);
+            }
         }
     }
 

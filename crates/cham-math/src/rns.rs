@@ -361,6 +361,28 @@ impl RnsPoly {
         self.form = Form::Coeff;
     }
 
+    /// Out-of-place batch domain conversion: fills `dst`'s existing limb
+    /// buffers with `NTT(self)` via [`NttTable::forward_into`], so repeated
+    /// conversions (e.g. lifting rows into scratch) allocate nothing.
+    /// `self` stays in coefficient form; `dst` ends in NTT form.
+    /// Limb-parallel like [`RnsPoly::to_ntt`].
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] unless `self` is in coefficient form
+    /// and `dst` shares this context.
+    pub fn to_ntt_into(&self, dst: &mut Self) -> Result<()> {
+        if self.form != Form::Coeff || self.ctx != dst.ctx {
+            return Err(MathError::ContextMismatch);
+        }
+        let tables = self.ctx.tables.as_slice();
+        let src = self.limbs.as_slice();
+        cham_pool::for_each_mut(&mut dst.limbs, |i, limb| {
+            tables[i].forward_into(src[i].coeffs(), limb.coeffs_mut());
+        });
+        dst.form = Form::Ntt;
+        Ok(())
+    }
+
     /// Limb-wise addition.
     ///
     /// # Errors
@@ -379,6 +401,42 @@ impl RnsPoly {
             limbs,
             form: self.form,
         })
+    }
+
+    /// In-place limb-wise addition — the allocation-free twin of
+    /// [`RnsPoly::add`].
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts or forms differ.
+    pub fn add_assign(&mut self, rhs: &Self) -> Result<()> {
+        self.check_compat(rhs)?;
+        for ((a, b), m) in self
+            .limbs
+            .iter_mut()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli.iter())
+        {
+            a.add_assign(b, m);
+        }
+        Ok(())
+    }
+
+    /// In-place limb-wise subtraction — the allocation-free twin of
+    /// [`RnsPoly::sub`].
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts or forms differ.
+    pub fn sub_assign(&mut self, rhs: &Self) -> Result<()> {
+        self.check_compat(rhs)?;
+        for ((a, b), m) in self
+            .limbs
+            .iter_mut()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli.iter())
+        {
+            a.sub_assign(b, m);
+        }
+        Ok(())
     }
 
     /// Limb-wise subtraction.
@@ -440,6 +498,28 @@ impl RnsPoly {
             limbs,
             form: self.form,
         })
+    }
+
+    /// In-place coefficient-wise product — the allocation-free twin of
+    /// [`RnsPoly::mul_pointwise`].
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if contexts differ or either operand
+    /// is in coefficient form.
+    pub fn mul_pointwise_assign(&mut self, rhs: &Self) -> Result<()> {
+        self.check_compat(rhs)?;
+        if self.form != Form::Ntt {
+            return Err(MathError::ContextMismatch);
+        }
+        for ((a, b), m) in self
+            .limbs
+            .iter_mut()
+            .zip(&rhs.limbs)
+            .zip(self.ctx.moduli.iter())
+        {
+            a.mul_pointwise_assign(b, m);
+        }
+        Ok(())
     }
 
     /// Multiplies by a small scalar in either form.
@@ -587,6 +667,138 @@ impl RnsPoly {
             .map(|(l, m)| l.centered_inf_norm(m))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Deferred-reduction multiply-accumulate over RNS polynomials in NTT form —
+/// the fused kernel behind the HMVP dot phase, keyswitch digit accumulation
+/// and the pack tree.
+///
+/// Products are accumulated into a caller-owned `u128` scratch slice
+/// (flattened `limbs × degree`, typically borrowed from a per-worker scratch
+/// pool so the steady state allocates nothing). Reduction is deferred until
+/// [`crate::poly::LAZY_ACC_BOUND`] terms have been accumulated, then a flush
+/// pass collapses each lane to its canonical residue
+/// (`cham_math.modulus.reduce.lazy_flush` counts these).
+///
+/// # Example
+/// ```
+/// use cham_math::rns::{FusedAccumulator, RnsContext, RnsPoly};
+/// use cham_math::modulus::{Q0, Q1};
+/// let ctx = RnsContext::new(16, &[Q0, Q1])?;
+/// let mut a = RnsPoly::from_signed(&ctx, &[1i64; 16])?;
+/// a.to_ntt();
+/// let mut scratch = vec![0u128; ctx.len() * ctx.degree()];
+/// let mut acc = FusedAccumulator::new(&ctx, &mut scratch)?;
+/// acc.accumulate(&a, &a)?;
+/// acc.accumulate(&a, &a)?;
+/// let sum = acc.finish(); // == a·a + a·a, in NTT form
+/// # assert_eq!(sum, a.mul_pointwise(&a)?.add(&a.mul_pointwise(&a)?)?);
+/// # Ok::<(), cham_math::MathError>(())
+/// ```
+#[derive(Debug)]
+pub struct FusedAccumulator<'a> {
+    ctx: RnsContext,
+    acc: &'a mut [u128],
+    pending: usize,
+    /// No term has been written yet: the scratch still holds whatever the
+    /// previous user left there, and the next term must *store*, not add.
+    fresh: bool,
+}
+
+impl<'a> FusedAccumulator<'a> {
+    /// Starts an accumulation over `ctx` using `scratch` as backing store.
+    /// The scratch is *not* zeroed: the first [`Self::accumulate`] overwrites
+    /// every lane, so a pooled buffer can be reused dirty without paying a
+    /// separate clearing pass.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if `scratch.len() != len · degree`.
+    pub fn new(ctx: &RnsContext, scratch: &'a mut [u128]) -> Result<Self> {
+        if scratch.len() != ctx.len() * ctx.degree() {
+            return Err(MathError::ContextMismatch);
+        }
+        Ok(Self {
+            ctx: ctx.clone(),
+            acc: scratch,
+            pending: 0,
+            fresh: true,
+        })
+    }
+
+    /// Adds `a ⊙ b` (pointwise NTT-domain product) into the accumulator,
+    /// with reduction deferred. Auto-flushes when the
+    /// [`crate::poly::LAZY_ACC_BOUND`] headroom bound is reached.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] unless both operands are in NTT form
+    /// over this accumulator's context.
+    pub fn accumulate(&mut self, a: &RnsPoly, b: &RnsPoly) -> Result<()> {
+        if a.ctx != self.ctx || b.ctx != self.ctx || a.form != Form::Ntt || b.form != Form::Ntt {
+            return Err(MathError::ContextMismatch);
+        }
+        if self.pending == crate::poly::LAZY_ACC_BOUND {
+            self.flush();
+        }
+        let n = self.ctx.degree();
+        let write = if self.fresh {
+            crate::poly::mul_pointwise_write
+        } else {
+            crate::poly::mul_pointwise_accumulate
+        };
+        for (i, (la, lb)) in a.limbs.iter().zip(&b.limbs).enumerate() {
+            write(&mut self.acc[i * n..(i + 1) * n], la.coeffs(), lb.coeffs());
+        }
+        self.fresh = false;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Collapses every lane to its canonical residue, restoring full
+    /// headroom. Called automatically; public for callers that want
+    /// deterministic flush points.
+    pub fn flush(&mut self) {
+        if self.fresh {
+            return; // nothing accumulated; the scratch holds stale data
+        }
+        let n = self.ctx.degree();
+        for (i, m) in self.ctx.moduli().iter().enumerate() {
+            crate::poly::flush_accumulator(&mut self.acc[i * n..(i + 1) * n], m);
+        }
+        self.pending = 0;
+    }
+
+    /// Final reduction into `out`'s existing limb buffers (no allocation).
+    /// `out` ends in NTT form; the scratch is released for reuse.
+    ///
+    /// # Errors
+    /// [`MathError::ContextMismatch`] if `out`'s context differs.
+    pub fn finish_into(self, out: &mut RnsPoly) -> Result<()> {
+        if out.ctx != self.ctx {
+            return Err(MathError::ContextMismatch);
+        }
+        let n = self.ctx.degree();
+        for (i, m) in self.ctx.moduli().iter().enumerate() {
+            let limb = out.limbs[i].coeffs_mut();
+            if self.fresh {
+                // No term was ever accumulated: the sum is zero and the
+                // scratch contents are stale — do not reduce them.
+                limb.fill(0);
+            } else {
+                crate::poly::finish_accumulator(&self.acc[i * n..(i + 1) * n], m, limb);
+            }
+        }
+        out.form = Form::Ntt;
+        Ok(())
+    }
+
+    /// Final reduction into a freshly allocated [`RnsPoly`] (NTT form).
+    pub fn finish(self) -> RnsPoly {
+        let mut out = RnsPoly::zero(&self.ctx);
+        let ctx = self.ctx.clone();
+        self.finish_into(&mut out).expect("context matches");
+        debug_assert_eq!(out.ctx, ctx);
+        out
     }
 }
 
@@ -792,6 +1004,93 @@ mod tests {
         a.to_coeff();
         assert!(a.automorph(3).is_ok());
         assert!(a.shift_neg(1).is_ok());
+    }
+
+    #[test]
+    fn assign_ops_match_allocating_twins() {
+        let c = ctx3(32);
+        let mut rng = rng();
+        let av: Vec<i64> = (0..32).map(|_| rng.gen_range(-100..100)).collect();
+        let bv: Vec<i64> = (0..32).map(|_| rng.gen_range(-100..100)).collect();
+        let a = RnsPoly::from_signed(&c, &av).unwrap();
+        let b = RnsPoly::from_signed(&c, &bv).unwrap();
+        let mut x = a.clone();
+        x.add_assign(&b).unwrap();
+        assert_eq!(x, a.add(&b).unwrap());
+        x.sub_assign(&b).unwrap();
+        assert_eq!(x, a);
+        // Mismatched forms are rejected like the allocating ops.
+        let mut bn = b.clone();
+        bn.to_ntt();
+        assert!(x.add_assign(&bn).is_err());
+        assert!(x.sub_assign(&bn).is_err());
+    }
+
+    #[test]
+    fn to_ntt_into_matches_in_place() {
+        let c = ctx3(64);
+        let mut rng = rng();
+        let coeffs: Vec<i64> = (0..64).map(|_| rng.gen_range(-100..100)).collect();
+        let a = RnsPoly::from_signed(&c, &coeffs).unwrap();
+        // dst starts as arbitrary garbage (a stale NTT-form value).
+        let mut dst = RnsPoly::from_signed(&c, &vec![7i64; 64]).unwrap();
+        dst.to_ntt();
+        a.to_ntt_into(&mut dst).unwrap();
+        let mut expect = a.clone();
+        expect.to_ntt();
+        assert_eq!(dst, expect);
+        assert_eq!(a.form(), Form::Coeff, "source untouched");
+        // NTT-form source is rejected.
+        assert!(expect.to_ntt_into(&mut dst).is_err());
+    }
+
+    #[test]
+    fn fused_accumulator_matches_mul_add() {
+        let c = ctx3(16);
+        let mut rng = rng();
+        let terms = 2 * crate::poly::LAZY_ACC_BOUND + 3; // forces auto-flushes
+        let pairs: Vec<(RnsPoly, RnsPoly)> = (0..terms)
+            .map(|_| {
+                let av: Vec<i64> = (0..16).map(|_| rng.gen_range(-1000..1000)).collect();
+                let bv: Vec<i64> = (0..16).map(|_| rng.gen_range(-1000..1000)).collect();
+                let mut a = RnsPoly::from_signed(&c, &av).unwrap();
+                let mut b = RnsPoly::from_signed(&c, &bv).unwrap();
+                a.to_ntt();
+                b.to_ntt();
+                (a, b)
+            })
+            .collect();
+        let mut strict: Option<RnsPoly> = None;
+        for (a, b) in &pairs {
+            let t = a.mul_pointwise(b).unwrap();
+            strict = Some(match strict {
+                Some(s) => s.add(&t).unwrap(),
+                None => t,
+            });
+        }
+        let mut scratch = vec![0u128; c.len() * c.degree()];
+        let mut acc = FusedAccumulator::new(&c, &mut scratch).unwrap();
+        for (a, b) in &pairs {
+            acc.accumulate(a, b).unwrap();
+        }
+        let fused = acc.finish();
+        assert_eq!(fused, strict.unwrap());
+        assert_eq!(fused.form(), Form::Ntt);
+    }
+
+    #[test]
+    fn fused_accumulator_validates() {
+        let c = ctx3(16);
+        let mut short = vec![0u128; 5];
+        assert!(FusedAccumulator::new(&c, &mut short).is_err());
+        let mut scratch = vec![0u128; c.len() * c.degree()];
+        let mut acc = FusedAccumulator::new(&c, &mut scratch).unwrap();
+        let coeff_form = RnsPoly::from_signed(&c, &[1i64; 16]).unwrap();
+        assert!(acc.accumulate(&coeff_form, &coeff_form).is_err());
+        let other = RnsContext::new(16, &[Q0, Q1]).unwrap();
+        let mut foreign = RnsPoly::from_signed(&other, &[1i64; 16]).unwrap();
+        foreign.to_ntt();
+        assert!(acc.accumulate(&foreign, &foreign).is_err());
     }
 
     #[test]

@@ -87,11 +87,51 @@ const GOLDEN_FILES: [&str; 5] = [
     "ntt_n4096_q0.txt",
 ];
 
+/// Negacyclic multiply through the strict-reduction reference datapath.
+fn mul_via_ntt_strict(g: &Golden) -> Vec<u64> {
+    let table = NttTable::new(g.n, g.q).expect("NttTable");
+    let mut fa = g.a.clone();
+    table.forward_strict(&mut fa);
+    let mut fb = g.b.clone();
+    table.forward_strict(&mut fb);
+    let mut c = pointwise(&fa, &fb, &g.q);
+    table.inverse_strict(&mut c);
+    c
+}
+
 #[test]
 fn cooley_tukey_matches_schoolbook_golden() {
+    // `forward`/`inverse` run the lazy Harvey datapath, so this KAT pins
+    // the production path to the schoolbook oracle.
     for name in GOLDEN_FILES {
         let g = load(name);
         assert_eq!(mul_via_ntt(&g), g.c, "{name}");
+    }
+}
+
+#[test]
+fn strict_datapath_matches_schoolbook_golden() {
+    for name in GOLDEN_FILES {
+        let g = load(name);
+        assert_eq!(mul_via_ntt_strict(&g), g.c, "{name}");
+    }
+}
+
+#[test]
+fn lazy_and_strict_agree_lane_for_lane_on_golden_inputs() {
+    for name in GOLDEN_FILES {
+        let g = load(name);
+        let table = NttTable::new(g.n, g.q).expect("NttTable");
+        for input in [&g.a, &g.b] {
+            let mut lazy = input.clone();
+            table.forward(&mut lazy);
+            let mut strict = input.clone();
+            table.forward_strict(&mut strict);
+            assert_eq!(lazy, strict, "{name}: forward");
+            table.inverse(&mut lazy);
+            table.inverse_strict(&mut strict);
+            assert_eq!(lazy, strict, "{name}: inverse");
+        }
     }
 }
 

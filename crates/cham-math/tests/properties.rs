@@ -5,7 +5,9 @@ use cham_math::modulus::{Modulus, Q0, Q1, SPECIAL_P};
 use cham_math::montgomery::MontgomeryContext;
 use cham_math::ntt::{negacyclic_mul_schoolbook, NttTable};
 use cham_math::ntt_cg::CgNttTable;
-use cham_math::poly::Poly;
+use cham_math::poly::{
+    finish_accumulator, flush_accumulator, mul_pointwise_accumulate, Poly, LAZY_ACC_BOUND,
+};
 use cham_math::rns::RnsContext;
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -16,6 +18,46 @@ fn q0() -> Modulus {
 
 fn coeff() -> impl Strategy<Value = u64> {
     0..Q0
+}
+
+const WORKSPACE_MODULI: [u64; 3] = [Q0, Q1, SPECIAL_P];
+
+/// Checks that the lazy datapath (the default `forward`/`inverse`) is
+/// bit-identical to the strict twins on `input` (canonicalised per
+/// modulus), for every workspace modulus.
+fn assert_lazy_equals_strict(n: usize, input: &[u64]) {
+    for qv in WORKSPACE_MODULI {
+        let q = Modulus::new(qv).unwrap();
+        let t = NttTable::new(n, q).unwrap();
+        let a: Vec<u64> = input.iter().map(|&x| q.reduce(x)).collect();
+
+        let mut lazy = a.clone();
+        t.forward(&mut lazy);
+        let mut strict = a.clone();
+        t.forward_strict(&mut strict);
+        assert_eq!(lazy, strict, "forward q={qv} n={n}");
+
+        let mut lazy_inv = lazy;
+        t.inverse(&mut lazy_inv);
+        let mut strict_inv = strict;
+        t.inverse_strict(&mut strict_inv);
+        assert_eq!(lazy_inv, strict_inv, "inverse q={qv} n={n}");
+        assert_eq!(lazy_inv, a, "roundtrip q={qv} n={n}");
+    }
+}
+
+#[test]
+fn lazy_ntt_worst_case_all_moduli_all_sizes() {
+    // q−1 everywhere is the maximal-operand stress for the [0, 4q)
+    // headroom: every butterfly input sits at the top of its range.
+    for n in [16usize, 1024, 4096] {
+        let worst = vec![u64::MAX; n]; // reduces to q−1-ish extremes per q
+        assert_lazy_equals_strict(n, &worst);
+        for qv in WORKSPACE_MODULI {
+            let exact = vec![qv - 1; n];
+            assert_lazy_equals_strict(n, &exact);
+        }
+    }
 }
 
 proptest! {
@@ -149,6 +191,50 @@ proptest! {
         prop_assert_eq!(ctx.crt_lift(&ctx.residues_of(x)), x);
     }
 
+    // --- lazy datapath equivalence ---
+
+    #[test]
+    fn lazy_ntt_matches_strict_n16(a in vec(any::<u64>(), 16)) {
+        assert_lazy_equals_strict(16, &a);
+    }
+
+    #[test]
+    fn fused_accumulate_matches_strict_twin(
+        seeds in vec(any::<u64>(), 8),
+        terms in 1usize..(2 * LAZY_ACC_BOUND + 2),
+    ) {
+        for qv in WORKSPACE_MODULI {
+            let q = Modulus::new(qv).unwrap();
+            // Derive `terms` operand pairs deterministically from the seeds.
+            let n = seeds.len();
+            let gen_poly = |salt: u64| -> Poly {
+                seeds
+                    .iter()
+                    .map(|&s| q.reduce(s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(salt)))
+                    .collect()
+            };
+            let pairs: Vec<(Poly, Poly)> = (0..terms as u64)
+                .map(|i| (gen_poly(2 * i), gen_poly(2 * i + 1)))
+                .collect();
+
+            let mut strict = Poly::zero(n);
+            for (a, b) in &pairs {
+                strict.add_assign(&a.mul_pointwise(b, &q), &q);
+            }
+
+            let mut acc = vec![0u128; n];
+            for (i, (a, b)) in pairs.iter().enumerate() {
+                if i > 0 && i % LAZY_ACC_BOUND == 0 {
+                    flush_accumulator(&mut acc, &q);
+                }
+                mul_pointwise_accumulate(&mut acc, a.coeffs(), b.coeffs());
+            }
+            let mut fused = vec![0u64; n];
+            finish_accumulator(&acc, &q, &mut fused);
+            prop_assert_eq!(&fused, strict.coeffs(), "q={}", qv);
+        }
+    }
+
     #[test]
     fn rescale_error_is_bounded(vals in vec(any::<u64>(), 8)) {
         let full = RnsContext::new(8, &[Q0, Q1, SPECIAL_P]).unwrap();
@@ -177,5 +263,16 @@ proptest! {
             };
             prop_assert!((got - exact).abs() <= 1);
         }
+    }
+}
+
+// Production transform sizes: fewer cases, same bit-exactness bar.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn lazy_ntt_matches_strict_production_sizes(a in vec(any::<u64>(), 4096)) {
+        assert_lazy_equals_strict(1024, &a[..1024]);
+        assert_lazy_equals_strict(4096, &a);
     }
 }

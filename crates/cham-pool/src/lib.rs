@@ -433,6 +433,15 @@ pub fn current_threads() -> usize {
     with_current(|s| s.threads)
 }
 
+/// Index of the pool worker the calling thread is, or `None` when called
+/// from a thread that is not a pool worker (e.g. the main thread or a
+/// serve worker). Lets callers key per-worker scratch storage without a
+/// hash on the thread id.
+#[must_use]
+pub fn current_worker_index() -> Option<usize> {
+    WORKER.with(|w| w.borrow().as_ref().map(|(_, i)| *i))
+}
+
 /// Per-scope join state: outstanding task count plus the first panic.
 struct ScopeState {
     pending: AtomicUsize,

@@ -50,12 +50,14 @@ fn connect(server: &Server) -> ServeClient {
 
 /// Rows for a matrix whose multiply pins a worker for ≥1 s in the
 /// *current* build profile — packing cost is per row, but debug builds
-/// run it an order of magnitude slower than release.
+/// run it an order of magnitude slower than release. Recalibrated after
+/// the lazy-reduction datapath (DESIGN.md §11) made the release-mode
+/// dot/pack phases ≈3× faster.
 fn slow_rows() -> usize {
     if cfg!(debug_assertions) {
         1024
     } else {
-        4096
+        16384
     }
 }
 

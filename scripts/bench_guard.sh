@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# bench_guard.sh — compare two cham-run-record/v1 JSON files and fail on
+# performance regressions beyond a tolerance.
+#
+# Usage:
+#   scripts/bench_guard.sh <baseline.json> <current.json>
+#
+# The guarded metric set is chosen by the record's "name" field:
+#   table3_ntt  -> cpu_ntt_ops_per_sec (higher is better),
+#                  ntt_lazy_seconds    (lower is better)
+#   fig8_hmvp   -> dot_phase_serial_seconds, dot_phase_parallel_seconds,
+#                  dot_phase_unfused_seconds (lower is better)
+# Metrics missing from either file are skipped (so a pre-ablation baseline
+# still guards the metrics it has). Exits 1 if any guarded metric regresses
+# by more than BENCH_GUARD_TOLERANCE (default 0.10 = 10%).
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <baseline.json> <current.json>" >&2
+    exit 2
+fi
+
+BASELINE="$1" CURRENT="$2" python3 - <<'PY'
+import json
+import os
+import sys
+
+tolerance = float(os.environ.get("BENCH_GUARD_TOLERANCE", "0.10"))
+
+# metric -> direction ("higher" or "lower" is better), keyed by record name.
+GUARDS = {
+    "table3_ntt": {
+        "cpu_ntt_ops_per_sec": "higher",
+        "ntt_lazy_seconds": "lower",
+    },
+    "fig8_hmvp": {
+        "dot_phase_serial_seconds": "lower",
+        "dot_phase_parallel_seconds": "lower",
+        "dot_phase_unfused_seconds": "lower",
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        rec = json.load(f)
+    if rec.get("schema") != "cham-run-record/v1":
+        sys.exit(f"{path}: not a cham-run-record/v1 file")
+    return rec
+
+
+base = load(os.environ["BASELINE"])
+cur = load(os.environ["CURRENT"])
+
+if base.get("name") != cur.get("name"):
+    sys.exit(f"record name mismatch: {base.get('name')!r} vs {cur.get('name')!r}")
+
+name = cur.get("name")
+guards = GUARDS.get(name)
+if guards is None:
+    sys.exit(f"no guarded metrics defined for record {name!r}")
+
+failures = []
+checked = 0
+for metric, direction in guards.items():
+    b = base.get("metrics", {}).get(metric)
+    c = cur.get("metrics", {}).get(metric)
+    if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+        print(f"  skip  {metric}: missing from baseline or current")
+        continue
+    if b <= 0:
+        print(f"  skip  {metric}: non-positive baseline {b}")
+        continue
+    checked += 1
+    if direction == "higher":
+        change = (c - b) / b  # negative change = regression
+    else:
+        change = (b - c) / b  # current above baseline = regression
+    status = "ok" if change >= -tolerance else "FAIL"
+    print(
+        f"  {status:>4}  {metric}: baseline {b:.6g} -> current {c:.6g} "
+        f"({'+' if change >= 0 else ''}{change * 100:.1f}%, {direction} is better)"
+    )
+    if change < -tolerance:
+        failures.append(metric)
+
+if checked == 0:
+    sys.exit(f"{name}: no guarded metrics present in both records")
+
+if failures:
+    sys.exit(
+        f"{name}: {len(failures)} metric(s) regressed more than "
+        f"{tolerance * 100:.0f}%: {', '.join(failures)}"
+    )
+print(f"{name}: {checked} guarded metric(s) within {tolerance * 100:.0f}% tolerance")
+PY
