@@ -19,7 +19,7 @@ use cham_he::hmvp::{Hmvp, Matrix};
 use cham_he::keys::{GaloisKeys, SecretKey};
 use cham_he::params::ChamParams;
 use cham_serve::server::{Server, ServerConfig};
-use cham_serve::ServeClient;
+use cham_serve::{RetryClient, ServeClient};
 use rand::Rng;
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,8 +94,12 @@ fn main() {
     let key_id = setup.load_keys(&gkeys, &indices).expect("load keys");
     let matrix_id = setup.load_matrix(&matrix).expect("load matrix");
 
+    // Clients go through `RetryClient` — the production-resilient path.
+    // On this fault-free run its recovery counters must come back zero,
+    // which the run record asserts is the steady-state cost of armor.
     let t1 = Instant::now();
-    std::thread::scope(|scope| {
+    let retry_totals = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
         for c in 0..CLIENTS {
             let chunk: Vec<usize> = (0..PER_CLIENT).map(|i| c * PER_CLIENT + i).collect();
             let inputs = &inputs;
@@ -105,9 +109,10 @@ fn main() {
             let hmvp = &hmvp;
             let dec = &dec;
             let matrix = &matrix;
-            scope.spawn(move || {
+            handles.push(scope.spawn(move || {
                 let mut client =
-                    ServeClient::connect(server.local_addr(), Arc::clone(params)).expect("client");
+                    RetryClient::connect(server.local_addr().to_string(), Arc::clone(params))
+                        .expect("client");
                 for i in chunk {
                     let result = client
                         .hmvp(key_id, matrix_id, &inputs[i], None)
@@ -115,8 +120,17 @@ fn main() {
                     let got = hmvp.decrypt_result(&result, dec).expect("decrypt");
                     assert_eq!(got, matrix.mul_vector_mod(&vectors[i], t).expect("ref"));
                 }
-            });
+                client.stats()
+            }));
         }
+        let mut retries = 0u64;
+        let mut recovered = 0u64;
+        for h in handles {
+            let s = h.join().expect("client thread");
+            retries += s.retries;
+            recovered += s.faults_recovered;
+        }
+        (retries, recovered)
     });
     let served_seconds = t1.elapsed().as_secs_f64();
     let stats = server.shutdown();
@@ -146,6 +160,9 @@ fn main() {
         .param("degree", params.degree())
         .param("workers", workers)
         .param("max_batch", config.max_batch);
+    // Fault/recovery accounting: zero on this unfaulted run, but the
+    // fields exist so faulted soaks land in the same record shape.
+    assert_eq!(stats.faults_injected, 0, "bench runs unfaulted");
     run.metric("naive_seconds", naive_seconds)
         .metric("served_seconds", served_seconds)
         .metric("speedup", speedup)
@@ -154,6 +171,9 @@ fn main() {
         .metric("peak_queue_depth", stats.peak_queue_depth)
         .metric("accepted", stats.accepted)
         .metric("rejected_busy", stats.rejected_busy)
-        .metric("timed_out", stats.timed_out);
+        .metric("timed_out", stats.timed_out)
+        .metric("faults_injected", stats.faults_injected)
+        .metric("faults_recovered", retry_totals.1)
+        .metric("retries", retry_totals.0);
     run.finish();
 }

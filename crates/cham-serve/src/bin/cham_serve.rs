@@ -4,15 +4,22 @@
 //! cham-serve [--addr HOST:PORT] [--params test|default|large]
 //!            [--workers N] [--queue N] [--max-batch N]
 //!            [--batch-threads N] [--key-cache N] [--matrix-cache N]
-//!            [--stats-every SECS]
+//!            [--max-frame BYTES] [--faults SPEC] [--stats-every SECS]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that line),
 //! then serves until the process is killed. With `--stats-every` it also
 //! prints a one-line counter snapshot periodically.
+//!
+//! `--faults` arms the fault-injection harness with a spec like
+//! `seed=42,all=0.05,worker_panic=0.0` (see [`cham_serve::FaultConfig`]);
+//! without the flag, the `CHAM_SERVE_FAULTS` environment variable is
+//! consulted. Production runs leave both unset: a disabled injector is
+//! never constructed and costs nothing.
 
 use cham_he::params::ChamParams;
 use cham_serve::server::{Server, ServerConfig};
+use cham_serve::{FaultConfig, FaultInjector};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,12 +52,18 @@ fn parse_args() -> Result<Args, String> {
             "--batch-threads" => args.config.batch_threads = parse_num(&value("--batch-threads")?)?,
             "--key-cache" => args.config.key_cache = parse_num(&value("--key-cache")?)?,
             "--matrix-cache" => args.config.matrix_cache = parse_num(&value("--matrix-cache")?)?,
+            "--max-frame" => args.config.max_frame_bytes = parse_num(&value("--max-frame")?)?,
+            "--faults" => {
+                let config = FaultConfig::parse(&value("--faults")?)?;
+                args.config.faults = Some(Arc::new(FaultInjector::new(config)));
+            }
             "--stats-every" => args.stats_every = Some(parse_num(&value("--stats-every")?)? as u64),
             "--help" | "-h" => {
                 return Err(
                     "usage: cham-serve [--addr HOST:PORT] [--params test|default|large] \
                             [--workers N] [--queue N] [--max-batch N] [--batch-threads N] \
-                            [--key-cache N] [--matrix-cache N] [--stats-every SECS]"
+                            [--key-cache N] [--matrix-cache N] [--max-frame BYTES] \
+                            [--faults SPEC] [--stats-every SECS]"
                         .into(),
                 );
             }
@@ -84,13 +97,19 @@ fn params_by_name(name: &str) -> Result<ChamParams, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    if args.config.faults.is_none() {
+        args.config.faults = FaultInjector::from_env();
+    }
+    if let Some(f) = &args.config.faults {
+        eprintln!("fault injection ARMED: {:?}", f.config());
+    }
     let params = match params_by_name(&args.params) {
         Ok(p) => Arc::new(p),
         Err(msg) => {
@@ -122,15 +141,18 @@ fn main() -> ExitCode {
             let s = server.stats();
             println!(
                 "accepted={} completed={} busy={} timed_out={} failed={} \
-                 batches={} avg_batch={:.2} peak_queue={}",
+                 internal={} batches={} avg_batch={:.2} peak_queue={} \
+                 faults_injected={}",
                 s.accepted,
                 s.completed,
                 s.rejected_busy,
                 s.timed_out,
                 s.failed,
+                s.internal_errors,
                 s.batches,
                 s.avg_batch_size(),
-                s.peak_queue_depth
+                s.peak_queue_depth,
+                s.faults_injected
             );
         }
     }

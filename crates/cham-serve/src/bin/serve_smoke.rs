@@ -10,12 +10,17 @@
 //! result against the plain `Matrix::mul_vector_mod`. Exits 0 and prints
 //! `smoke ok …` on success; exits 1 on any mismatch or transport error.
 //! CI runs this against the `cham-serve` binary over loopback.
+//!
+//! The smoke speaks through [`RetryClient`], so it doubles as an
+//! integration check of the resilient path: against a fault-armed server
+//! (`cham-serve --faults …`) it still must verify every result, and it
+//! reports how many retries/reuploads that took.
 
 use cham_he::encrypt::{Decryptor, Encryptor};
 use cham_he::hmvp::{Hmvp, Matrix};
 use cham_he::keys::{GaloisKeys, SecretKey};
 use cham_he::params::ChamParams;
-use cham_serve::ServeClient;
+use cham_serve::{ClientConfig, RetryClient, RetryPolicy};
 use rand::{Rng, SeedableRng};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -76,9 +81,14 @@ fn run(args: &Args) -> Result<(), String> {
     let t = params.plain_modulus();
     let matrix = Matrix::random(args.rows, args.cols, t.value(), &mut rng);
 
-    let mut client =
-        ServeClient::connect(&args.addr, Arc::clone(&params)).map_err(|e| e.to_string())?;
-    let info = client.server_info();
+    let mut client = RetryClient::connect_with(
+        args.addr.clone(),
+        Arc::clone(&params),
+        ClientConfig::default(),
+        RetryPolicy::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let info = client.server_info().ok_or("no server info after connect")?;
     let key_id = client
         .load_keys(&gkeys, &indices)
         .map_err(|e| e.to_string())?;
@@ -102,9 +112,20 @@ fn run(args: &Args) -> Result<(), String> {
             return Err(format!("request {i}: decrypted result mismatch"));
         }
     }
+    let rs = client.stats();
     println!(
-        "smoke ok: {} requests, {}x{} matrix, server workers={} queue={} max_batch={}",
-        args.requests, args.rows, args.cols, info.workers, info.queue_capacity, info.max_batch
+        "smoke ok: {} requests, {}x{} matrix, server workers={} queue={} max_batch={} \
+         (retries={} reconnects={} reuploads={} faults_recovered={})",
+        args.requests,
+        args.rows,
+        args.cols,
+        info.workers,
+        info.queue_capacity,
+        info.max_batch,
+        rs.retries,
+        rs.reconnects,
+        rs.reuploads,
+        rs.faults_recovered
     );
     Ok(())
 }

@@ -78,6 +78,10 @@ impl<V> LruMap<V> {
         evicted
     }
 
+    fn remove(&mut self, id: u64) -> bool {
+        self.entries.remove(&id).is_some()
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -208,6 +212,25 @@ impl SessionCache {
             .ok_or(ServeError::UnknownMatrix(id))
     }
 
+    /// Evicts a cached key set by id; returns whether it was present.
+    ///
+    /// Eviction is always safe mid-flight: entries are handed out as
+    /// `Arc`s, so in-flight work keeps its clone while the *next* lookup
+    /// sees [`ServeError::UnknownKey`] and the client re-uploads (content
+    /// addressing makes the re-upload idempotent). The fault-injection
+    /// harness leans on exactly this property.
+    pub fn evict_keys(&self, id: u64) -> bool {
+        self.keys.lock().expect("keys cache poisoned").remove(id)
+    }
+
+    /// Evicts a cached encoded matrix by id; returns whether present.
+    pub fn evict_matrix(&self, id: u64) -> bool {
+        self.matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .remove(id)
+    }
+
     /// `(cached key sets, cached matrices)` — for reporting.
     #[must_use]
     pub fn lens(&self) -> (usize, usize) {
@@ -287,5 +310,17 @@ mod tests {
         ));
         assert!(cache.get_matrix(ids[1]).is_ok());
         assert!(cache.get_matrix(ids[2]).is_ok());
+
+        // Forced eviction: in-flight Arcs survive, next lookup misses.
+        let held = cache.get_matrix(ids[2]).unwrap();
+        assert!(cache.evict_matrix(ids[2]));
+        assert!(!cache.evict_matrix(ids[2]));
+        assert!(matches!(
+            cache.get_matrix(ids[2]),
+            Err(ServeError::UnknownMatrix(_))
+        ));
+        assert!(held.col_tiles() >= 1);
+        assert!(cache.evict_keys(id));
+        assert!(matches!(cache.get_keys(id), Err(ServeError::UnknownKey(_))));
     }
 }

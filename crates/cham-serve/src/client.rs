@@ -4,8 +4,15 @@
 //! a time (the protocol is strictly request/response per connection).
 //! Open several clients from several threads to exercise the server's
 //! batching — that is exactly what the loopback integration tests do.
+//!
+//! Every socket operation is bounded by [`ClientConfig`] timeouts, so a
+//! dead or wedged server surfaces as a timely [`ServeError::Io`] instead
+//! of an indefinite hang. For automatic recovery from transient failures
+//! (resets, torn writes, `Busy`, evictions), wrap the connection in a
+//! [`crate::retry::RetryClient`] instead of using this type directly.
 
-use crate::protocol::{self, FrameKind, Hello, Response};
+use crate::protocol::{self, FrameKind, Hello, Response, DEADLINE_NONE};
+use crate::stats::StatsSnapshot;
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::{HmvpResult, Matrix};
@@ -15,6 +22,32 @@ use cham_he::wire;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Socket timeout policy for one client connection.
+///
+/// The defaults are deliberately generous (connect 5 s, read/write 30 s):
+/// HMVP batches at production sizes take real compute time, and a read
+/// timeout that fires mid-computation desyncs the stream for no benefit.
+/// `None` disables the corresponding timeout entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on each blocking read (covers the whole response wait).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each blocking write.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
 
 /// Server shape reported in the hello exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,14 +68,51 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connects and performs the hello exchange, verifying that both
-    /// sides run the same parameter set and protocol revision.
+    /// Connects with the default timeout policy and performs the hello
+    /// exchange, verifying that both sides run the same parameter set
+    /// and protocol revision.
     ///
     /// # Errors
     /// Transport errors, or [`ServeError::Incompatible`] on mismatch.
     pub fn connect(addr: impl ToSocketAddrs, params: Arc<ChamParams>) -> Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, params, &ClientConfig::default())
+    }
+
+    /// Connects under an explicit timeout policy.
+    ///
+    /// The address may resolve to several socket addresses; each is tried
+    /// in order with `config.connect_timeout`, and the last error is
+    /// returned if none accepts.
+    ///
+    /// # Errors
+    /// Transport errors, or [`ServeError::Incompatible`] on mismatch.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        params: Arc<ChamParams>,
+        config: &ClientConfig,
+    ) -> Result<Self> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream = None;
+        for sock_addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock_addr, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let Some(stream) = stream else {
+            return Err(ServeError::Io(last_err.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to no socket addresses",
+                )
+            })));
+        };
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         let mut client = Self {
             stream,
             params,
@@ -74,6 +144,19 @@ impl ServeClient {
     #[must_use]
     pub fn server_info(&self) -> ServerInfo {
         self.info
+    }
+
+    /// Health check: round-trips an empty `Ping` frame and returns the
+    /// server's live counter snapshot. Cheap enough to poll — it touches
+    /// no cache and enqueues no work.
+    ///
+    /// # Errors
+    /// Transport errors.
+    pub fn ping(&mut self) -> Result<StatsSnapshot> {
+        match self.roundtrip(FrameKind::Ping, &[])? {
+            Response::Pong { stats } => Ok(stats),
+            _ => Err(ServeError::BadFrame("ping answered with wrong response")),
+        }
     }
 
     /// Uploads a Galois key set and returns its content id. `indices`
@@ -126,7 +209,10 @@ impl ServeClient {
 
     /// Runs one HMVP against cached keys + matrix. `deadline` bounds how
     /// long the request may wait server-side before it is dropped with
-    /// [`ServeError::TimedOut`]; `None` waits as long as it takes.
+    /// [`ServeError::TimedOut`]; `None` waits as long as it takes
+    /// (encoded as the [`DEADLINE_NONE`] sentinel on the wire — sub-
+    /// millisecond deadlines are rounded up to 1 ms, since the wire
+    /// rejects a literal zero).
     ///
     /// # Errors
     /// [`ServeError::Busy`] under backpressure, [`ServeError::TimedOut`]
@@ -139,7 +225,11 @@ impl ServeClient {
         cts: &[RlweCiphertext],
         deadline: Option<Duration>,
     ) -> Result<HmvpResult> {
-        let deadline_ms = deadline.map_or(0, |d| u32::try_from(d.as_millis()).unwrap_or(u32::MAX));
+        let deadline_ms = deadline.map_or(DEADLINE_NONE, |d| {
+            u32::try_from(d.as_millis())
+                .unwrap_or(DEADLINE_NONE - 1)
+                .clamp(1, DEADLINE_NONE - 1)
+        });
         let body = protocol::hmvp_request_to_bytes(key_id, matrix_id, deadline_ms, cts);
         match self.roundtrip(FrameKind::Hmvp, &body)? {
             Response::HmvpDone { len, packed } => Ok(HmvpResult {

@@ -20,6 +20,12 @@
 //! * [`worker`] — a fixed-size pool of `std::thread` workers with graceful
 //!   shutdown; each batch becomes one `Hmvp::multiply_many` dispatch,
 //! * [`server`] / [`client`] — the blocking TCP server and client library,
+//! * [`retry`] — a resilient client wrapper: bounded exponential backoff
+//!   with deterministic jitter, reconnect-and-re-handshake on transport
+//!   faults, automatic re-upload of evicted keys/matrices, and a total
+//!   deadline budget across attempts,
+//! * [`faults`] — the seeded, deterministic fault-injection harness the
+//!   chaos soak test drives (zero-cost when disabled),
 //! * [`stats`] — always-on service counters (plus `cham-telemetry`
 //!   counters and histograms when the `telemetry` feature is enabled).
 //!
@@ -38,7 +44,9 @@
 
 pub mod cache;
 pub mod client;
+pub mod faults;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 pub mod server;
 pub mod stats;
@@ -48,7 +56,9 @@ use std::error::Error;
 use std::fmt;
 
 pub use cache::SessionCache;
-pub use client::ServeClient;
+pub use client::{ClientConfig, ServeClient};
+pub use faults::{Fault, FaultConfig, FaultInjector};
+pub use retry::{RetryClient, RetryPolicy, RetryStatsSnapshot};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
 pub use stats::{ServeStats, StatsSnapshot};
@@ -71,6 +81,9 @@ pub enum ServeError {
     Incompatible(&'static str),
     /// The server is shutting down.
     Shutdown,
+    /// The server failed internally — a worker panic or a dead worker
+    /// pool. The request may be retried; the input was never at fault.
+    Internal(String),
     /// An HE-layer failure while executing the request.
     He(cham_he::HeError),
     /// A transport failure.
@@ -94,6 +107,7 @@ impl fmt::Display for ServeError {
             ServeError::UnknownMatrix(id) => write!(f, "unknown matrix {id:#018x}"),
             ServeError::Incompatible(m) => write!(f, "incompatible peer: {m}"),
             ServeError::Shutdown => write!(f, "server is shutting down"),
+            ServeError::Internal(m) => write!(f, "internal server error: {m}"),
             ServeError::He(e) => write!(f, "he error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Remote { code, message } => {

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! `len` counts the kind byte plus the body, so an empty body frames as
-//! `len = 1`. Six frame kinds exist; ciphertext and key payloads inside
+//! `len = 1`. Seven frame kinds exist; ciphertext and key payloads inside
 //! bodies reuse the versioned `cham_he::wire` codecs unchanged, so the
 //! serving layer inherits their parameter validation (foreign modulus
 //! chains, out-of-range coefficients and truncation are rejected at the
@@ -21,11 +21,19 @@
 //! | `Hmvp` (4) | c→s | `[key_id u64] [matrix_id u64] [deadline_ms u32] [k u16] ([len u32] [rlwe bytes])×k` |
 //! | `Result` (5) | s→c | `[tag u8] [tag-specific payload]` (see [`Response`]) |
 //! | `Error` (6) | s→c | `[code u8] [msg_len u16] [utf-8 message]` |
+//! | `Ping` (7) | c→s | empty — health check; answered with a [`Response::Pong`] stats snapshot |
 //!
-//! `deadline_ms = 0` means "no deadline". Key and matrix ids are content
+//! `deadline_ms` uses an explicit sentinel: [`DEADLINE_NONE`]
+//! (`u32::MAX`) means "no deadline". A literal `0` is **rejected** as a
+//! `BadFrame` — an already-expired deadline is always a client bug, and
+//! protocol revision 1 silently conflated it with "no deadline" (the
+//! reason [`PROTOCOL_VERSION`] is now 2). Key and matrix ids are content
 //! hashes (FNV-1a 64 of the raw payload bytes), so retransmitting the same
-//! material from any connection resolves to the same cache entry.
+//! material from any connection resolves to the same cache entry — which
+//! is what makes `LoadKeys`/`LoadMatrix` idempotent and therefore safe
+//! for [`crate::retry::RetryClient`] to replay after an eviction.
 
+use crate::stats::StatsSnapshot;
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::Matrix;
@@ -34,8 +42,15 @@ use cham_he::params::ChamParams;
 use cham_he::wire;
 use std::io::{Read, Write};
 
-/// Protocol revision spoken by this crate.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Protocol revision spoken by this crate. Revision 2 added the `Ping`
+/// frame and the explicit [`DEADLINE_NONE`] sentinel (revision 1 used
+/// `deadline_ms = 0` for "no deadline", conflating it with an explicit
+/// zero-millisecond deadline).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Wire sentinel for "no deadline" in `Hmvp` frames. Any other value is
+/// a deadline in milliseconds; `0` is rejected as malformed.
+pub const DEADLINE_NONE: u32 = u32::MAX;
 
 /// Upper bound on a single frame; larger length prefixes are rejected
 /// before any allocation (a malicious peer cannot OOM the server with one
@@ -58,10 +73,16 @@ pub enum FrameKind {
     Result = 5,
     /// Failure response.
     Error = 6,
+    /// Health check: empty body, answered with a stats snapshot.
+    Ping = 7,
 }
 
 impl FrameKind {
-    fn from_u8(v: u8) -> Result<Self> {
+    /// Parses a frame-kind byte.
+    ///
+    /// # Errors
+    /// [`ServeError::BadFrame`] for unknown discriminators.
+    pub fn from_u8(v: u8) -> Result<Self> {
         match v {
             1 => Ok(FrameKind::Hello),
             2 => Ok(FrameKind::LoadKeys),
@@ -69,6 +90,7 @@ impl FrameKind {
             4 => Ok(FrameKind::Hmvp),
             5 => Ok(FrameKind::Result),
             6 => Ok(FrameKind::Error),
+            7 => Ok(FrameKind::Ping),
             _ => Err(ServeError::BadFrame("unknown frame kind")),
         }
     }
@@ -123,19 +145,39 @@ pub fn error_to_wire(e: &ServeError) -> (ErrorCode, String) {
         ServeError::UnknownMatrix(id) => (ErrorCode::UnknownMatrix, format!("{id:#018x}")),
         ServeError::Incompatible(m) => (ErrorCode::Incompatible, (*m).to_string()),
         ServeError::Shutdown => (ErrorCode::Shutdown, "server shutting down".into()),
+        ServeError::Internal(m) => (ErrorCode::Internal, m.clone()),
         other => (ErrorCode::Internal, other.to_string()),
     }
 }
 
+/// Parses the `{id:#018x}` message an `UnknownKey`/`UnknownMatrix` error
+/// travels as back into the id, so the client-side error is as typed as
+/// the server-side one (and [`crate::retry::RetryClient`] knows which
+/// entry to re-upload).
+fn parse_id_message(message: &str) -> Option<u64> {
+    let hex = message.trim().strip_prefix("0x")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
 /// Reconstructs the local error a wire code stands for (so client callers
-/// can match on [`ServeError::Busy`] / [`ServeError::TimedOut`] directly).
+/// can match on [`ServeError::Busy`] / [`ServeError::TimedOut`] /
+/// [`ServeError::UnknownKey`] / [`ServeError::Internal`] directly).
 #[must_use]
 pub fn wire_to_error(code: ErrorCode, message: String) -> ServeError {
     match code {
         ErrorCode::Busy => ServeError::Busy,
         ErrorCode::TimedOut => ServeError::TimedOut,
         ErrorCode::Shutdown => ServeError::Shutdown,
-        _ => ServeError::Remote { code, message },
+        ErrorCode::Internal => ServeError::Internal(message),
+        ErrorCode::UnknownKey => match parse_id_message(&message) {
+            Some(id) => ServeError::UnknownKey(id),
+            None => ServeError::Remote { code, message },
+        },
+        ErrorCode::UnknownMatrix => match parse_id_message(&message) {
+            Some(id) => ServeError::UnknownMatrix(id),
+            None => ServeError::Remote { code, message },
+        },
+        ErrorCode::BadFrame | ErrorCode::Incompatible => ServeError::Remote { code, message },
     }
 }
 
@@ -379,7 +421,7 @@ pub struct HmvpRequest {
     pub key_id: u64,
     /// Content hash of the matrix to multiply by.
     pub matrix_id: u64,
-    /// Deadline in milliseconds from receipt; 0 = none.
+    /// Deadline in milliseconds from receipt; [`DEADLINE_NONE`] = none.
     pub deadline_ms: u32,
     /// The encrypted vector, one ciphertext per column tile.
     pub cts: Vec<RlweCiphertext>,
@@ -416,6 +458,13 @@ pub fn hmvp_request_from_bytes(body: &[u8], params: &ChamParams) -> Result<HmvpR
     let key_id = r.u64()?;
     let matrix_id = r.u64()?;
     let deadline_ms = r.u32()?;
+    if deadline_ms == 0 {
+        // An already-expired deadline is always a client bug; revision 1
+        // silently read it as "no deadline", which is worse than loud.
+        return Err(ServeError::BadFrame(
+            "deadline_ms = 0 (use DEADLINE_NONE for no deadline)",
+        ));
+    }
     let k = r.u16()? as usize;
     if k == 0 {
         return Err(ServeError::BadFrame("hmvp request with no ciphertexts"));
@@ -445,6 +494,28 @@ enum ResponseTag {
     KeysLoaded = 2,
     MatrixLoaded = 3,
     HmvpDone = 4,
+    Pong = 5,
+}
+
+/// Number of `u64` counter fields a `Pong` body carries. The body is
+/// `[count u8][u64 × count]` so future revisions can append counters
+/// without breaking older readers (which parse the prefix they know).
+const PONG_FIELDS: usize = 11;
+
+fn snapshot_fields(s: &StatsSnapshot) -> [u64; PONG_FIELDS] {
+    [
+        s.accepted,
+        s.rejected_busy,
+        s.timed_out,
+        s.completed,
+        s.failed,
+        s.batches,
+        s.batch_requests,
+        s.peak_queue_depth,
+        s.internal_errors,
+        s.rejected_shutdown,
+        s.faults_injected,
+    ]
 }
 
 /// A parsed `Result` frame.
@@ -479,6 +550,12 @@ pub enum Response {
         len: u64,
         /// Packed outputs, each covering up to `N` entries.
         packed: Vec<PackedRlwe>,
+    },
+    /// Answer to `Ping`: a point-in-time counter snapshot — the health
+    /// probe a load balancer or retry loop can poll without issuing work.
+    Pong {
+        /// The server's service counters at the moment of the ping.
+        stats: StatsSnapshot,
     },
 }
 
@@ -524,6 +601,13 @@ impl Response {
                     out.extend_from_slice(&bytes);
                 }
             }
+            Response::Pong { stats } => {
+                out.push(ResponseTag::Pong as u8);
+                out.push(PONG_FIELDS as u8);
+                for field in snapshot_fields(stats) {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+            }
         }
         out
     }
@@ -564,6 +648,35 @@ impl Response {
                     });
                 }
                 Response::HmvpDone { len, packed }
+            }
+            t if t == ResponseTag::Pong as u8 => {
+                let count = r.u8()? as usize;
+                if count < PONG_FIELDS {
+                    return Err(ServeError::BadFrame("pong snapshot too short"));
+                }
+                let mut fields = [0u64; PONG_FIELDS];
+                for slot in &mut fields {
+                    *slot = r.u64()?;
+                }
+                // Skip counters appended by a newer peer.
+                for _ in PONG_FIELDS..count {
+                    let _ = r.u64()?;
+                }
+                Response::Pong {
+                    stats: StatsSnapshot {
+                        accepted: fields[0],
+                        rejected_busy: fields[1],
+                        timed_out: fields[2],
+                        completed: fields[3],
+                        failed: fields[4],
+                        batches: fields[5],
+                        batch_requests: fields[6],
+                        peak_queue_depth: fields[7],
+                        internal_errors: fields[8],
+                        rejected_shutdown: fields[9],
+                        faults_injected: fields[10],
+                    },
+                }
             }
             _ => return Err(ServeError::BadFrame("unknown response tag")),
         };
@@ -711,8 +824,20 @@ mod tests {
         assert_eq!(req.cts.len(), 1);
         assert_eq!(req.cts[0], ct);
 
+        // The no-deadline sentinel round-trips.
+        let none_body = hmvp_request_to_bytes(7, 9, DEADLINE_NONE, std::slice::from_ref(&ct));
+        let req = hmvp_request_from_bytes(&none_body, &p).unwrap();
+        assert_eq!(req.deadline_ms, DEADLINE_NONE);
+
+        // A literal zero deadline is a malformed frame, not "no deadline".
+        let zero = hmvp_request_to_bytes(7, 9, 0, std::slice::from_ref(&ct));
+        assert!(matches!(
+            hmvp_request_from_bytes(&zero, &p),
+            Err(ServeError::BadFrame(_))
+        ));
+
         // No ciphertexts / truncation rejected.
-        let none = hmvp_request_to_bytes(1, 2, 0, &[]);
+        let none = hmvp_request_to_bytes(1, 2, DEADLINE_NONE, &[]);
         assert!(hmvp_request_from_bytes(&none, &p).is_err());
         assert!(hmvp_request_from_bytes(&body[..20], &p).is_err());
     }
@@ -745,6 +870,21 @@ mod tests {
                     log_count: 2,
                     count: 3,
                 }],
+            },
+            Response::Pong {
+                stats: StatsSnapshot {
+                    accepted: 1,
+                    rejected_busy: 2,
+                    timed_out: 3,
+                    completed: 4,
+                    failed: 5,
+                    batches: 6,
+                    batch_requests: 7,
+                    peak_queue_depth: 8,
+                    internal_errors: 9,
+                    rejected_shutdown: 10,
+                    faults_injected: 11,
+                },
             },
         ];
         for case in cases {
@@ -787,6 +927,9 @@ mod tests {
                     assert_eq!(pa[0].log_count, pb[0].log_count);
                     assert_eq!(pa[0].count, pb[0].count);
                 }
+                (Response::Pong { stats: a }, Response::Pong { stats: b }) => {
+                    assert_eq!(a, b);
+                }
                 _ => panic!("response kind changed across the wire"),
             }
             // Trailing garbage rejected for every tag.
@@ -803,8 +946,9 @@ mod tests {
             (ErrorCode::Busy, true),
             (ErrorCode::TimedOut, true),
             (ErrorCode::Shutdown, true),
+            (ErrorCode::Internal, true),
             (ErrorCode::UnknownKey, false),
-            (ErrorCode::Internal, false),
+            (ErrorCode::BadFrame, false),
         ] {
             let body = error_body(code, "msg");
             let (back, msg) = error_from_body(&body).unwrap();
@@ -812,11 +956,34 @@ mod tests {
             assert_eq!(msg, "msg");
             let local = wire_to_error(back, msg);
             match (expect_local, &local) {
-                (true, ServeError::Busy | ServeError::TimedOut | ServeError::Shutdown) => {}
+                (
+                    true,
+                    ServeError::Busy
+                    | ServeError::TimedOut
+                    | ServeError::Shutdown
+                    | ServeError::Internal(_),
+                ) => {}
                 (false, ServeError::Remote { .. }) => {}
                 other => panic!("unexpected mapping {other:?}"),
             }
         }
+        // Unknown ids reconstruct the typed variant when the message is
+        // the canonical {id:#018x} form the server sends...
+        let (code, msg) = error_to_wire(&ServeError::UnknownKey(0xAB));
+        assert!(matches!(
+            wire_to_error(code, msg),
+            ServeError::UnknownKey(0xAB)
+        ));
+        let (code, msg) = error_to_wire(&ServeError::UnknownMatrix(7));
+        assert!(matches!(
+            wire_to_error(code, msg),
+            ServeError::UnknownMatrix(7)
+        ));
+        // ...and fall back to Remote for anything else.
+        assert!(matches!(
+            wire_to_error(ErrorCode::UnknownKey, "not an id".into()),
+            ServeError::Remote { .. }
+        ));
         assert!(error_from_body(&[42, 0, 0]).is_err());
         assert!(error_from_body(&error_body(ErrorCode::Busy, "m")[..2]).is_err());
     }
@@ -832,5 +999,8 @@ mod tests {
         assert!(m.contains("0x"));
         let (c, _) = error_to_wire(&ServeError::He(cham_he::HeError::NoiseBudgetExhausted));
         assert_eq!(c, ErrorCode::Internal);
+        let (c, m) = error_to_wire(&ServeError::Internal("worker panicked".into()));
+        assert_eq!(c, ErrorCode::Internal);
+        assert_eq!(m, "worker panicked");
     }
 }

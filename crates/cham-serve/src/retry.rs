@@ -1,0 +1,443 @@
+//! A resilient wrapper around [`ServeClient`]: bounded retry with
+//! deterministic jittered backoff, reconnect-and-re-handshake on
+//! transport faults, and automatic re-upload of evicted key/matrix
+//! material.
+//!
+//! The design splits failure handling by *what the error proves*:
+//!
+//! * **Transport faults** ([`ServeError::Io`], client-side
+//!   [`ServeError::BadFrame`], remote `BadFrame`) prove the stream can no
+//!   longer be trusted — the connection is dropped and the next attempt
+//!   reconnects and re-runs the hello handshake.
+//! * **Backpressure** ([`ServeError::Busy`]) and server-side failures
+//!   ([`ServeError::Internal`], e.g. a caught worker panic) prove nothing
+//!   about the request — it is retried on the live connection after
+//!   backoff.
+//! * **Evictions** ([`ServeError::UnknownKey`], [`ServeError::UnknownMatrix`])
+//!   are recovered by re-uploading the material this client previously
+//!   loaded. Ids are content hashes, so the re-upload is idempotent and
+//!   lands on exactly the id the failed request referenced.
+//! * **Semantic errors** ([`ServeError::Incompatible`], [`ServeError::He`],
+//!   [`ServeError::TimedOut`], [`ServeError::Shutdown`]) would fail
+//!   identically on retry (or the server asked us to go away) — they
+//!   surface immediately.
+//!
+//! Backoff doubles from [`RetryPolicy::base_backoff`] up to
+//! [`RetryPolicy::max_backoff`], scaled by a jitter factor in
+//! `[0.5, 1.0]` drawn from a seeded SplitMix64 stream — deterministic
+//! for a fixed [`RetryPolicy::jitter_seed`], so chaos-test schedules are
+//! replayable. [`RetryPolicy::total_deadline`] bounds the *sum* of an
+//! operation's attempts and sleeps; when the budget is exhausted the
+//! last error surfaces rather than another sleep starting.
+
+use crate::client::{ClientConfig, ServeClient, ServerInfo};
+use crate::faults::SplitMix64;
+use crate::protocol::ErrorCode;
+use crate::stats::StatsSnapshot;
+use crate::{Result, ServeError};
+use cham_he::ciphertext::RlweCiphertext;
+use cham_he::hmvp::{HmvpResult, Matrix};
+use cham_he::keys::GaloisKeys;
+use cham_he::params::ChamParams;
+use cham_he::wire;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry shape: attempt bound, backoff range, jitter seed, total budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per operation (the first try counts as one).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each subsequent retry.
+    pub base_backoff: Duration,
+    /// Cap on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Bound on the total wall-clock an operation may spend across all
+    /// attempts and sleeps; `None` bounds only by `max_attempts`.
+    pub total_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 0,
+            total_deadline: None,
+        }
+    }
+}
+
+/// The backoff before retry number `attempt` (0-based): exponential
+/// growth capped at `max_backoff`, scaled by jitter in `[0.5, 1.0]`.
+fn backoff_for(policy: &RetryPolicy, rng: &mut SplitMix64, attempt: u32) -> Duration {
+    let doubled = policy
+        .base_backoff
+        .saturating_mul(2u32.saturating_pow(attempt.min(20)));
+    let capped = doubled.min(policy.max_backoff);
+    capped.mul_f64(0.5 + 0.5 * rng.next_f64())
+}
+
+/// Counters describing what a [`RetryClient`] had to do so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStatsSnapshot {
+    /// Retry attempts made (errors that led to another try).
+    pub retries: u64,
+    /// Connections re-established (beyond each operation's first).
+    pub reconnects: u64,
+    /// Key/matrix re-uploads after an eviction.
+    pub reuploads: u64,
+    /// Errors absorbed by operations that ultimately succeeded — the
+    /// client-side measure of faults *recovered from*, as opposed to the
+    /// server's count of faults injected.
+    pub faults_recovered: u64,
+}
+
+/// A [`ServeClient`] that survives transient failures.
+///
+/// Stores every key set and matrix it uploads, so it can replay them
+/// after a server-side eviction. The memory cost mirrors what the caller
+/// already holds (the material had to exist to be uploaded); callers that
+/// cannot afford it should use [`ServeClient`] and recover manually.
+pub struct RetryClient {
+    addr: String,
+    params: Arc<ChamParams>,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    client: Option<ServeClient>,
+    ever_connected: bool,
+    key_uploads: HashMap<u64, Vec<u8>>,
+    matrix_uploads: HashMap<u64, Matrix>,
+    rng: SplitMix64,
+    stats: RetryStatsSnapshot,
+}
+
+impl RetryClient {
+    /// Builds an unconnected client; the first operation connects.
+    #[must_use]
+    pub fn new(
+        addr: impl Into<String>,
+        params: Arc<ChamParams>,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> Self {
+        Self {
+            addr: addr.into(),
+            params,
+            config,
+            policy,
+            client: None,
+            ever_connected: false,
+            key_uploads: HashMap::new(),
+            matrix_uploads: HashMap::new(),
+            rng: SplitMix64::new(policy.jitter_seed),
+            stats: RetryStatsSnapshot::default(),
+        }
+    }
+
+    /// Builds a client with default timeouts and policy and eagerly
+    /// connects (retrying connect failures under that policy).
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn connect(addr: impl Into<String>, params: Arc<ChamParams>) -> Result<Self> {
+        Self::connect_with(
+            addr,
+            params,
+            ClientConfig::default(),
+            RetryPolicy::default(),
+        )
+    }
+
+    /// Builds a client with explicit timeouts/policy and eagerly
+    /// connects (retrying connect failures under that policy).
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn connect_with(
+        addr: impl Into<String>,
+        params: Arc<ChamParams>,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
+        let mut client = Self::new(addr, params, config, policy);
+        client.run(|_| Ok(()))?;
+        Ok(client)
+    }
+
+    /// What this client has had to recover from.
+    #[must_use]
+    pub fn stats(&self) -> RetryStatsSnapshot {
+        self.stats
+    }
+
+    /// The serving shape from the most recent hello exchange, if any
+    /// connection is currently live.
+    #[must_use]
+    pub fn server_info(&self) -> Option<ServerInfo> {
+        self.client.as_ref().map(ServeClient::server_info)
+    }
+
+    /// Health check with retry; returns the server's counter snapshot.
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn ping(&mut self) -> Result<StatsSnapshot> {
+        self.run(ServeClient::ping)
+    }
+
+    /// Uploads a Galois key set (retried) and remembers its bytes for
+    /// replay after an eviction. Returns the content id.
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn load_keys(&mut self, keys: &GaloisKeys, indices: &[usize]) -> Result<u64> {
+        let bytes = wire::galois_keys_to_bytes(keys, indices)?;
+        self.load_keys_bytes(bytes)
+    }
+
+    /// Uploads already-serialized key bytes (retried, remembered).
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn load_keys_bytes(&mut self, bytes: Vec<u8>) -> Result<u64> {
+        let id = self.run(|c| c.load_keys_bytes(&bytes))?;
+        self.key_uploads.insert(id, bytes);
+        Ok(id)
+    }
+
+    /// Uploads a matrix (retried) and remembers it for replay after an
+    /// eviction. Returns the content id.
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn load_matrix(&mut self, matrix: &Matrix) -> Result<u64> {
+        let id = self.run(|c| c.load_matrix(matrix))?;
+        self.matrix_uploads.insert(id, matrix.clone());
+        Ok(id)
+    }
+
+    /// Runs one HMVP with full recovery: backoff on `Busy`, reconnect on
+    /// transport faults, re-upload on eviction, retry on `Internal`.
+    /// `deadline` is the *server-side* queue deadline per attempt;
+    /// [`RetryPolicy::total_deadline`] bounds the whole operation.
+    ///
+    /// # Errors
+    /// Non-retryable errors immediately; otherwise the last error once
+    /// the policy's attempts/budget are exhausted.
+    pub fn hmvp(
+        &mut self,
+        key_id: u64,
+        matrix_id: u64,
+        cts: &[RlweCiphertext],
+        deadline: Option<Duration>,
+    ) -> Result<HmvpResult> {
+        self.run(|c| c.hmvp(key_id, matrix_id, cts, deadline))
+    }
+
+    /// The retry loop every operation runs under.
+    fn run<T>(&mut self, mut op: impl FnMut(&mut ServeClient) -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let hard_deadline = self.policy.total_deadline.map(|d| start + d);
+        let mut absorbed: u64 = 0;
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.ensure_connected() {
+                Ok(client) => op(client),
+                Err(e) => Err(e),
+            };
+            match result {
+                Ok(v) => {
+                    self.stats.faults_recovered += absorbed;
+                    return Ok(v);
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.policy.max_attempts || !self.recover(&e) {
+                        return Err(e);
+                    }
+                    absorbed += 1;
+                    self.stats.retries += 1;
+                    let mut sleep = backoff_for(&self.policy, &mut self.rng, attempt - 1);
+                    if let Some(hard) = hard_deadline {
+                        let now = Instant::now();
+                        if now >= hard {
+                            return Err(e);
+                        }
+                        sleep = sleep.min(hard - now);
+                    }
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classifies `e` and performs its recovery side effect. Returns
+    /// whether another attempt is worthwhile.
+    fn recover(&mut self, e: &ServeError) -> bool {
+        match e {
+            // Backpressure / transient server failure: same connection,
+            // just wait and go again.
+            ServeError::Busy | ServeError::Internal(_) => true,
+            // The stream is dead or desynced: reconnect next attempt.
+            ServeError::Io(_) | ServeError::BadFrame(_) => {
+                self.client = None;
+                true
+            }
+            ServeError::Remote {
+                code: ErrorCode::BadFrame,
+                ..
+            } => {
+                self.client = None;
+                true
+            }
+            // Eviction: replay the uploaded material (content-addressed,
+            // so it lands back on the exact id the request referenced).
+            ServeError::UnknownKey(id) => {
+                self.reupload_keys(*id);
+                true
+            }
+            ServeError::UnknownMatrix(id) => {
+                self.reupload_matrix(*id);
+                true
+            }
+            // Version/parameter mismatch, HE failure, expired deadline,
+            // server going away: retrying proves nothing.
+            _ => false,
+        }
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut ServeClient> {
+        if self.client.is_none() {
+            let client = ServeClient::connect_with(
+                self.addr.as_str(),
+                Arc::clone(&self.params),
+                &self.config,
+            )?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("connection just ensured"))
+    }
+
+    /// Best-effort replay of uploaded key material after an eviction.
+    /// Errors here are deliberately swallowed — the outer retry loop
+    /// re-runs the operation, which re-triggers recovery if needed.
+    fn reupload_keys(&mut self, id: u64) {
+        // Normally the evicted id is one we uploaded; if it is not (a
+        // corrupted frame can reference a garbage id), replay everything
+        // we have so the *correct* retried request finds its entry.
+        let targets: Vec<Vec<u8>> = if let Some(bytes) = self.key_uploads.get(&id) {
+            vec![bytes.clone()]
+        } else {
+            self.key_uploads.values().cloned().collect()
+        };
+        let mut done = 0;
+        if let Ok(client) = self.ensure_connected() {
+            for bytes in &targets {
+                if client.load_keys_bytes(bytes).is_ok() {
+                    done += 1;
+                }
+            }
+        }
+        self.stats.reuploads += done;
+    }
+
+    /// Best-effort replay of an uploaded matrix after an eviction.
+    fn reupload_matrix(&mut self, id: u64) {
+        let targets: Vec<Matrix> = if let Some(m) = self.matrix_uploads.get(&id) {
+            vec![m.clone()]
+        } else {
+            self.matrix_uploads.values().cloned().collect()
+        };
+        let mut done = 0;
+        if let Ok(client) = self.ensure_connected() {
+            for m in &targets {
+                if client.load_matrix(m).is_ok() {
+                    done += 1;
+                }
+            }
+        }
+        self.stats.reuploads += done;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_doubles_and_caps() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut rng = SplitMix64::new(1);
+        for attempt in 0..12 {
+            let nominal = Duration::from_millis(10)
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(Duration::from_millis(100));
+            let d = backoff_for(&policy, &mut rng, attempt);
+            assert!(
+                d >= nominal.mul_f64(0.5),
+                "attempt {attempt}: {d:?} too short"
+            );
+            assert!(d <= nominal, "attempt {attempt}: {d:?} exceeds nominal");
+        }
+        // Deep attempts stay at the cap (and never overflow).
+        let deep = backoff_for(&policy, &mut rng, u32::MAX);
+        assert!(deep <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for attempt in 0..8 {
+            assert_eq!(
+                backoff_for(&policy, &mut a, attempt),
+                backoff_for(&policy, &mut b, attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_classification() {
+        let params = Arc::new(cham_he::params::ChamParams::insecure_test_default().unwrap());
+        let mut client = RetryClient::new(
+            "127.0.0.1:1",
+            params,
+            ClientConfig::default(),
+            RetryPolicy::default(),
+        );
+        // Retryable without touching the network:
+        assert!(client.recover(&ServeError::Busy));
+        assert!(client.recover(&ServeError::Internal("worker panicked".into())));
+        assert!(client.recover(&ServeError::Io(std::io::Error::other("reset"))));
+        assert!(client.recover(&ServeError::BadFrame("desync")));
+        assert!(client.recover(&ServeError::Remote {
+            code: ErrorCode::BadFrame,
+            message: "truncated".into(),
+        }));
+        // Non-retryable:
+        assert!(!client.recover(&ServeError::TimedOut));
+        assert!(!client.recover(&ServeError::Shutdown));
+        assert!(!client.recover(&ServeError::Incompatible("version")));
+        assert!(!client.recover(&ServeError::He(cham_he::HeError::NoiseBudgetExhausted)));
+        assert!(!client.recover(&ServeError::Remote {
+            code: ErrorCode::Incompatible,
+            message: "prime chain".into(),
+        }));
+    }
+}

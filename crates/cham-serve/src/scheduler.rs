@@ -25,6 +25,7 @@
 //! receiving batches), new submits fail with [`ServeError::Shutdown`],
 //! and workers get `None` only once the queue is empty.
 
+use crate::faults::{Fault, FaultInjector};
 use crate::stats::ServeStats;
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
@@ -34,7 +35,12 @@ use cham_telemetry::counter_add;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bounded sleep for idle workers when no queued job carries a deadline
+/// to wake for — a liveness backstop, not a polling interval (submits
+/// wake workers via the condvar immediately).
+const IDLE_WAIT: Duration = Duration::from_millis(500);
 
 /// One queued HMVP request, carrying everything a worker needs: resolved
 /// cache handles (so eviction after enqueue cannot fail the request), the
@@ -77,6 +83,7 @@ pub struct Scheduler {
     capacity: usize,
     max_batch: usize,
     stats: Arc<ServeStats>,
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Scheduler {
@@ -97,7 +104,16 @@ impl Scheduler {
             capacity,
             max_batch,
             stats,
+            faults: None,
         }
+    }
+
+    /// Arms fault injection (spurious `Busy` at submit time). Builder
+    /// style so existing `Scheduler::new` call sites stay unchanged.
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The queue bound.
@@ -124,6 +140,14 @@ impl Scheduler {
     /// [`ServeError::Busy`] when the queue is at capacity,
     /// [`ServeError::Shutdown`] when the scheduler is draining.
     pub fn submit(&self, job: HmvpJob) -> Result<()> {
+        if let Some(f) = &self.faults {
+            if f.should(Fault::SpuriousBusy) {
+                self.stats.on_fault_injected();
+                self.stats.on_rejected_busy();
+                counter_add!("cham_serve.queue.rejected_busy", 1);
+                return Err(ServeError::Busy);
+            }
+        }
         let mut inner = self.inner.lock().expect("scheduler poisoned");
         if inner.shutdown {
             return Err(ServeError::Shutdown);
@@ -213,11 +237,21 @@ impl Scheduler {
             if inner.shutdown {
                 return None;
             }
-            // Bounded wait so deadline expiry is noticed even when no
-            // new submits arrive to wake us.
+            // Sleep exactly until the nearest pending deadline would
+            // expire (so a TimedOut answer is never later than the
+            // deadline by more than scheduling noise), or a bounded
+            // fallback when nothing is queued — submits wake us via the
+            // condvar either way, so this is a backstop, not a poll.
+            let now = Instant::now();
+            let wait = inner
+                .queue
+                .iter()
+                .filter_map(|j| j.deadline)
+                .min()
+                .map_or(IDLE_WAIT, |d| d.saturating_duration_since(now));
             inner = self
                 .available
-                .wait_timeout(inner, std::time::Duration::from_millis(25))
+                .wait_timeout(inner, wait)
                 .expect("scheduler condvar poisoned")
                 .0;
         }
@@ -373,6 +407,49 @@ mod tests {
         ));
         assert_eq!(stats.snapshot().timed_out, 1);
         drop(live_rx);
+    }
+
+    #[test]
+    fn spurious_busy_fault_injects_typed_rejection() {
+        let f = fixture();
+        let stats = Arc::new(ServeStats::new());
+        let injector = Arc::new(FaultInjector::new(crate::faults::FaultConfig {
+            spurious_busy: 1.0,
+            ..crate::faults::FaultConfig::default()
+        }));
+        let s = Scheduler::new(8, 8, Arc::clone(&stats)).with_faults(Some(Arc::clone(&injector)));
+        let (j, _rx) = f.job(1, None);
+        assert!(matches!(s.submit(j), Err(ServeError::Busy)));
+        let snap = stats.snapshot();
+        assert_eq!(snap.faults_injected, 1);
+        assert_eq!(snap.rejected_busy, 1);
+        assert_eq!(snap.accepted, 0);
+        assert_eq!(injector.injected(Fault::SpuriousBusy), 1);
+    }
+
+    #[test]
+    fn idle_workers_wake_on_submit_not_poll() {
+        let f = fixture();
+        let s = Arc::new(Scheduler::new(8, 8, Arc::new(ServeStats::new())));
+        let worker = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                let batch = s.next_batch();
+                (batch.map(|b| b.len()), started.elapsed())
+            })
+        };
+        // Give the worker time to enter the idle wait, then submit: the
+        // condvar (not the bounded fallback sleep) must wake it.
+        std::thread::sleep(Duration::from_millis(50));
+        let (j, _rx) = f.job(1, None);
+        s.submit(j).unwrap();
+        let (len, waited) = worker.join().unwrap();
+        assert_eq!(len, Some(1));
+        assert!(
+            waited < IDLE_WAIT,
+            "worker should wake on submit, waited {waited:?}"
+        );
     }
 
     #[test]

@@ -7,19 +7,32 @@
 //! multiple connections (which is what lets the scheduler coalesce).
 //!
 //! Shutdown order matters and is encoded in [`Server::shutdown`]:
-//! 1. flip the shutdown flag (connection threads stop reading),
+//! 1. flip the shutdown flag (connection threads stop reading new work
+//!    and briefly drain late arrivals with typed `Shutdown` errors),
 //! 2. self-connect to wake the blocking `accept`, join the accept thread,
 //! 3. join connection threads (in-flight replies still delivered),
 //! 4. drain the scheduler and join the workers.
+//!
+//! **Failure posture.** Every way a request can go wrong maps to a typed
+//! `Error` frame, never a silent hang: worker panics become `Internal`
+//! (caught in [`crate::worker`]), a dead worker pool becomes `Internal`,
+//! oversized frames and malformed bodies become `BadFrame` (followed by a
+//! connection close, since framing may be desynced), and requests racing
+//! shutdown get `Shutdown` during a bounded grace window instead of a
+//! slammed socket. The one deliberate exception is a transport-layer
+//! fault (torn write, reset) — those surface client-side as I/O errors,
+//! which [`crate::retry::RetryClient`] treats as reconnect-and-retry.
 
 use crate::cache::SessionCache;
+use crate::faults::{Fault, FaultInjector};
 use crate::protocol::{self, FrameKind, Hello, Response};
 use crate::scheduler::{HmvpJob, Scheduler};
 use crate::stats::{ServeStats, StatsSnapshot};
 use crate::worker::WorkerPool;
 use crate::{Result, ServeError};
 use cham_he::params::ChamParams;
-use std::io::{ErrorKind, Read};
+use cham_telemetry::counter_add;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -42,6 +55,17 @@ pub struct ServerConfig {
     pub key_cache: usize,
     /// LRU bound on cached NTT-form matrices.
     pub matrix_cache: usize,
+    /// Per-connection frame size bound. Length prefixes above it are
+    /// rejected with `BadFrame` before any allocation; capped at the
+    /// protocol-wide [`protocol::MAX_FRAME_BYTES`].
+    pub max_frame_bytes: usize,
+    /// How long each connection keeps answering late requests with typed
+    /// `Shutdown` errors after the shutdown flag flips, instead of
+    /// closing the socket on them mid-flight.
+    pub shutdown_grace: Duration,
+    /// Seeded fault injection (`None` on a production server — every
+    /// fault site then costs one null check and nothing else).
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +77,9 @@ impl Default for ServerConfig {
             batch_threads: 1,
             key_cache: 4,
             matrix_cache: 8,
+            max_frame_bytes: protocol::MAX_FRAME_BYTES,
+            shutdown_grace: Duration::from_millis(300),
+            faults: None,
         }
     }
 }
@@ -80,11 +107,10 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServeStats::new());
-        let scheduler = Arc::new(Scheduler::new(
-            config.queue_capacity,
-            config.max_batch,
-            Arc::clone(&stats),
-        ));
+        let scheduler = Arc::new(
+            Scheduler::new(config.queue_capacity, config.max_batch, Arc::clone(&stats))
+                .with_faults(config.faults.clone()),
+        );
         let cache = Arc::new(SessionCache::new(
             params,
             config.key_cache,
@@ -96,6 +122,7 @@ impl Server {
             Arc::clone(&stats),
             config.workers,
             config.batch_threads,
+            config.faults.clone(),
         );
         let shutdown = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -105,6 +132,7 @@ impl Server {
             let conns = Arc::clone(&conns);
             let scheduler = Arc::clone(&scheduler);
             let cache = Arc::clone(&cache);
+            let stats = Arc::clone(&stats);
             let config = config.clone();
             std::thread::Builder::new()
                 .name("cham-serve-accept".into())
@@ -117,12 +145,13 @@ impl Server {
                         let shutdown = Arc::clone(&shutdown);
                         let scheduler = Arc::clone(&scheduler);
                         let cache = Arc::clone(&cache);
+                        let stats = Arc::clone(&stats);
                         let config = config.clone();
                         let handle = std::thread::Builder::new()
                             .name("cham-serve-conn".into())
                             .spawn(move || {
                                 let _ = handle_connection(
-                                    stream, &cache, &scheduler, &config, &shutdown,
+                                    stream, &cache, &scheduler, &stats, &config, &shutdown,
                                 );
                             })
                             .expect("spawn connection thread");
@@ -168,7 +197,8 @@ impl Server {
         &self.scheduler
     }
 
-    /// Gracefully stops the server: refuses new work, drains queued
+    /// Gracefully stops the server: refuses new work (with typed
+    /// `Shutdown` errors during a bounded grace window), drains queued
     /// requests, joins every thread, and returns the final counters.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -189,24 +219,35 @@ impl Server {
     }
 }
 
+/// What one interruptible read produced.
+enum ReadOutcome {
+    /// A complete frame.
+    Frame(FrameKind, Vec<u8>),
+    /// Clean EOF — the peer is gone; close without ceremony.
+    Eof,
+    /// The shutdown flag flipped while idle — enter the grace drain.
+    ShuttingDown,
+}
+
 /// Reads one frame, polling the shutdown flag while idle.
 ///
-/// Returns `Ok(None)` on clean EOF or shutdown. The 250 ms read timeout
-/// only gates the *first* byte of a frame; once a frame has started, the
-/// remainder is read with a long timeout so a slow client mid-frame is
-/// not mistaken for an idle one.
+/// The 250 ms read timeout only gates the *first* byte of a frame; once
+/// a frame has started, the remainder is read with a long timeout so a
+/// slow client mid-frame is not mistaken for an idle one. Length
+/// prefixes beyond `max_frame_bytes` are rejected before any allocation.
 fn read_frame_interruptible(
     stream: &mut TcpStream,
     shutdown: &AtomicBool,
-) -> Result<Option<(FrameKind, Vec<u8>)>> {
+    max_frame_bytes: usize,
+) -> Result<ReadOutcome> {
     let mut first = [0u8; 1];
     loop {
         if shutdown.load(Ordering::SeqCst) {
-            return Ok(None);
+            return Ok(ReadOutcome::ShuttingDown);
         }
         stream.set_read_timeout(Some(Duration::from_millis(250)))?;
         match stream.read(&mut first) {
-            Ok(0) => return Ok(None),
+            Ok(0) => return Ok(ReadOutcome::Eof),
             Ok(_) => break,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
             Err(e) => return Err(ServeError::Io(e)),
@@ -219,23 +260,17 @@ fn read_frame_interruptible(
     if len == 0 {
         return Err(ServeError::BadFrame("zero-length frame"));
     }
-    if len > protocol::MAX_FRAME_BYTES {
-        return Err(ServeError::BadFrame("frame exceeds MAX_FRAME_BYTES"));
+    if len > max_frame_bytes.min(protocol::MAX_FRAME_BYTES) {
+        return Err(ServeError::BadFrame(
+            "frame exceeds the server's size bound",
+        ));
     }
     let mut kind = [0u8; 1];
     stream.read_exact(&mut kind)?;
+    let kind = FrameKind::from_u8(kind[0])?;
     let mut body = vec![0u8; len - 1];
     stream.read_exact(&mut body)?;
-    let kind = match kind[0] {
-        1 => FrameKind::Hello,
-        2 => FrameKind::LoadKeys,
-        3 => FrameKind::LoadMatrix,
-        4 => FrameKind::Hmvp,
-        5 => FrameKind::Result,
-        6 => FrameKind::Error,
-        _ => return Err(ServeError::BadFrame("unknown frame kind")),
-    };
-    Ok(Some((kind, body)))
+    Ok(ReadOutcome::Frame(kind, body))
 }
 
 fn send_error(stream: &mut TcpStream, e: &ServeError) -> Result<()> {
@@ -247,18 +282,123 @@ fn send_error(stream: &mut TcpStream, e: &ServeError) -> Result<()> {
     )
 }
 
+/// Answers requests that race shutdown with typed `Shutdown` errors for
+/// a bounded window, then closes. Without this, a request written just
+/// before the flag flipped would see a slammed socket and could not
+/// distinguish "server going away, try another" from a crash.
+fn drain_shutdown(
+    stream: &mut TcpStream,
+    stats: &ServeStats,
+    max_frame_bytes: usize,
+    grace: Duration,
+) -> Result<()> {
+    let deadline = Instant::now() + grace;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        stream.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+        let mut len_buf = [0u8; 4];
+        let mut read = 0;
+        // Assemble the length prefix byte-wise so a timeout mid-prefix
+        // exits cleanly instead of surfacing as a read_exact error.
+        while read < 4 {
+            match stream.read(&mut len_buf[read..]) {
+                Ok(0) => return Ok(()),
+                Ok(n) => read += n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(())
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len == 0 || len > max_frame_bytes.min(protocol::MAX_FRAME_BYTES) {
+            break;
+        }
+        stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+        let mut frame = vec![0u8; len];
+        if stream.read_exact(&mut frame).is_err() {
+            break;
+        }
+        stats.on_rejected_shutdown();
+        counter_add!("cham_serve.requests.rejected_shutdown", 1);
+        if send_error(stream, &ServeError::Shutdown).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(NetShutdown::Both);
+    Ok(())
+}
+
 /// Serves one connection until EOF, shutdown, or a framing fault.
 fn handle_connection(
     mut stream: TcpStream,
     cache: &SessionCache,
     scheduler: &Scheduler,
+    stats: &ServeStats,
     config: &ServerConfig,
     shutdown: &AtomicBool,
 ) -> Result<()> {
     stream.set_nodelay(true)?;
-    while let Some((kind, body)) = read_frame_interruptible(&mut stream, shutdown)? {
-        match handle_frame(kind, &body, cache, scheduler, config) {
+    let faults = config.faults.as_deref();
+    loop {
+        let (kind, mut body) =
+            match read_frame_interruptible(&mut stream, shutdown, config.max_frame_bytes) {
+                Ok(ReadOutcome::Frame(kind, body)) => (kind, body),
+                Ok(ReadOutcome::Eof) => return Ok(()),
+                Ok(ReadOutcome::ShuttingDown) => {
+                    return drain_shutdown(
+                        &mut stream,
+                        stats,
+                        config.max_frame_bytes,
+                        config.shutdown_grace,
+                    )
+                }
+                Err(e) => {
+                    // Tell the peer *why* before closing — an oversized
+                    // or malformed header earns a typed BadFrame, not a
+                    // silent reset (transport errors get no reply; the
+                    // stream is already gone).
+                    if matches!(e, ServeError::BadFrame(_)) {
+                        let _ = send_error(&mut stream, &e);
+                    }
+                    let _ = stream.shutdown(NetShutdown::Both);
+                    return Err(e);
+                }
+            };
+        if let Some(f) = faults {
+            if f.should(Fault::DelayedRead) {
+                stats.on_fault_injected();
+                std::thread::sleep(f.delay());
+            }
+            if !body.is_empty() && f.should(Fault::CorruptFrame) {
+                stats.on_fault_injected();
+                body.truncate(body.len() - 1);
+            }
+        }
+        match handle_frame(kind, &body, cache, scheduler, stats, config) {
             Ok(response) => {
+                if let Some(f) = faults {
+                    if f.should(Fault::ConnReset) {
+                        stats.on_fault_injected();
+                        let _ = stream.shutdown(NetShutdown::Both);
+                        return Ok(());
+                    }
+                    if f.should(Fault::TornWrite) {
+                        stats.on_fault_injected();
+                        let resp = response.to_bytes();
+                        let mut wire = Vec::with_capacity(5 + resp.len());
+                        wire.extend_from_slice(&((resp.len() + 1) as u32).to_le_bytes());
+                        wire.push(FrameKind::Result as u8);
+                        wire.extend_from_slice(&resp);
+                        let _ = stream.write_all(&wire[..wire.len() / 2]);
+                        let _ = stream.flush();
+                        let _ = stream.shutdown(NetShutdown::Both);
+                        return Ok(());
+                    }
+                }
                 protocol::write_frame(&mut stream, FrameKind::Result, &response.to_bytes())?;
             }
             Err(e) => {
@@ -271,7 +411,6 @@ fn handle_connection(
             }
         }
     }
-    Ok(())
 }
 
 /// Dispatches one request frame to the cache/scheduler.
@@ -280,6 +419,7 @@ fn handle_frame(
     body: &[u8],
     cache: &SessionCache,
     scheduler: &Scheduler,
+    stats: &ServeStats,
     config: &ServerConfig,
 ) -> Result<Response> {
     match kind {
@@ -290,6 +430,14 @@ fn handle_frame(
                 workers: config.workers as u16,
                 queue_capacity: scheduler.capacity() as u32,
                 max_batch: scheduler.max_batch() as u32,
+            })
+        }
+        FrameKind::Ping => {
+            if !body.is_empty() {
+                return Err(ServeError::BadFrame("ping frame with a body"));
+            }
+            Ok(Response::Pong {
+                stats: stats.snapshot(),
             })
         }
         FrameKind::LoadKeys => {
@@ -307,6 +455,16 @@ fn handle_frame(
         }
         FrameKind::Hmvp => {
             let req = protocol::hmvp_request_from_bytes(body, cache.params())?;
+            if let Some(f) = config.faults.as_deref() {
+                // Evict the referenced entries just before the lookup —
+                // the client must recover via re-upload (idempotent
+                // thanks to content addressing).
+                if f.should(Fault::ForcedEviction) {
+                    stats.on_fault_injected();
+                    let _ = cache.evict_keys(req.key_id);
+                    let _ = cache.evict_matrix(req.matrix_id);
+                }
+            }
             let keys = cache.get_keys(req.key_id)?;
             let matrix = cache.get_matrix(req.matrix_id)?;
             if req.cts.len() != matrix.col_tiles() {
@@ -314,7 +472,7 @@ fn handle_frame(
                     "ciphertext count does not match the matrix's column tiles",
                 ));
             }
-            let deadline = if req.deadline_ms == 0 {
+            let deadline = if req.deadline_ms == protocol::DEADLINE_NONE {
                 None
             } else {
                 Some(Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)))
@@ -330,11 +488,14 @@ fn handle_frame(
                 enqueued: Instant::now(),
                 reply: tx,
             })?;
-            // The worker always replies (success, HE failure, or
-            // TimedOut); a disconnected channel means the pool died.
-            let result = rx
-                .recv()
-                .map_err(|_| ServeError::Incompatible("worker pool terminated"))??;
+            // The worker always replies (success, HE failure, TimedOut,
+            // or Internal on a caught panic); a disconnected channel
+            // means the pool itself died — also a typed Internal, so the
+            // client can retry elsewhere instead of diagnosing a hang.
+            let result = rx.recv().map_err(|_| {
+                stats.on_internal_error(1);
+                ServeError::Internal("worker pool terminated".into())
+            })??;
             Ok(Response::HmvpDone {
                 len: result.len as u64,
                 packed: result.packed,

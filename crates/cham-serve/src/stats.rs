@@ -21,6 +21,9 @@ pub struct ServeStats {
     batches: AtomicU64,
     batch_requests: AtomicU64,
     peak_queue_depth: AtomicU64,
+    internal_errors: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    faults_injected: AtomicU64,
 }
 
 impl ServeStats {
@@ -65,6 +68,22 @@ impl ServeStats {
             .fetch_add(size as u64, Ordering::Relaxed);
     }
 
+    /// `n` requests were answered with a typed `Internal` error (worker
+    /// panic or dead pool) instead of hanging their connections.
+    pub fn on_internal_error(&self, n: usize) {
+        self.internal_errors.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// A request arriving during shutdown was answered `Shutdown`.
+    pub fn on_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A fault-injection site fired.
+    pub fn on_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -77,6 +96,9 @@ impl ServeStats {
             batches: self.batches.load(Ordering::Relaxed),
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -100,6 +122,13 @@ pub struct StatsSnapshot {
     pub batch_requests: u64,
     /// High-water mark of the queue depth.
     pub peak_queue_depth: u64,
+    /// Requests answered with a typed `Internal` error (worker panics
+    /// caught and reported rather than hanging the connection).
+    pub internal_errors: u64,
+    /// Requests answered `Shutdown` because they arrived mid-drain.
+    pub rejected_shutdown: u64,
+    /// Fault-injection sites that fired (0 on a production server).
+    pub faults_injected: u64,
 }
 
 impl StatsSnapshot {
@@ -129,6 +158,11 @@ mod tests {
         s.on_batch(2);
         s.on_completed(5);
         s.on_failed(1);
+        s.on_internal_error(2);
+        s.on_rejected_shutdown();
+        s.on_fault_injected();
+        s.on_fault_injected();
+        s.on_fault_injected();
         let snap = s.snapshot();
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.rejected_busy, 1);
@@ -138,6 +172,9 @@ mod tests {
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.batch_requests, 6);
         assert_eq!(snap.peak_queue_depth, 3);
+        assert_eq!(snap.internal_errors, 2);
+        assert_eq!(snap.rejected_shutdown, 1);
+        assert_eq!(snap.faults_injected, 3);
         assert!((snap.avg_batch_size() - 3.0).abs() < f64::EPSILON);
         assert_eq!(StatsSnapshot::default().avg_batch_size(), 0.0);
     }

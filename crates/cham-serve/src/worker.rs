@@ -7,6 +7,15 @@
 //! Workers exit when the scheduler is shut down and its queue has
 //! drained, so `join` is a graceful drain, not an abort.
 //!
+//! **Panic safety.** A panic inside batch execution (an HE-layer bug, an
+//! injected [`Fault::WorkerPanic`]) must not take the reply channels down
+//! with it — a dropped `mpsc::Sender` would hang every connection thread
+//! blocked on that batch until its socket times out. Execution therefore
+//! runs under `catch_unwind` with the reply senders cloned out first: a
+//! panic is converted into a typed [`ServeError::Internal`] answer to
+//! every job in the batch, the worker survives, and the panic payload's
+//! message travels to the client for diagnosis.
+//!
 //! **Composition with the kernel pool.** `multiply_many` no longer spawns
 //! OS threads per call: batch items (and the limb/row loops underneath)
 //! run as tasks on the shared `cham-pool` work-stealing pool, whose size
@@ -17,10 +26,12 @@
 //! core count without oversubscribing the machine.
 
 use crate::cache::SessionCache;
+use crate::faults::{Fault, FaultInjector};
 use crate::scheduler::{HmvpJob, Scheduler};
 use crate::stats::ServeStats;
 use crate::ServeError;
 use cham_telemetry::counter_add;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -40,6 +51,9 @@ impl WorkerPool {
     /// already covers the cores, raise it for few-worker/large-batch
     /// deployments. It caps task fan-out, not OS threads: actual
     /// concurrency is always bounded by the shared kernel pool.
+    ///
+    /// `faults`, when set, arms the worker-layer injection sites
+    /// ([`Fault::SlowBatch`], [`Fault::WorkerPanic`]).
     #[must_use]
     pub fn spawn(
         scheduler: Arc<Scheduler>,
@@ -47,6 +61,7 @@ impl WorkerPool {
         stats: Arc<ServeStats>,
         workers: usize,
         batch_threads: usize,
+        faults: Option<Arc<FaultInjector>>,
     ) -> Self {
         assert!(workers > 0, "worker pool must have at least one thread");
         let batch_threads = batch_threads.max(1);
@@ -55,9 +70,12 @@ impl WorkerPool {
                 let scheduler = Arc::clone(&scheduler);
                 let cache = Arc::clone(&cache);
                 let stats = Arc::clone(&stats);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("cham-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&scheduler, &cache, &stats, batch_threads))
+                    .spawn(move || {
+                        worker_loop(&scheduler, &cache, &stats, batch_threads, faults.as_deref());
+                    })
                     .expect("spawn worker thread")
             })
             .collect();
@@ -89,18 +107,34 @@ fn worker_loop(
     cache: &SessionCache,
     stats: &ServeStats,
     batch_threads: usize,
+    faults: Option<&FaultInjector>,
 ) {
     while let Some(batch) = scheduler.next_batch() {
-        execute_batch(cache, stats, batch, batch_threads);
+        execute_batch(cache, stats, batch, batch_threads, faults);
     }
 }
 
-/// Runs one coalesced batch and replies to every job in it.
+/// Renders a `catch_unwind` payload into the message clients see.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Runs one coalesced batch and replies to every job in it — on success,
+/// on HE failure, and on panic alike. The invariant the chaos suite
+/// leans on: once a batch leaves the scheduler, every reply channel in
+/// it receives exactly one message.
 fn execute_batch(
     cache: &SessionCache,
     stats: &ServeStats,
     batch: Vec<HmvpJob>,
     batch_threads: usize,
+    faults: Option<&FaultInjector>,
 ) {
     cham_telemetry::time_scope!("cham_serve.batch.execute");
     // Pre-execution deadline check: batch formation already filtered
@@ -118,15 +152,33 @@ fn execute_batch(
         return;
     }
 
+    if let Some(f) = faults {
+        if f.should(Fault::SlowBatch) {
+            stats.on_fault_injected();
+            std::thread::sleep(f.delay());
+        }
+    }
+
     // All jobs in a batch share (key_id, matrix_id) by construction.
     let keys = Arc::clone(&live[0].keys);
     let matrix = Arc::clone(&live[0].matrix);
     let inputs: Vec<Vec<_>> = live.iter().map(|j| j.cts.clone()).collect();
-    match cache
-        .hmvp()
-        .multiply_many(&matrix, &inputs, &keys, batch_threads)
-    {
-        Ok(results) => {
+    // Clone the reply senders out *before* entering the unwind boundary:
+    // whatever execution does, the replies survive to carry the outcome.
+    let replies: Vec<_> = live.iter().map(|j| j.reply.clone()).collect();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Some(f) = faults {
+            if f.should(Fault::WorkerPanic) {
+                stats.on_fault_injected();
+                panic!("injected worker panic");
+            }
+        }
+        cache
+            .hmvp()
+            .multiply_many(&matrix, &inputs, &keys, batch_threads)
+    }));
+    match outcome {
+        Ok(Ok(results)) => {
             debug_assert_eq!(results.len(), live.len());
             stats.on_completed(live.len());
             counter_add!("cham_serve.requests.completed", live.len() as u64);
@@ -134,11 +186,19 @@ fn execute_batch(
                 let _ = job.reply.send(Ok(result));
             }
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             stats.on_failed(live.len());
             counter_add!("cham_serve.requests.failed", live.len() as u64);
             for job in live {
                 let _ = job.reply.send(Err(ServeError::He(e.clone())));
+            }
+        }
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            stats.on_internal_error(replies.len());
+            counter_add!("cham_serve.requests.panicked", replies.len() as u64);
+            for reply in replies {
+                let _ = reply.send(Err(ServeError::Internal(message.clone())));
             }
         }
     }

@@ -9,7 +9,7 @@ use cham_he::keys::{GaloisKeys, SecretKey};
 use cham_he::params::ChamParams;
 use cham_serve::protocol::ErrorCode;
 use cham_serve::server::{Server, ServerConfig};
-use cham_serve::{ServeClient, ServeError};
+use cham_serve::{FaultConfig, FaultInjector, RetryClient, RetryPolicy, ServeClient, ServeError};
 use rand::{Rng, SeedableRng};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -241,23 +241,13 @@ fn wire_errors_are_typed() {
     let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
     let enc = Encryptor::new(&f.params, &f.sk);
     let cts = hmvp.encrypt_vector(&[1u64; 8], &enc, &mut rng).unwrap();
+    // Unknown ids come back as the *typed* client-side variants, with
+    // the id intact — that is what lets RetryClient know what to replay.
     let r = client.hmvp(0xDEAD, 0xBEEF, &cts, None);
-    assert!(matches!(
-        r,
-        Err(ServeError::Remote {
-            code: ErrorCode::UnknownKey,
-            ..
-        })
-    ));
+    assert!(matches!(r, Err(ServeError::UnknownKey(0xDEAD))));
     let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
     let r = client.hmvp(key_id, 0xBEEF, &cts, None);
-    assert!(matches!(
-        r,
-        Err(ServeError::Remote {
-            code: ErrorCode::UnknownMatrix,
-            ..
-        })
-    ));
+    assert!(matches!(r, Err(ServeError::UnknownMatrix(0xBEEF))));
 
     // Wrong ciphertext count for the matrix's column tiles.
     let matrix_id = client.load_matrix(&matrix).unwrap();
@@ -296,6 +286,157 @@ fn wire_errors_are_typed() {
     let stats = server.shutdown();
     assert_eq!(stats.completed, 1);
     assert_eq!(stats.failed, 0);
+}
+
+/// `Ping` round-trips a live counter snapshot without enqueuing work.
+#[test]
+fn ping_reports_live_counters() {
+    let f = fixture();
+    let server = start_server(&ServerConfig::default());
+    let mut client = connect(&server);
+
+    let before = client.ping().unwrap();
+    assert_eq!(before.accepted, 0);
+    assert_eq!(before.completed, 0);
+
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&[1u64; 8], &enc, &mut rng).unwrap();
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+    client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+
+    let after = client.ping().unwrap();
+    assert_eq!(after.accepted, 1);
+    assert_eq!(after.completed, 1);
+    assert_eq!(after.faults_injected, 0);
+    server.shutdown();
+}
+
+/// An injected worker panic surfaces as a typed `Internal` error frame —
+/// the connection stays alive and the worker survives for further work.
+#[test]
+fn worker_panic_is_a_typed_internal_error() {
+    let f = fixture();
+    let server = start_server(&ServerConfig {
+        workers: 1,
+        faults: Some(Arc::new(FaultInjector::new(FaultConfig {
+            worker_panic: 1.0,
+            ..FaultConfig::default()
+        }))),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&[2u64; 8], &enc, &mut rng).unwrap();
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+
+    for _ in 0..2 {
+        let r = client.hmvp(key_id, matrix_id, &cts, None);
+        match r {
+            Err(ServeError::Internal(msg)) => assert!(msg.contains("injected worker panic")),
+            other => panic!("expected typed Internal, got {other:?}"),
+        }
+    }
+    // The connection survived both panics; the health probe still works.
+    let snap = client.ping().unwrap();
+    assert_eq!(snap.internal_errors, 2);
+    assert!(snap.faults_injected >= 2);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.internal_errors, 2);
+    assert_eq!(stats.completed, 0);
+}
+
+/// A request racing shutdown is answered with a typed `Shutdown` error
+/// during the grace window instead of a slammed socket.
+#[test]
+fn shutdown_answers_late_requests_with_typed_error() {
+    let f = fixture();
+    // A generous grace window keeps the race deterministic even when the
+    // rest of the (parallel) suite is pinning every core.
+    let server = start_server(&ServerConfig {
+        shutdown_grace: Duration::from_secs(3),
+        ..ServerConfig::default()
+    });
+    let mut client = connect(&server);
+
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&[3u64; 8], &enc, &mut rng).unwrap();
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+
+    let stats = std::thread::scope(|scope| {
+        let shutdown = scope.spawn(move || server.shutdown());
+        // The connection thread notices the flag within its 250 ms idle
+        // poll, then drains for the 3 s grace; sending at 500 ms lands
+        // inside the drain window with wide margin on a loaded machine.
+        std::thread::sleep(Duration::from_millis(500));
+        let r = client.hmvp(key_id, matrix_id, &cts, None);
+        assert!(
+            matches!(r, Err(ServeError::Shutdown)),
+            "expected typed Shutdown, got {r:?}"
+        );
+        shutdown.join().unwrap()
+    });
+    assert_eq!(stats.rejected_shutdown, 1);
+}
+
+/// RetryClient recovers transparently from a mid-session eviction by
+/// replaying its stored uploads (idempotent via content addressing).
+#[test]
+fn retry_client_reuploads_after_eviction() {
+    let f = fixture();
+    let server = start_server(&ServerConfig::default());
+    let mut client = RetryClient::connect_with(
+        server.local_addr().to_string(),
+        Arc::clone(&f.params),
+        cham_serve::ClientConfig::default(),
+        RetryPolicy {
+            base_backoff: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        },
+    )
+    .unwrap();
+
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let matrix = Matrix::random(4, 8, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&[5u64; 8], &enc, &mut rng).unwrap();
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+    client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+
+    // Evict both entries behind the client's back.
+    assert!(server.cache().evict_keys(key_id));
+    assert!(server.cache().evict_matrix(matrix_id));
+
+    // The retried request recovers without the caller noticing.
+    let result = client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+    let got = hmvp.decrypt_result(&result, &dec).unwrap();
+    assert_eq!(got, matrix.mul_vector_mod(&[5; 8], t).unwrap());
+
+    let rstats = client.stats();
+    assert!(rstats.retries >= 1, "stats: {rstats:?}");
+    assert!(rstats.reuploads >= 2, "stats: {rstats:?}");
+    assert!(rstats.faults_recovered >= 1, "stats: {rstats:?}");
+    server.shutdown();
 }
 
 /// Content-addressed dedup: re-uploading identical payloads returns the
