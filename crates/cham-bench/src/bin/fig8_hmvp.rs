@@ -10,7 +10,11 @@ use cham_bench::{eng, BenchRun, CpuCosts, DotPhaseBench};
 use cham_he::params::ChamParams;
 use cham_sim::baselines::GpuModel;
 use cham_sim::pipeline::HmvpCycleModel;
+use cham_telemetry::histogram::LiveHistogram;
 use cham_telemetry::json::JsonValue;
+use cham_telemetry::span::{self, SpanRecorder, TraceId};
+use std::sync::Arc;
+use std::time::Instant;
 
 fn main() {
     let mut run = BenchRun::from_env("fig8_hmvp");
@@ -102,8 +106,48 @@ fn main() {
         eng(wide_fused_s),
     );
 
+    // Per-rep latency distribution + kernel phase attribution for the
+    // serial dot phase, via the same tracing layer the serving stack
+    // uses: each rep runs under a SpanRecorder, so the in-kernel
+    // dot/rescale spans accumulate while a live histogram captures the
+    // rep-to-rep spread that a best-of summary hides.
+    const DIST_REPS: usize = 20;
+    let rep_hist = LiveHistogram::new();
+    let recorder = Arc::new(SpanRecorder::new(TraceId::generate()));
+    for _ in 0..DIST_REPS {
+        let t0 = Instant::now();
+        span::with_recorder(Arc::clone(&recorder), || {
+            let _ = bench.seconds(1, 1);
+        });
+        rep_hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let rep_snap = rep_hist.snapshot("dot_phase_rep", "ns");
+    let phase_spans = recorder.finish();
+    println!();
+    println!(
+        "dot-phase rep distribution ({DIST_REPS} reps): p50 {} p99 {} p999 {}",
+        eng(rep_snap.percentile(0.50) / 1e9),
+        eng(rep_snap.percentile(0.99) / 1e9),
+        eng(rep_snap.percentile(0.999) / 1e9),
+    );
+    for p in &phase_spans {
+        println!(
+            "  kernel phase {:<10} {} across {} spans",
+            p.name,
+            eng(p.dur_ns as f64 / 1e9),
+            p.count
+        );
+    }
+
     run.param("degree", params.degree())
         .param("clock_hz", model.config().clock_hz);
+    run.metric("rep_count", DIST_REPS);
+    run.metric("rep_p50_ns", JsonValue::Float(rep_snap.percentile(0.50)));
+    run.metric("rep_p99_ns", JsonValue::Float(rep_snap.percentile(0.99)));
+    run.metric("rep_p999_ns", JsonValue::Float(rep_snap.percentile(0.999)));
+    for p in &phase_spans {
+        run.metric(format!("phase_ns.{}", p.name), p.dur_ns);
+    }
     run.metric("points", JsonValue::Array(points));
     run.metric("dot_phase_rows", rows);
     run.metric("dot_phase_serial_seconds", JsonValue::Float(serial_s));

@@ -133,6 +133,7 @@ fn main() {
         (retries, recovered)
     });
     let served_seconds = t1.elapsed().as_secs_f64();
+    let introspect = server.introspect();
     let stats = server.shutdown();
 
     let speedup = naive_seconds / served_seconds;
@@ -151,6 +152,42 @@ fn main() {
     assert!(
         speedup > 1.0,
         "served path must beat naive per-request dispatch (got {speedup:.2}x)"
+    );
+
+    // Per-request phase breakdown from the tracing layer: every request
+    // was traced end to end, so the attributed phase time must account
+    // for the server-side latency (within 10% — the remainder is cache
+    // lookups and channel handoffs, which are not phases).
+    let total_stat = introspect
+        .phase(cham_serve::stats::PHASE_TOTAL)
+        .expect("traced requests must populate the total histogram");
+    assert_eq!(
+        total_stat.count, total as u64,
+        "every request must be traced"
+    );
+    let attributed_ns: u64 = introspect
+        .phases
+        .iter()
+        .filter(|p| cham_telemetry::span::phase::ALL.contains(&p.name.as_str()))
+        .map(|p| p.sum_ns)
+        .sum();
+    let coverage = attributed_ns as f64 / total_stat.sum_ns as f64;
+    println!("phase breakdown (p50/p99/p999 across {total} requests):");
+    for p in &introspect.phases {
+        println!(
+            "  {:<14} count={:<6} p50={:>12} ns  p99={:>12} ns  p999={:>12} ns",
+            p.name, p.count, p.p50_ns, p.p99_ns, p.p999_ns
+        );
+    }
+    println!(
+        "phase coverage: {:.1}% of end-to-end latency attributed",
+        100.0 * coverage
+    );
+    assert!(
+        (0.9..=1.1).contains(&coverage),
+        "attributed phase time must sum within 10% of end-to-end latency \
+         (got {:.1}%)",
+        100.0 * coverage
     );
 
     run.param("rows", ROWS)
@@ -174,6 +211,15 @@ fn main() {
         .metric("timed_out", stats.timed_out)
         .metric("faults_injected", stats.faults_injected)
         .metric("faults_recovered", retry_totals.1)
-        .metric("retries", retry_totals.0);
+        .metric("retries", retry_totals.0)
+        // Per-request latency distribution and phase attribution, from
+        // the tracing layer's introspection snapshot.
+        .metric("latency_p50_ns", total_stat.p50_ns)
+        .metric("latency_p99_ns", total_stat.p99_ns)
+        .metric("latency_p999_ns", total_stat.p999_ns)
+        .metric("phase_coverage", coverage);
+    for p in &introspect.phases {
+        run.metric(format!("phase_ns.{}", p.name), p.sum_ns);
+    }
     run.finish();
 }

@@ -26,6 +26,7 @@ use crate::pack::{pack_lwes, PackedRlwe};
 use crate::params::ChamParams;
 use crate::{HeError, Result};
 use cham_math::rns::{FusedAccumulator, RnsPoly};
+use cham_telemetry::span::{phase, Span};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -254,6 +255,10 @@ impl Hmvp {
     /// transforms are independent, so they fan out across the shared
     /// `cham-pool` thread pool.
     fn lift_inputs_ntt(cts: &[RlweCiphertext]) -> Vec<RlweCiphertext> {
+        // Request-scoped phase span: free when no recorder is installed
+        // (see cham_telemetry::span), so the kernel stays uninstrumented
+        // outside the serving stack's traced requests.
+        let _span = Span::enter(phase::ENCODE);
         cham_pool::map(cts, |_, ct| {
             let mut c = ct.clone();
             c.to_ntt();
@@ -277,6 +282,7 @@ impl Hmvp {
     ) -> Result<LweCiphertext> {
         let aug = self.params.augmented_context();
         let lanes = aug.len() * aug.degree();
+        let dot_span = Span::enter(phase::DOT);
         let (b, a) = crate::scratch::with_dot_scratch(lanes, |s| -> Result<_> {
             let mut b_acc = FusedAccumulator::new(aug, &mut s.b_acc)?;
             let mut a_acc = FusedAccumulator::new(aug, &mut s.a_acc)?;
@@ -286,6 +292,8 @@ impl Hmvp {
             }
             Ok((b_acc.finish(), a_acc.finish()))
         })?;
+        drop(dot_span);
+        let _span = Span::enter(phase::RESCALE);
         let rescaled = rescale(&RlweCiphertext::new(b, a)?, &self.params)?;
         extract_lwe(&rescaled, 0)
     }
@@ -381,10 +389,12 @@ impl Hmvp {
         cham_telemetry::time_scope!("cham_he.hmvp.multiply");
         let lwes = self.dot_products(matrix, cts)?;
         let n = self.params.degree();
+        let pack_span = Span::enter(phase::KEYSWITCH);
         let packed = lwes
             .chunks(n)
             .map(|chunk| pack_lwes(chunk, gkeys, &self.params))
             .collect::<Result<Vec<_>>>()?;
+        drop(pack_span);
         Ok(HmvpResult {
             packed,
             len: matrix.rows,
@@ -409,10 +419,12 @@ impl Hmvp {
         cham_telemetry::time_scope!("cham_he.hmvp.multiply");
         let lwes = self.dot_products_parallel(matrix, cts, threads)?;
         let n = self.params.degree();
+        let pack_span = Span::enter(phase::KEYSWITCH);
         let packed = lwes
             .chunks(n)
             .map(|chunk| pack_lwes(chunk, gkeys, &self.params))
             .collect::<Result<Vec<_>>>()?;
+        drop(pack_span);
         Ok(HmvpResult {
             packed,
             len: matrix.rows,

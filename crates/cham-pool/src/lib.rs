@@ -468,6 +468,11 @@ impl<'env> Scope<'env> {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let shared = Arc::clone(&self.shared);
+        // Capture the spawner's request-span recorder (if any) so work
+        // executed on a pool worker still attributes to the request that
+        // fanned it out — e.g. per-row dot kernels inside a traced HMVP.
+        let span_ctx = cham_telemetry::span::propagate();
+        let f = move || cham_telemetry::span::with_maybe(span_ctx, f);
         let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
         // SAFETY: `scope_on` joins every spawned task before returning on
         // all paths (including panics in the scope body), so the closure —
@@ -659,6 +664,33 @@ mod tests {
         assert_eq!(parse_threads(Some("-3")), None);
         assert_eq!(parse_threads(Some("many")), None);
         assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn spawned_tasks_inherit_the_spawner_span_recorder() {
+        use cham_telemetry::span::{self, SpanRecorder, TraceId};
+        let pool = ThreadPool::new(3);
+        let rec = Arc::new(SpanRecorder::new(TraceId(42)));
+        span::with_recorder(Arc::clone(&rec), || {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        let current = span::current_recorder()
+                            .expect("pool task must inherit the spawner's recorder");
+                        assert_eq!(current.trace_id(), TraceId(42));
+                        current.record("pool_task", 1);
+                    });
+                }
+            });
+        });
+        // All 8 tasks attributed to the one recorder, and the worker
+        // threads were left clean (no recorder leaks past the task).
+        let spans = rec.finish();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].count, 8);
+        pool.scope(|s| {
+            s.spawn(|| assert!(span::current_recorder().is_none()));
+        });
     }
 
     #[test]

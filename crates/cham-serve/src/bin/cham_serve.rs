@@ -5,6 +5,7 @@
 //!            [--workers N] [--queue N] [--max-batch N]
 //!            [--batch-threads N] [--key-cache N] [--matrix-cache N]
 //!            [--max-frame BYTES] [--faults SPEC] [--stats-every SECS]
+//!            [--flight N] [--flight-dump PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that line),
@@ -16,6 +17,11 @@
 //! without the flag, the `CHAM_SERVE_FAULTS` environment variable is
 //! consulted. Production runs leave both unset: a disabled injector is
 //! never constructed and costs nothing.
+//!
+//! `--flight N` sizes the flight recorder (last N request traces);
+//! `--flight-dump PATH` writes its Perfetto JSON there on a caught
+//! worker panic and at shutdown. Live inspection needs no flag — point
+//! `cham-serve-top` at the server.
 
 use cham_he::params::ChamParams;
 use cham_serve::server::{Server, ServerConfig};
@@ -58,12 +64,17 @@ fn parse_args() -> Result<Args, String> {
                 args.config.faults = Some(Arc::new(FaultInjector::new(config)));
             }
             "--stats-every" => args.stats_every = Some(parse_num(&value("--stats-every")?)? as u64),
+            "--flight" => args.config.flight_capacity = parse_num(&value("--flight")?)?,
+            "--flight-dump" => {
+                args.config.flight_dump_path = Some(value("--flight-dump")?.into());
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: cham-serve [--addr HOST:PORT] [--params test|default|large] \
                             [--workers N] [--queue N] [--max-batch N] [--batch-threads N] \
                             [--key-cache N] [--matrix-cache N] [--max-frame BYTES] \
-                            [--faults SPEC] [--stats-every SECS]"
+                            [--faults SPEC] [--stats-every SECS] \
+                            [--flight N] [--flight-dump PATH]"
                         .into(),
                 );
             }

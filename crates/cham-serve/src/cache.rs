@@ -8,13 +8,16 @@
 //! cache is bounded; inserting past the bound evicts the least recently
 //! used entry, so a long-running server cannot grow without limit.
 
+use crate::stats::PhaseHistograms;
 use crate::{Result, ServeError};
 use cham_he::hmvp::{EncodedMatrix, Hmvp, Matrix};
 use cham_he::keys::GaloisKeys;
 use cham_he::params::ChamParams;
 use cham_telemetry::counter_add;
+use cham_telemetry::flight::{FlightEventKind, FlightRecorder};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// FNV-1a 64-bit hash of a byte string — the cache's content address.
 #[must_use]
@@ -100,6 +103,8 @@ pub struct SessionCache {
     hmvp: Hmvp,
     keys: Mutex<LruMap<GaloisKeys>>,
     matrices: Mutex<LruMap<EncodedMatrix>>,
+    phases: Option<Arc<PhaseHistograms>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl SessionCache {
@@ -112,6 +117,29 @@ impl SessionCache {
             hmvp,
             keys: Mutex::new(LruMap::new(key_capacity)),
             matrices: Mutex::new(LruMap::new(matrix_capacity)),
+            phases: None,
+            flight: None,
+        }
+    }
+
+    /// Attaches observability sinks: matrix NTT-encode durations go into
+    /// `phases` (the `matrix_encode` histogram) and evictions become
+    /// flight-recorder events. Builder style so plain `new` call sites
+    /// stay unchanged.
+    #[must_use]
+    pub fn with_telemetry(
+        mut self,
+        phases: Option<Arc<PhaseHistograms>>,
+        flight: Option<Arc<FlightRecorder>>,
+    ) -> Self {
+        self.phases = phases;
+        self.flight = flight;
+        self
+    }
+
+    fn on_evict(&self, detail: String) {
+        if let Some(flight) = &self.flight {
+            flight.record_event(FlightEventKind::Evict, detail, None);
         }
     }
 
@@ -153,6 +181,7 @@ impl SessionCache {
         counter_add!("cham_serve.cache.keys_insert", 1);
         if evicted {
             counter_add!("cham_serve.cache.keys_evict", 1);
+            self.on_evict("keys (lru)".into());
         }
         Ok(id)
     }
@@ -187,7 +216,13 @@ impl SessionCache {
         }
         // Encode outside the lock: this is seconds of NTT work at
         // production sizes and must not serialize unrelated lookups.
+        let encode_started = Instant::now();
         let encoded = self.hmvp.encode_matrix(matrix)?;
+        if let Some(phases) = &self.phases {
+            phases.record_matrix_encode(
+                u64::try_from(encode_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         let evicted = self
             .matrices
             .lock()
@@ -196,6 +231,7 @@ impl SessionCache {
         counter_add!("cham_serve.cache.matrix_insert", 1);
         if evicted {
             counter_add!("cham_serve.cache.matrix_evict", 1);
+            self.on_evict("matrix (lru)".into());
         }
         Ok(id)
     }
@@ -220,15 +256,24 @@ impl SessionCache {
     /// addressing makes the re-upload idempotent). The fault-injection
     /// harness leans on exactly this property.
     pub fn evict_keys(&self, id: u64) -> bool {
-        self.keys.lock().expect("keys cache poisoned").remove(id)
+        let removed = self.keys.lock().expect("keys cache poisoned").remove(id);
+        if removed {
+            self.on_evict(format!("keys {id:#018x}"));
+        }
+        removed
     }
 
     /// Evicts a cached encoded matrix by id; returns whether present.
     pub fn evict_matrix(&self, id: u64) -> bool {
-        self.matrices
+        let removed = self
+            .matrices
             .lock()
             .expect("matrix cache poisoned")
-            .remove(id)
+            .remove(id);
+        if removed {
+            self.on_evict(format!("matrix {id:#018x}"));
+        }
+        removed
     }
 
     /// `(cached key sets, cached matrices)` — for reporting.

@@ -11,14 +11,17 @@
 //! (resets, torn writes, `Busy`, evictions), wrap the connection in a
 //! [`crate::retry::RetryClient`] instead of using this type directly.
 
-use crate::protocol::{self, FrameKind, Hello, Response, DEADLINE_NONE};
-use crate::stats::StatsSnapshot;
+use crate::protocol::{
+    self, FrameKind, Hello, Response, DEADLINE_NONE, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
+use crate::stats::{IntrospectSnapshot, StatsSnapshot};
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::{HmvpResult, Matrix};
 use cham_he::keys::GaloisKeys;
 use cham_he::params::ChamParams;
 use cham_he::wire;
+use cham_telemetry::span::TraceId;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +40,10 @@ pub struct ClientConfig {
     pub read_timeout: Option<Duration>,
     /// Bound on each blocking write.
     pub write_timeout: Option<Duration>,
+    /// Highest protocol revision to offer in the hello (clamped to
+    /// [`PROTOCOL_VERSION`]). Set to [`MIN_PROTOCOL_VERSION`] to force
+    /// v2 framing — useful for interop tests and very old servers.
+    pub protocol_version: u16,
 }
 
 impl Default for ClientConfig {
@@ -45,6 +52,7 @@ impl Default for ClientConfig {
             connect_timeout: Duration::from_secs(5),
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
+            protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -58,6 +66,8 @@ pub struct ServerInfo {
     pub queue_capacity: u32,
     /// Maximum coalesced batch size.
     pub max_batch: u32,
+    /// Negotiated protocol revision this connection speaks.
+    pub version: u16,
 }
 
 /// A connected, hello-verified client.
@@ -91,6 +101,32 @@ impl ServeClient {
         params: Arc<ChamParams>,
         config: &ClientConfig,
     ) -> Result<Self> {
+        let requested = config.protocol_version.min(PROTOCOL_VERSION);
+        match Self::try_connect(&addr, &params, config, requested) {
+            // A strict pre-negotiation server rejects unknown versions
+            // outright instead of downgrading — over the wire that lands
+            // as a Remote error with the Incompatible code; fall back to
+            // the floor revision once before giving up.
+            Err(
+                ServeError::Incompatible(_)
+                | ServeError::Remote {
+                    code: protocol::ErrorCode::Incompatible,
+                    ..
+                },
+            ) if requested > MIN_PROTOCOL_VERSION => {
+                Self::try_connect(&addr, &params, config, MIN_PROTOCOL_VERSION)
+            }
+            other => other,
+        }
+    }
+
+    /// One connection attempt offering exactly `offer` in the hello.
+    fn try_connect(
+        addr: &impl ToSocketAddrs,
+        params: &Arc<ChamParams>,
+        config: &ClientConfig,
+        offer: u16,
+    ) -> Result<Self> {
         let mut last_err: Option<std::io::Error> = None;
         let mut stream = None;
         for sock_addr in addr.to_socket_addrs()? {
@@ -115,19 +151,24 @@ impl ServeClient {
         stream.set_write_timeout(config.write_timeout)?;
         let mut client = Self {
             stream,
-            params,
+            params: Arc::clone(params),
             info: ServerInfo {
                 workers: 0,
                 queue_capacity: 0,
                 max_batch: 0,
+                version: MIN_PROTOCOL_VERSION,
             },
         };
-        let hello = Hello::for_params(&client.params);
+        let hello = Hello {
+            version: offer,
+            ..Hello::for_params(&client.params)
+        };
         let resp = client.roundtrip(FrameKind::Hello, &hello.to_bytes())?;
         let Response::Hello {
             workers,
             queue_capacity,
             max_batch,
+            version,
         } = resp
         else {
             return Err(ServeError::BadFrame("hello answered with wrong response"));
@@ -136,6 +177,9 @@ impl ServeClient {
             workers,
             queue_capacity,
             max_batch,
+            // The echo is authoritative but never above what we offered —
+            // both sides must agree on the *lower* revision's framing.
+            version: version.min(offer),
         };
         Ok(client)
     }
@@ -225,18 +269,83 @@ impl ServeClient {
         cts: &[RlweCiphertext],
         deadline: Option<Duration>,
     ) -> Result<HmvpResult> {
+        // On a v3 connection every request carries a fresh trace id so
+        // the server-side flight recorder can attribute it; v2 framing
+        // has nowhere to put one.
+        let trace_id = if self.info.version >= 3 {
+            TraceId::generate().as_u64()
+        } else {
+            0
+        };
+        self.hmvp_traced(key_id, matrix_id, cts, deadline, trace_id)
+            .map(|(result, _)| result)
+    }
+
+    /// [`Self::hmvp`] with an explicit trace id (to continue a trace the
+    /// caller already started). Returns the result together with the id
+    /// actually sent — `0` when the negotiated revision cannot carry one.
+    ///
+    /// # Errors
+    /// Same as [`Self::hmvp`].
+    pub fn hmvp_traced(
+        &mut self,
+        key_id: u64,
+        matrix_id: u64,
+        cts: &[RlweCiphertext],
+        deadline: Option<Duration>,
+        trace_id: u64,
+    ) -> Result<(HmvpResult, u64)> {
         let deadline_ms = deadline.map_or(DEADLINE_NONE, |d| {
             u32::try_from(d.as_millis())
                 .unwrap_or(DEADLINE_NONE - 1)
                 .clamp(1, DEADLINE_NONE - 1)
         });
-        let body = protocol::hmvp_request_to_bytes(key_id, matrix_id, deadline_ms, cts);
+        let trace_id = if self.info.version >= 3 { trace_id } else { 0 };
+        let body = protocol::hmvp_request_to_bytes(
+            key_id,
+            matrix_id,
+            deadline_ms,
+            trace_id,
+            cts,
+            self.info.version,
+        );
         match self.roundtrip(FrameKind::Hmvp, &body)? {
-            Response::HmvpDone { len, packed } => Ok(HmvpResult {
-                packed,
-                len: len as usize,
-            }),
+            Response::HmvpDone { len, packed } => Ok((
+                HmvpResult {
+                    packed,
+                    len: len as usize,
+                },
+                trace_id,
+            )),
             _ => Err(ServeError::BadFrame("hmvp answered with wrong response")),
+        }
+    }
+
+    /// Fetches the server's structured introspection snapshot: live
+    /// counters, queue/pool occupancy, and per-phase latency histograms.
+    ///
+    /// # Errors
+    /// Transport errors, or `BadFrame` from a pre-v3 server.
+    pub fn introspect(&mut self) -> Result<IntrospectSnapshot> {
+        match self.roundtrip(FrameKind::Introspect, &[])? {
+            Response::IntrospectReport { snapshot } => Ok(snapshot),
+            _ => Err(ServeError::BadFrame(
+                "introspect answered with wrong response",
+            )),
+        }
+    }
+
+    /// Fetches the server's flight recorder as Chrome-trace JSON (load
+    /// it in Perfetto, or parse with `cham_telemetry::trace_reader`).
+    ///
+    /// # Errors
+    /// Transport errors, or `BadFrame` from a pre-v3 server.
+    pub fn flight_dump(&mut self) -> Result<String> {
+        match self.roundtrip(FrameKind::FlightDump, &[])? {
+            Response::FlightDump { json } => Ok(json),
+            _ => Err(ServeError::BadFrame(
+                "flight-dump answered with wrong response",
+            )),
         }
     }
 

@@ -26,8 +26,18 @@
 //!   deadline budget across attempts,
 //! * [`faults`] — the seeded, deterministic fault-injection harness the
 //!   chaos soak test drives (zero-cost when disabled),
-//! * [`stats`] — always-on service counters (plus `cham-telemetry`
-//!   counters and histograms when the `telemetry` feature is enabled).
+//! * [`stats`] — always-on service counters, per-phase latency
+//!   histograms, and the [`stats::IntrospectSnapshot`] served by the
+//!   `Introspect` wire op (plus `cham-telemetry` counters and histograms
+//!   when the `telemetry` feature is enabled).
+//!
+//! Every request is traced end to end: protocol v3 clients stamp a
+//! `cham_telemetry::span::TraceId` into the `Hmvp` frame, the server
+//! propagates it through queue → batch → kernel phases → serialization
+//! via a [`cham_telemetry::span::SpanRecorder`], and the completed
+//! breakdown lands in both the per-phase histograms (`Introspect`) and
+//! the bounded [`cham_telemetry::flight::FlightRecorder`] ring
+//! (`FlightDump`, Perfetto-loadable JSON).
 //!
 //! ```text
 //!   clients ──TCP──▶ conn threads ──▶ bounded queue ──▶ worker pool
@@ -56,12 +66,12 @@ use std::error::Error;
 use std::fmt;
 
 pub use cache::SessionCache;
-pub use client::{ClientConfig, ServeClient};
+pub use client::{ClientConfig, ServeClient, ServerInfo};
 pub use faults::{Fault, FaultConfig, FaultInjector};
 pub use retry::{RetryClient, RetryPolicy, RetryStatsSnapshot};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
-pub use stats::{ServeStats, StatsSnapshot};
+pub use stats::{IntrospectSnapshot, PhaseHistograms, PhaseStat, ServeStats, StatsSnapshot};
 
 /// Errors from the serving layer.
 #[derive(Debug)]

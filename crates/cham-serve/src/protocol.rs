@@ -7,7 +7,7 @@
 //! ```
 //!
 //! `len` counts the kind byte plus the body, so an empty body frames as
-//! `len = 1`. Seven frame kinds exist; ciphertext and key payloads inside
+//! `len = 1`. Nine frame kinds exist; ciphertext and key payloads inside
 //! bodies reuse the versioned `cham_he::wire` codecs unchanged, so the
 //! serving layer inherits their parameter validation (foreign modulus
 //! chains, out-of-range coefficients and truncation are rejected at the
@@ -18,10 +18,25 @@
 //! | `Hello` (1) | c→s | `[proto u16] [degree u32] [t u64] [n u8] [ct primes u64×n] [special u64]` |
 //! | `LoadKeys` (2) | c→s | `cham_he::wire::galois_keys_to_bytes` payload |
 //! | `LoadMatrix` (3) | c→s | `[rows u32] [cols u32] [values u64 × rows·cols]` |
-//! | `Hmvp` (4) | c→s | `[key_id u64] [matrix_id u64] [deadline_ms u32] [k u16] ([len u32] [rlwe bytes])×k` |
+//! | `Hmvp` (4) | c→s | `[key_id u64] [matrix_id u64] [deadline_ms u32] ([trace_id u64] in v3) [k u16] ([len u32] [rlwe bytes])×k` |
 //! | `Result` (5) | s→c | `[tag u8] [tag-specific payload]` (see [`Response`]) |
 //! | `Error` (6) | s→c | `[code u8] [msg_len u16] [utf-8 message]` |
 //! | `Ping` (7) | c→s | empty — health check; answered with a [`Response::Pong`] stats snapshot |
+//! | `Introspect` (8) | c→s | empty — answered with a [`Response::IntrospectReport`] snapshot (v3) |
+//! | `FlightDump` (9) | c→s | empty — answered with a [`Response::FlightDump`] trace JSON (v3) |
+//!
+//! ## Version negotiation
+//!
+//! The `Hmvp` body is *version-dependent* (revision 3 inserted the
+//! `trace_id` field), so both ends must agree on a revision before any
+//! request flows. The hello exchange negotiates it: the client states
+//! the highest revision it speaks, the server accepts anything in
+//! `MIN_PROTOCOL_VERSION ..`, and the agreed revision is
+//! `min(client, PROTOCOL_VERSION)` — echoed back in the
+//! [`Response::Hello`] `version` field. A v2 client never sees the new
+//! field (the server serializes its hello response in v2 shape for it,
+//! and parses its `Hmvp` bodies as v2), and a v3 client talking to an
+//! older server reads the missing echo as "2" and downgrades.
 //!
 //! `deadline_ms` uses an explicit sentinel: [`DEADLINE_NONE`]
 //! (`u32::MAX`) means "no deadline". A literal `0` is **rejected** as a
@@ -33,7 +48,7 @@
 //! is what makes `LoadKeys`/`LoadMatrix` idempotent and therefore safe
 //! for [`crate::retry::RetryClient`] to replay after an eviction.
 
-use crate::stats::StatsSnapshot;
+use crate::stats::{IntrospectSnapshot, PhaseStat, StatsSnapshot};
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::Matrix;
@@ -45,8 +60,21 @@ use std::io::{Read, Write};
 /// Protocol revision spoken by this crate. Revision 2 added the `Ping`
 /// frame and the explicit [`DEADLINE_NONE`] sentinel (revision 1 used
 /// `deadline_ms = 0` for "no deadline", conflating it with an explicit
-/// zero-millisecond deadline).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// zero-millisecond deadline). Revision 3 added the `trace_id` field to
+/// `Hmvp` bodies, the `version` echo in hello responses, and the
+/// `Introspect`/`FlightDump` frames.
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// Oldest protocol revision this crate still accepts from a peer.
+/// Revision 2 clients interoperate (their requests simply carry no trace
+/// ids); revision 1's deadline ambiguity keeps it unsupported.
+pub const MIN_PROTOCOL_VERSION: u16 = 2;
+
+/// The revision two peers settle on: the older of the two speakers.
+#[must_use]
+pub fn negotiate_version(peer: u16) -> u16 {
+    peer.min(PROTOCOL_VERSION)
+}
 
 /// Wire sentinel for "no deadline" in `Hmvp` frames. Any other value is
 /// a deadline in milliseconds; `0` is rejected as malformed.
@@ -75,6 +103,13 @@ pub enum FrameKind {
     Error = 6,
     /// Health check: empty body, answered with a stats snapshot.
     Ping = 7,
+    /// Live introspection: empty body, answered with a structured
+    /// snapshot of stats, queue/pool occupancy, and per-phase latency
+    /// histograms (protocol v3).
+    Introspect = 8,
+    /// On-demand flight-recorder dump: empty body, answered with the
+    /// recorder's Chrome-trace JSON (protocol v3).
+    FlightDump = 9,
 }
 
 impl FrameKind {
@@ -91,6 +126,8 @@ impl FrameKind {
             5 => Ok(FrameKind::Result),
             6 => Ok(FrameKind::Error),
             7 => Ok(FrameKind::Ping),
+            8 => Ok(FrameKind::Introspect),
+            9 => Ok(FrameKind::FlightDump),
             _ => Err(ServeError::BadFrame("unknown frame kind")),
         }
     }
@@ -255,6 +292,10 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     fn done(&self) -> Result<()> {
         if self.pos == self.data.len() {
             Ok(())
@@ -299,13 +340,18 @@ impl Hello {
         }
     }
 
-    /// Checks the fingerprint against a local parameter set.
+    /// Checks the fingerprint against a local parameter set and returns
+    /// the negotiated protocol revision (the older of the two speakers).
+    ///
+    /// Peers newer than us are fine — they downgrade to our revision via
+    /// the hello response's version echo. Peers older than
+    /// [`MIN_PROTOCOL_VERSION`] are rejected.
     ///
     /// # Errors
     /// [`ServeError::Incompatible`] naming the first mismatching field.
-    pub fn check(&self, params: &ChamParams) -> Result<()> {
-        if self.version != PROTOCOL_VERSION {
-            return Err(ServeError::Incompatible("protocol version mismatch"));
+    pub fn check(&self, params: &ChamParams) -> Result<u16> {
+        if self.version < MIN_PROTOCOL_VERSION {
+            return Err(ServeError::Incompatible("protocol version too old"));
         }
         let local = Self::for_params(params);
         if self.degree != local.degree {
@@ -320,7 +366,7 @@ impl Hello {
         if self.special_prime != local.special_prime {
             return Err(ServeError::Incompatible("special prime mismatch"));
         }
-        Ok(())
+        Ok(negotiate_version(self.version))
     }
 
     /// Serializes the hello body.
@@ -423,22 +469,32 @@ pub struct HmvpRequest {
     pub matrix_id: u64,
     /// Deadline in milliseconds from receipt; [`DEADLINE_NONE`] = none.
     pub deadline_ms: u32,
+    /// Client-stamped trace id (v3; `0` = unset, and always `0` when the
+    /// connection negotiated v2).
+    pub trace_id: u64,
     /// The encrypted vector, one ciphertext per column tile.
     pub cts: Vec<RlweCiphertext>,
 }
 
-/// Serializes an `Hmvp` request body.
+/// Serializes an `Hmvp` request body in the given protocol revision's
+/// shape. `trace_id` only travels in v3 bodies (0 = "unset", letting the
+/// server assign one); v2 bodies silently drop it.
 #[must_use]
 pub fn hmvp_request_to_bytes(
     key_id: u64,
     matrix_id: u64,
     deadline_ms: u32,
+    trace_id: u64,
     cts: &[RlweCiphertext],
+    version: u16,
 ) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&key_id.to_le_bytes());
     out.extend_from_slice(&matrix_id.to_le_bytes());
     out.extend_from_slice(&deadline_ms.to_le_bytes());
+    if version >= 3 {
+        out.extend_from_slice(&trace_id.to_le_bytes());
+    }
     out.extend_from_slice(&(cts.len() as u16).to_le_bytes());
     for ct in cts {
         let bytes = wire::rlwe_to_bytes(ct);
@@ -448,12 +504,19 @@ pub fn hmvp_request_to_bytes(
     out
 }
 
-/// Parses an `Hmvp` request body (ciphertexts validated against `params`).
+/// Parses an `Hmvp` request body in the given protocol revision's shape
+/// (ciphertexts validated against `params`).
 ///
 /// # Errors
-/// [`ServeError::BadFrame`] for framing faults; HE-layer errors for
-/// invalid ciphertext payloads.
-pub fn hmvp_request_from_bytes(body: &[u8], params: &ChamParams) -> Result<HmvpRequest> {
+/// [`ServeError::BadFrame`] for framing faults — including a v2-shaped
+/// body arriving on a v3 connection (the missing trace-id field desyncs
+/// the ciphertext lengths); HE-layer errors for invalid ciphertext
+/// payloads.
+pub fn hmvp_request_from_bytes(
+    body: &[u8],
+    params: &ChamParams,
+    version: u16,
+) -> Result<HmvpRequest> {
     let mut r = Reader::new(body);
     let key_id = r.u64()?;
     let matrix_id = r.u64()?;
@@ -465,6 +528,7 @@ pub fn hmvp_request_from_bytes(body: &[u8], params: &ChamParams) -> Result<HmvpR
             "deadline_ms = 0 (use DEADLINE_NONE for no deadline)",
         ));
     }
+    let trace_id = if version >= 3 { r.u64()? } else { 0 };
     let k = r.u16()? as usize;
     if k == 0 {
         return Err(ServeError::BadFrame("hmvp request with no ciphertexts"));
@@ -480,6 +544,7 @@ pub fn hmvp_request_from_bytes(body: &[u8], params: &ChamParams) -> Result<HmvpR
         key_id,
         matrix_id,
         deadline_ms,
+        trace_id,
         cts,
     })
 }
@@ -495,6 +560,8 @@ enum ResponseTag {
     MatrixLoaded = 3,
     HmvpDone = 4,
     Pong = 5,
+    IntrospectReport = 6,
+    FlightDump = 7,
 }
 
 /// Number of `u64` counter fields a `Pong` body carries. The body is
@@ -521,7 +588,8 @@ fn snapshot_fields(s: &StatsSnapshot) -> [u64; PONG_FIELDS] {
 /// A parsed `Result` frame.
 #[derive(Debug, Clone)]
 pub enum Response {
-    /// Answer to `Hello`: the server's serving shape.
+    /// Answer to `Hello`: the server's serving shape plus the
+    /// negotiated protocol revision.
     Hello {
         /// Worker pool size.
         workers: u16,
@@ -529,6 +597,10 @@ pub enum Response {
         queue_capacity: u32,
         /// Maximum coalesced batch size.
         max_batch: u32,
+        /// Negotiated protocol revision. Serialized as a trailing `u16`
+        /// **only when ≥ 3** — a v2 peer's strict parser must see the
+        /// exact v2 body, and reads the missing field as "2".
+        version: u16,
     },
     /// Answer to `LoadKeys`: the content hash the set is cached under.
     KeysLoaded {
@@ -557,6 +629,18 @@ pub enum Response {
         /// The server's service counters at the moment of the ping.
         stats: StatsSnapshot,
     },
+    /// Answer to `Introspect`: the full structured snapshot (protocol
+    /// v3).
+    IntrospectReport {
+        /// Live stats, occupancy, and per-phase latency breakdown.
+        snapshot: IntrospectSnapshot,
+    },
+    /// Answer to `FlightDump`: the flight recorder's contents rendered
+    /// as Chrome-trace JSON (protocol v3).
+    FlightDump {
+        /// Perfetto-loadable trace JSON.
+        json: String,
+    },
 }
 
 impl Response {
@@ -569,11 +653,19 @@ impl Response {
                 workers,
                 queue_capacity,
                 max_batch,
+                version,
             } => {
                 out.push(ResponseTag::Hello as u8);
                 out.extend_from_slice(&workers.to_le_bytes());
                 out.extend_from_slice(&queue_capacity.to_le_bytes());
                 out.extend_from_slice(&max_batch.to_le_bytes());
+                // v2 peers parse strictly (no trailing bytes allowed),
+                // so the version echo only appears when it is ≥ 3 — and
+                // a v2 reader never sees it because the server builds
+                // the response with the *negotiated* revision.
+                if *version >= 3 {
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
             }
             Response::KeysLoaded { key_id } => {
                 out.push(ResponseTag::KeysLoaded as u8);
@@ -608,6 +700,49 @@ impl Response {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
             }
+            Response::IntrospectReport { snapshot } => {
+                out.push(ResponseTag::IntrospectReport as u8);
+                // Counter block reuses the extensible Pong idiom.
+                out.push(PONG_FIELDS as u8);
+                for field in snapshot_fields(&snapshot.stats) {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+                for v in [
+                    snapshot.queue_depth,
+                    snapshot.queue_capacity,
+                    snapshot.workers,
+                    snapshot.max_batch,
+                    snapshot.key_cache_len,
+                    snapshot.matrix_cache_len,
+                    snapshot.pool_threads,
+                    snapshot.flight_traces,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                for v in [
+                    snapshot.pool_tasks,
+                    snapshot.pool_steals,
+                    snapshot.flight_dropped,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.push(snapshot.phases.len() as u8);
+                for p in &snapshot.phases {
+                    let name = p.name.as_bytes();
+                    let take = name.len().min(u8::MAX as usize);
+                    out.push(take as u8);
+                    out.extend_from_slice(&name[..take]);
+                    for v in [p.count, p.sum_ns, p.p50_ns, p.p99_ns, p.p999_ns, p.max_ns] {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            Response::FlightDump { json } => {
+                out.push(ResponseTag::FlightDump as u8);
+                let bytes = json.as_bytes();
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
         }
         out
     }
@@ -621,11 +756,20 @@ impl Response {
         let mut r = Reader::new(body);
         let tag = r.u8()?;
         let resp = match tag {
-            t if t == ResponseTag::Hello as u8 => Response::Hello {
-                workers: r.u16()?,
-                queue_capacity: r.u32()?,
-                max_batch: r.u32()?,
-            },
+            t if t == ResponseTag::Hello as u8 => {
+                let workers = r.u16()?;
+                let queue_capacity = r.u32()?;
+                let max_batch = r.u32()?;
+                // A pre-v3 server sends no version echo; read absence
+                // as "the peer negotiated 2".
+                let version = if r.remaining() > 0 { r.u16()? } else { 2 };
+                Response::Hello {
+                    workers,
+                    queue_capacity,
+                    max_batch,
+                    version,
+                }
+            }
             t if t == ResponseTag::KeysLoaded as u8 => Response::KeysLoaded { key_id: r.u64()? },
             t if t == ResponseTag::MatrixLoaded as u8 => Response::MatrixLoaded {
                 matrix_id: r.u64()?,
@@ -649,40 +793,96 @@ impl Response {
                 }
                 Response::HmvpDone { len, packed }
             }
-            t if t == ResponseTag::Pong as u8 => {
-                let count = r.u8()? as usize;
-                if count < PONG_FIELDS {
-                    return Err(ServeError::BadFrame("pong snapshot too short"));
+            t if t == ResponseTag::Pong as u8 => Response::Pong {
+                stats: read_stats_block(&mut r)?,
+            },
+            t if t == ResponseTag::IntrospectReport as u8 => {
+                let stats = read_stats_block(&mut r)?;
+                let queue_depth = r.u32()?;
+                let queue_capacity = r.u32()?;
+                let workers = r.u32()?;
+                let max_batch = r.u32()?;
+                let key_cache_len = r.u32()?;
+                let matrix_cache_len = r.u32()?;
+                let pool_threads = r.u32()?;
+                let flight_traces = r.u32()?;
+                let pool_tasks = r.u64()?;
+                let pool_steals = r.u64()?;
+                let flight_dropped = r.u64()?;
+                let n = r.u8()? as usize;
+                let mut phases = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name_len = r.u8()? as usize;
+                    let name = String::from_utf8_lossy(r.take(name_len)?).into_owned();
+                    phases.push(PhaseStat {
+                        name,
+                        count: r.u64()?,
+                        sum_ns: r.u64()?,
+                        p50_ns: r.u64()?,
+                        p99_ns: r.u64()?,
+                        p999_ns: r.u64()?,
+                        max_ns: r.u64()?,
+                    });
                 }
-                let mut fields = [0u64; PONG_FIELDS];
-                for slot in &mut fields {
-                    *slot = r.u64()?;
-                }
-                // Skip counters appended by a newer peer.
-                for _ in PONG_FIELDS..count {
-                    let _ = r.u64()?;
-                }
-                Response::Pong {
-                    stats: StatsSnapshot {
-                        accepted: fields[0],
-                        rejected_busy: fields[1],
-                        timed_out: fields[2],
-                        completed: fields[3],
-                        failed: fields[4],
-                        batches: fields[5],
-                        batch_requests: fields[6],
-                        peak_queue_depth: fields[7],
-                        internal_errors: fields[8],
-                        rejected_shutdown: fields[9],
-                        faults_injected: fields[10],
+                Response::IntrospectReport {
+                    snapshot: IntrospectSnapshot {
+                        stats,
+                        queue_depth,
+                        queue_capacity,
+                        workers,
+                        max_batch,
+                        key_cache_len,
+                        matrix_cache_len,
+                        pool_threads,
+                        pool_tasks,
+                        pool_steals,
+                        flight_traces,
+                        flight_dropped,
+                        phases,
                     },
                 }
+            }
+            t if t == ResponseTag::FlightDump as u8 => {
+                let len = r.u32()? as usize;
+                let json = String::from_utf8(r.take(len)?.to_vec())
+                    .map_err(|_| ServeError::BadFrame("flight dump is not UTF-8"))?;
+                Response::FlightDump { json }
             }
             _ => return Err(ServeError::BadFrame("unknown response tag")),
         };
         r.done()?;
         Ok(resp)
     }
+}
+
+/// Parses the `[count u8][u64 × count]` stats block `Pong` and
+/// `IntrospectReport` share. Counters appended by a newer peer are
+/// skipped; fewer than [`PONG_FIELDS`] is malformed.
+fn read_stats_block(r: &mut Reader<'_>) -> Result<StatsSnapshot> {
+    let count = r.u8()? as usize;
+    if count < PONG_FIELDS {
+        return Err(ServeError::BadFrame("stats snapshot too short"));
+    }
+    let mut fields = [0u64; PONG_FIELDS];
+    for slot in &mut fields {
+        *slot = r.u64()?;
+    }
+    for _ in PONG_FIELDS..count {
+        let _ = r.u64()?;
+    }
+    Ok(StatsSnapshot {
+        accepted: fields[0],
+        rejected_busy: fields[1],
+        timed_out: fields[2],
+        completed: fields[3],
+        failed: fields[4],
+        batches: fields[5],
+        batch_requests: fields[6],
+        peak_queue_depth: fields[7],
+        internal_errors: fields[8],
+        rejected_shutdown: fields[9],
+        faults_injected: fields[10],
+    })
 }
 
 /// Serializes an `Error` frame body.
@@ -752,7 +952,8 @@ mod tests {
         let hello = Hello::for_params(&p);
         let back = Hello::from_bytes(&hello.to_bytes()).unwrap();
         assert_eq!(back, hello);
-        assert!(back.check(&p).is_ok());
+        // A same-version peer negotiates the current revision.
+        assert_eq!(back.check(&p).unwrap(), PROTOCOL_VERSION);
 
         // Any field mismatch is named.
         let other = cham_he::params::ChamParamsBuilder::new()
@@ -763,9 +964,15 @@ mod tests {
             back.check(&other),
             Err(ServeError::Incompatible(_))
         ));
+        // A newer peer downgrades to our revision; an older-than-minimum
+        // peer is rejected outright.
         let mut v = hello.clone();
         v.version = 9;
-        assert!(v.check(&p).is_err());
+        assert_eq!(v.check(&p).unwrap(), PROTOCOL_VERSION);
+        v.version = MIN_PROTOCOL_VERSION;
+        assert_eq!(v.check(&p).unwrap(), MIN_PROTOCOL_VERSION);
+        v.version = 1;
+        assert!(matches!(v.check(&p), Err(ServeError::Incompatible(_))));
         let mut t = hello.clone();
         t.plain_modulus += 2;
         assert!(t.check(&p).is_err());
@@ -816,30 +1023,60 @@ mod tests {
         let enc = Encryptor::new(&p, &sk);
         let coder = CoeffEncoder::new(&p);
         let ct = enc.encrypt_augmented(&coder.encode_vector(&[1, 2, 3]).unwrap(), &mut rng);
-        let body = hmvp_request_to_bytes(7, 9, 250, std::slice::from_ref(&ct));
-        let req = hmvp_request_from_bytes(&body, &p).unwrap();
+        let body = hmvp_request_to_bytes(7, 9, 250, 0xFACE, std::slice::from_ref(&ct), 3);
+        let req = hmvp_request_from_bytes(&body, &p, 3).unwrap();
         assert_eq!(req.key_id, 7);
         assert_eq!(req.matrix_id, 9);
         assert_eq!(req.deadline_ms, 250);
+        assert_eq!(req.trace_id, 0xFACE);
         assert_eq!(req.cts.len(), 1);
         assert_eq!(req.cts[0], ct);
 
         // The no-deadline sentinel round-trips.
-        let none_body = hmvp_request_to_bytes(7, 9, DEADLINE_NONE, std::slice::from_ref(&ct));
-        let req = hmvp_request_from_bytes(&none_body, &p).unwrap();
+        let none_body = hmvp_request_to_bytes(7, 9, DEADLINE_NONE, 0, std::slice::from_ref(&ct), 3);
+        let req = hmvp_request_from_bytes(&none_body, &p, 3).unwrap();
         assert_eq!(req.deadline_ms, DEADLINE_NONE);
+        assert_eq!(req.trace_id, 0);
 
         // A literal zero deadline is a malformed frame, not "no deadline".
-        let zero = hmvp_request_to_bytes(7, 9, 0, std::slice::from_ref(&ct));
+        let zero = hmvp_request_to_bytes(7, 9, 0, 0, std::slice::from_ref(&ct), 3);
         assert!(matches!(
-            hmvp_request_from_bytes(&zero, &p),
+            hmvp_request_from_bytes(&zero, &p, 3),
             Err(ServeError::BadFrame(_))
         ));
 
         // No ciphertexts / truncation rejected.
-        let none = hmvp_request_to_bytes(1, 2, DEADLINE_NONE, &[]);
-        assert!(hmvp_request_from_bytes(&none, &p).is_err());
-        assert!(hmvp_request_from_bytes(&body[..20], &p).is_err());
+        let none = hmvp_request_to_bytes(1, 2, DEADLINE_NONE, 0, &[], 3);
+        assert!(hmvp_request_from_bytes(&none, &p, 3).is_err());
+        assert!(hmvp_request_from_bytes(&body[..20], &p, 3).is_err());
+    }
+
+    #[test]
+    fn hmvp_request_version_shapes() {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let enc = Encryptor::new(&p, &sk);
+        let coder = CoeffEncoder::new(&p);
+        let ct = enc.encrypt_augmented(&coder.encode_vector(&[5, 6]).unwrap(), &mut rng);
+
+        // A v2 body carries no trace id and parses as trace_id = 0.
+        let v2 = hmvp_request_to_bytes(1, 2, 100, 0xABCD, std::slice::from_ref(&ct), 2);
+        let v3 = hmvp_request_to_bytes(1, 2, 100, 0xABCD, std::slice::from_ref(&ct), 3);
+        assert_eq!(v3.len(), v2.len() + 8);
+        let req = hmvp_request_from_bytes(&v2, &p, 2).unwrap();
+        assert_eq!(req.trace_id, 0);
+
+        // Version-shape mismatches desync the framing and are rejected —
+        // a v2 body on a v3 connection and vice versa never half-parse.
+        assert!(hmvp_request_from_bytes(&v2, &p, 3).is_err());
+        assert!(hmvp_request_from_bytes(&v3, &p, 2).is_err());
+
+        // A body truncated inside the trace-id field is malformed.
+        assert!(matches!(
+            hmvp_request_from_bytes(&v3[..24], &p, 3),
+            Err(ServeError::BadFrame(_))
+        ));
     }
 
     #[test]
@@ -851,11 +1088,32 @@ mod tests {
         let coder = CoeffEncoder::new(&p);
         let ct = enc.encrypt(&coder.encode_vector(&[4]).unwrap(), &mut rng);
 
+        let phases = vec![
+            PhaseStat {
+                name: "dot".into(),
+                count: 12,
+                sum_ns: 3400,
+                p50_ns: 200,
+                p99_ns: 400,
+                p999_ns: 410,
+                max_ns: 412,
+            },
+            PhaseStat {
+                name: "total".into(),
+                count: 12,
+                sum_ns: 9000,
+                p50_ns: 700,
+                p99_ns: 900,
+                p999_ns: 950,
+                max_ns: 980,
+            },
+        ];
         let cases = [
             Response::Hello {
                 workers: 4,
                 queue_capacity: 64,
                 max_batch: 8,
+                version: 3,
             },
             Response::KeysLoaded { key_id: 0xDEAD },
             Response::MatrixLoaded {
@@ -886,6 +1144,31 @@ mod tests {
                     faults_injected: 11,
                 },
             },
+            Response::IntrospectReport {
+                snapshot: IntrospectSnapshot {
+                    stats: StatsSnapshot {
+                        accepted: 100,
+                        completed: 98,
+                        failed: 2,
+                        ..StatsSnapshot::default()
+                    },
+                    queue_depth: 3,
+                    queue_capacity: 64,
+                    workers: 2,
+                    max_batch: 8,
+                    key_cache_len: 1,
+                    matrix_cache_len: 2,
+                    pool_threads: 4,
+                    pool_tasks: 555,
+                    pool_steals: 12,
+                    flight_traces: 9,
+                    flight_dropped: 1,
+                    phases,
+                },
+            },
+            Response::FlightDump {
+                json: "{\"traceEvents\":[]}".into(),
+            },
         ];
         for case in cases {
             let bytes = case.to_bytes();
@@ -896,13 +1179,15 @@ mod tests {
                         workers: a,
                         queue_capacity: b,
                         max_batch: c,
+                        version: v,
                     },
                     Response::Hello {
                         workers: x,
                         queue_capacity: y,
                         max_batch: z,
+                        version: w,
                     },
-                ) => assert_eq!((a, b, c), (x, y, z)),
+                ) => assert_eq!((a, b, c, v), (x, y, z, w)),
                 (Response::KeysLoaded { key_id: a }, Response::KeysLoaded { key_id: b }) => {
                     assert_eq!(a, b);
                 }
@@ -930,6 +1215,13 @@ mod tests {
                 (Response::Pong { stats: a }, Response::Pong { stats: b }) => {
                     assert_eq!(a, b);
                 }
+                (
+                    Response::IntrospectReport { snapshot: a },
+                    Response::IntrospectReport { snapshot: b },
+                ) => assert_eq!(a, b),
+                (Response::FlightDump { json: a }, Response::FlightDump { json: b }) => {
+                    assert_eq!(a, b);
+                }
                 _ => panic!("response kind changed across the wire"),
             }
             // Trailing garbage rejected for every tag.
@@ -938,6 +1230,39 @@ mod tests {
             assert!(Response::from_bytes(&bad, &p).is_err());
         }
         assert!(Response::from_bytes(&[99], &p).is_err());
+    }
+
+    #[test]
+    fn hello_response_version_echo_shapes() {
+        let p = params();
+        // A negotiated-v2 hello response serializes in the exact v2 shape
+        // (no trailing version field) and reads back as revision 2...
+        let v2 = Response::Hello {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 3,
+            version: 2,
+        };
+        let v3 = Response::Hello {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 3,
+            version: 3,
+        };
+        let v2_bytes = v2.to_bytes();
+        let v3_bytes = v3.to_bytes();
+        assert_eq!(v3_bytes.len(), v2_bytes.len() + 2);
+        match Response::from_bytes(&v2_bytes, &p).unwrap() {
+            Response::Hello { version, .. } => assert_eq!(version, 2),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // ...and the v3 echo round-trips.
+        match Response::from_bytes(&v3_bytes, &p).unwrap() {
+            Response::Hello { version, .. } => assert_eq!(version, 3),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A torn version echo (one trailing byte) is malformed.
+        assert!(Response::from_bytes(&v3_bytes[..v3_bytes.len() - 1], &p).is_err());
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use crate::client::{ClientConfig, ServeClient, ServerInfo};
 use crate::faults::SplitMix64;
 use crate::protocol::ErrorCode;
-use crate::stats::StatsSnapshot;
+use crate::stats::{IntrospectSnapshot, StatsSnapshot};
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::{HmvpResult, Matrix};
@@ -188,6 +188,23 @@ impl RetryClient {
     /// The last error once the policy's attempts/budget are exhausted.
     pub fn ping(&mut self) -> Result<StatsSnapshot> {
         self.run(ServeClient::ping)
+    }
+
+    /// Introspection snapshot with retry: live counters, queue/pool
+    /// occupancy, and per-phase latency histograms.
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn introspect(&mut self) -> Result<IntrospectSnapshot> {
+        self.run(ServeClient::introspect)
+    }
+
+    /// Flight-recorder dump (Chrome-trace JSON) with retry.
+    ///
+    /// # Errors
+    /// The last error once the policy's attempts/budget are exhausted.
+    pub fn flight_dump(&mut self) -> Result<String> {
+        self.run(ServeClient::flight_dump)
     }
 
     /// Uploads a Galois key set (retried) and remembers its bytes for

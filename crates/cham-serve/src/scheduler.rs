@@ -32,6 +32,8 @@ use cham_he::ciphertext::RlweCiphertext;
 use cham_he::hmvp::{EncodedMatrix, HmvpResult};
 use cham_he::keys::GaloisKeys;
 use cham_telemetry::counter_add;
+use cham_telemetry::flight::{FlightEventKind, FlightRecorder};
+use cham_telemetry::span::{phase, SpanRecorder};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -61,6 +63,10 @@ pub struct HmvpJob {
     pub deadline: Option<Instant>,
     /// When the job entered the queue (for wait-time telemetry).
     pub enqueued: Instant,
+    /// The request's phase recorder — shared with the connection thread,
+    /// which folds it into the phase histograms and flight recorder once
+    /// the reply is written.
+    pub trace: Arc<SpanRecorder>,
     /// Where the outcome goes.
     pub reply: mpsc::Sender<Result<HmvpResult>>,
 }
@@ -84,6 +90,7 @@ pub struct Scheduler {
     max_batch: usize,
     stats: Arc<ServeStats>,
     faults: Option<Arc<FaultInjector>>,
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Scheduler {
@@ -105,6 +112,7 @@ impl Scheduler {
             max_batch,
             stats,
             faults: None,
+            flight: None,
         }
     }
 
@@ -113,6 +121,14 @@ impl Scheduler {
     #[must_use]
     pub fn with_faults(mut self, faults: Option<Arc<FaultInjector>>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attaches a flight recorder so injected faults leave an event in
+    /// the dumped timeline.
+    #[must_use]
+    pub fn with_flight(mut self, flight: Option<Arc<FlightRecorder>>) -> Self {
+        self.flight = flight;
         self
     }
 
@@ -145,6 +161,13 @@ impl Scheduler {
                 self.stats.on_fault_injected();
                 self.stats.on_rejected_busy();
                 counter_add!("cham_serve.queue.rejected_busy", 1);
+                if let Some(flight) = &self.flight {
+                    flight.record_event(
+                        FlightEventKind::Fault,
+                        "spurious_busy",
+                        Some(job.trace.trace_id()),
+                    );
+                }
                 return Err(ServeError::Busy);
             }
         }
@@ -229,7 +252,12 @@ impl Scheduler {
                         cham_telemetry::histogram::Histogram::new("cham_serve.queue.wait");
                     let now = Instant::now();
                     for job in &batch {
-                        QUEUE_WAIT.record(now.duration_since(job.enqueued).as_nanos() as u64);
+                        let wait = now.duration_since(job.enqueued).as_nanos() as u64;
+                        QUEUE_WAIT.record(wait);
+                        // Queue time is the one phase no Span can cover
+                        // (the job sits in a queue, not on a thread), so
+                        // it goes straight into the request's recorder.
+                        job.trace.record(phase::QUEUE, wait);
                     }
                 }
                 return Some(batch);
@@ -330,6 +358,7 @@ mod tests {
                     cts: vec![self.ct.clone()],
                     deadline,
                     enqueued: Instant::now(),
+                    trace: Arc::new(SpanRecorder::new(cham_telemetry::span::TraceId::generate())),
                     reply: tx,
                 },
                 rx,

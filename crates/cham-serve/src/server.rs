@@ -27,13 +27,16 @@ use crate::cache::SessionCache;
 use crate::faults::{Fault, FaultInjector};
 use crate::protocol::{self, FrameKind, Hello, Response};
 use crate::scheduler::{HmvpJob, Scheduler};
-use crate::stats::{ServeStats, StatsSnapshot};
-use crate::worker::WorkerPool;
+use crate::stats::{IntrospectSnapshot, PhaseHistograms, ServeStats, StatsSnapshot};
+use crate::worker::{WorkerContext, WorkerPool};
 use crate::{Result, ServeError};
 use cham_he::params::ChamParams;
 use cham_telemetry::counter_add;
+use cham_telemetry::flight::{FlightEventKind, FlightRecorder, RequestTrace};
+use cham_telemetry::span::{self, phase, SpanRecorder, TraceId};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -66,6 +69,12 @@ pub struct ServerConfig {
     /// Seeded fault injection (`None` on a production server — every
     /// fault site then costs one null check and nothing else).
     pub faults: Option<Arc<FaultInjector>>,
+    /// How many completed request traces the flight recorder retains.
+    pub flight_capacity: usize,
+    /// When set, the flight recorder dumps its Chrome-trace JSON here on
+    /// a caught worker panic and at shutdown (on-demand dumps go over
+    /// the wire via the `FlightDump` op regardless).
+    pub flight_dump_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +89,45 @@ impl Default for ServerConfig {
             max_frame_bytes: protocol::MAX_FRAME_BYTES,
             shutdown_grace: Duration::from_millis(300),
             faults: None,
+            flight_capacity: 64,
+            flight_dump_path: None,
+        }
+    }
+}
+
+/// Everything connection threads share: caches, scheduler, counters, the
+/// phase histograms, the flight recorder, and the config that shaped
+/// them. One `Arc<ServerShared>` per server, cloned per connection.
+struct ServerShared {
+    cache: Arc<SessionCache>,
+    scheduler: Arc<Scheduler>,
+    stats: Arc<ServeStats>,
+    phases: Arc<PhaseHistograms>,
+    flight: Arc<FlightRecorder>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+}
+
+impl ServerShared {
+    /// Builds the structured snapshot the `Introspect` op serves.
+    fn introspect(&self) -> IntrospectSnapshot {
+        let (key_cache_len, matrix_cache_len) = self.cache.lens();
+        let pool = cham_pool::global_stats();
+        let (flight_traces, flight_dropped) = self.flight.lens();
+        IntrospectSnapshot {
+            stats: self.stats.snapshot(),
+            queue_depth: self.scheduler.queue_len() as u32,
+            queue_capacity: self.scheduler.capacity() as u32,
+            workers: self.config.workers as u32,
+            max_batch: self.scheduler.max_batch() as u32,
+            key_cache_len: key_cache_len as u32,
+            matrix_cache_len: matrix_cache_len as u32,
+            pool_threads: pool.as_ref().map_or(0, |p| p.threads as u32),
+            pool_tasks: pool.as_ref().map_or(0, |p| p.tasks),
+            pool_steals: pool.as_ref().map_or(0, |p| p.steals),
+            flight_traces: flight_traces as u32,
+            flight_dropped,
+            phases: self.phases.snapshot(),
         }
     }
 }
@@ -88,10 +136,7 @@ impl Default for ServerConfig {
 /// threads until process exit; call `shutdown` for a graceful drain.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    scheduler: Arc<Scheduler>,
-    stats: Arc<ServeStats>,
-    cache: Arc<SessionCache>,
+    shared: Arc<ServerShared>,
     accept_handle: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
     pool: Option<WorkerPool>,
@@ -107,52 +152,56 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stats = Arc::new(ServeStats::new());
+        let phases = Arc::new(PhaseHistograms::new());
+        let flight = Arc::new(FlightRecorder::new(config.flight_capacity));
         let scheduler = Arc::new(
             Scheduler::new(config.queue_capacity, config.max_batch, Arc::clone(&stats))
-                .with_faults(config.faults.clone()),
+                .with_faults(config.faults.clone())
+                .with_flight(Some(Arc::clone(&flight))),
         );
-        let cache = Arc::new(SessionCache::new(
-            params,
-            config.key_cache,
-            config.matrix_cache,
-        ));
+        let cache = Arc::new(
+            SessionCache::new(params, config.key_cache, config.matrix_cache)
+                .with_telemetry(Some(Arc::clone(&phases)), Some(Arc::clone(&flight))),
+        );
         let pool = WorkerPool::spawn(
             Arc::clone(&scheduler),
-            Arc::clone(&cache),
-            Arc::clone(&stats),
             config.workers,
-            config.batch_threads,
-            config.faults.clone(),
+            WorkerContext {
+                cache: Arc::clone(&cache),
+                stats: Arc::clone(&stats),
+                batch_threads: config.batch_threads,
+                faults: config.faults.clone(),
+                flight: Arc::clone(&flight),
+                dump_path: config.flight_dump_path.clone().map(Arc::new),
+            },
         );
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(ServerShared {
+            cache,
+            scheduler,
+            stats,
+            phases,
+            flight,
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+        });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_handle = {
-            let shutdown = Arc::clone(&shutdown);
+            let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
-            let scheduler = Arc::clone(&scheduler);
-            let cache = Arc::clone(&cache);
-            let stats = Arc::clone(&stats);
-            let config = config.clone();
             std::thread::Builder::new()
                 .name("cham-serve-accept".into())
                 .spawn(move || {
                     for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
+                        if shared.shutdown.load(Ordering::SeqCst) {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        let shutdown = Arc::clone(&shutdown);
-                        let scheduler = Arc::clone(&scheduler);
-                        let cache = Arc::clone(&cache);
-                        let stats = Arc::clone(&stats);
-                        let config = config.clone();
+                        let shared = Arc::clone(&shared);
                         let handle = std::thread::Builder::new()
                             .name("cham-serve-conn".into())
                             .spawn(move || {
-                                let _ = handle_connection(
-                                    stream, &cache, &scheduler, &stats, &config, &shutdown,
-                                );
+                                let _ = handle_connection(stream, &shared);
                             })
                             .expect("spawn connection thread");
                         conns.lock().expect("conn list poisoned").push(handle);
@@ -163,10 +212,7 @@ impl Server {
 
         Ok(Self {
             addr,
-            shutdown,
-            scheduler,
-            stats,
-            cache,
+            shared,
             accept_handle: Some(accept_handle),
             conns,
             pool: Some(pool),
@@ -182,26 +228,45 @@ impl Server {
     /// Point-in-time service counters.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        self.shared.stats.snapshot()
+    }
+
+    /// Structured introspection snapshot — the same data the `Introspect`
+    /// wire op serves, available in-process without a socket.
+    #[must_use]
+    pub fn introspect(&self) -> IntrospectSnapshot {
+        self.shared.introspect()
+    }
+
+    /// The flight recorder (for in-process dumps and tests).
+    #[must_use]
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.shared.flight
+    }
+
+    /// The per-phase latency histograms.
+    #[must_use]
+    pub fn phases(&self) -> &Arc<PhaseHistograms> {
+        &self.shared.phases
     }
 
     /// The shared session cache (for in-process serving and tests).
     #[must_use]
     pub fn cache(&self) -> &Arc<SessionCache> {
-        &self.cache
+        &self.shared.cache
     }
 
     /// The shared scheduler (for in-process serving and tests).
     #[must_use]
     pub fn scheduler(&self) -> &Arc<Scheduler> {
-        &self.scheduler
+        &self.shared.scheduler
     }
 
     /// Gracefully stops the server: refuses new work (with typed
     /// `Shutdown` errors during a bounded grace window), drains queued
     /// requests, joins every thread, and returns the final counters.
     pub fn shutdown(mut self) -> StatsSnapshot {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept() so the accept thread sees the flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_handle.take() {
@@ -211,11 +276,19 @@ impl Server {
         for h in conns {
             let _ = h.join();
         }
-        self.scheduler.shutdown();
+        self.shared.scheduler.shutdown();
         if let Some(pool) = self.pool.take() {
             pool.join();
         }
-        self.stats.snapshot()
+        // The last thing workers will ever have recorded is now in the
+        // ring — stamp the shutdown and persist the timeline if asked.
+        self.shared
+            .flight
+            .record_event(FlightEventKind::Shutdown, "graceful shutdown", None);
+        if let Some(path) = &self.shared.config.flight_dump_path {
+            let _ = self.shared.flight.dump_to(path);
+        }
+        self.shared.stats.snapshot()
     }
 }
 
@@ -332,20 +405,35 @@ fn drain_shutdown(
     Ok(())
 }
 
+/// A response plus, for traced HMVP requests, the handles needed to
+/// close out the trace after the reply hits the wire: the recorder, the
+/// wall-clock start, and the flight-epoch start offset.
+struct FrameOutcome {
+    response: Response,
+    trace: Option<(Arc<SpanRecorder>, Instant, u64)>,
+}
+
+impl FrameOutcome {
+    fn plain(response: Response) -> Self {
+        Self {
+            response,
+            trace: None,
+        }
+    }
+}
+
 /// Serves one connection until EOF, shutdown, or a framing fault.
-fn handle_connection(
-    mut stream: TcpStream,
-    cache: &SessionCache,
-    scheduler: &Scheduler,
-    stats: &ServeStats,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) -> Result<()> {
+fn handle_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<()> {
     stream.set_nodelay(true)?;
+    let config = &shared.config;
+    let stats = &shared.stats;
     let faults = config.faults.as_deref();
+    // Until a Hello negotiates otherwise, speak the floor version — a
+    // peer that skips Hello gets v2 framing (no trace ids).
+    let mut version: u16 = protocol::MIN_PROTOCOL_VERSION;
     loop {
         let (kind, mut body) =
-            match read_frame_interruptible(&mut stream, shutdown, config.max_frame_bytes) {
+            match read_frame_interruptible(&mut stream, &shared.shutdown, config.max_frame_bytes) {
                 Ok(ReadOutcome::Frame(kind, body)) => (kind, body),
                 Ok(ReadOutcome::Eof) => return Ok(()),
                 Ok(ReadOutcome::ShuttingDown) => {
@@ -371,24 +459,37 @@ fn handle_connection(
         if let Some(f) = faults {
             if f.should(Fault::DelayedRead) {
                 stats.on_fault_injected();
+                shared
+                    .flight
+                    .record_event(FlightEventKind::Fault, "delayed_read", None);
                 std::thread::sleep(f.delay());
             }
             if !body.is_empty() && f.should(Fault::CorruptFrame) {
                 stats.on_fault_injected();
+                shared
+                    .flight
+                    .record_event(FlightEventKind::Fault, "corrupt_frame", None);
                 body.truncate(body.len() - 1);
             }
         }
-        match handle_frame(kind, &body, cache, scheduler, stats, config) {
-            Ok(response) => {
+        match handle_frame(kind, &body, shared, &mut version) {
+            Ok(outcome) => {
+                let trace_id = outcome.trace.as_ref().map(|(rec, _, _)| rec.trace_id());
                 if let Some(f) = faults {
                     if f.should(Fault::ConnReset) {
                         stats.on_fault_injected();
+                        shared
+                            .flight
+                            .record_event(FlightEventKind::Fault, "conn_reset", trace_id);
                         let _ = stream.shutdown(NetShutdown::Both);
                         return Ok(());
                     }
                     if f.should(Fault::TornWrite) {
                         stats.on_fault_injected();
-                        let resp = response.to_bytes();
+                        shared
+                            .flight
+                            .record_event(FlightEventKind::Fault, "torn_write", trace_id);
+                        let resp = outcome.response.to_bytes();
                         let mut wire = Vec::with_capacity(5 + resp.len());
                         wire.extend_from_slice(&((resp.len() + 1) as u32).to_le_bytes());
                         wire.push(FrameKind::Result as u8);
@@ -399,7 +500,39 @@ fn handle_connection(
                         return Ok(());
                     }
                 }
-                protocol::write_frame(&mut stream, FrameKind::Result, &response.to_bytes())?;
+                match outcome.trace {
+                    Some((rec, started, start_ns)) => {
+                        // Serialize the reply under the last attributed
+                        // phase and close out the trace *before* the
+                        // bytes hit the socket: once the peer holds the
+                        // reply, the trace is already in the histograms
+                        // and the flight recorder — an introspection
+                        // probe right after a response never races its
+                        // own request.
+                        let bytes = span::with_recorder(Arc::clone(&rec), || {
+                            let _sp = span::Span::enter(phase::SERIALIZE);
+                            outcome.response.to_bytes()
+                        });
+                        let total_ns =
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let spans = rec.finish();
+                        shared.phases.record_request(&spans, total_ns);
+                        shared.flight.record_trace(RequestTrace {
+                            trace_id: rec.trace_id(),
+                            start_ns,
+                            total_ns,
+                            phases: spans,
+                        });
+                        protocol::write_frame(&mut stream, FrameKind::Result, &bytes)?;
+                    }
+                    None => {
+                        protocol::write_frame(
+                            &mut stream,
+                            FrameKind::Result,
+                            &outcome.response.to_bytes(),
+                        )?;
+                    }
+                }
             }
             Err(e) => {
                 send_error(&mut stream, &e)?;
@@ -413,54 +546,88 @@ fn handle_connection(
     }
 }
 
-/// Dispatches one request frame to the cache/scheduler.
+/// Dispatches one request frame to the cache/scheduler. `version` is the
+/// connection's negotiated protocol version: it starts at the floor and
+/// is updated in place when a `Hello` negotiates higher.
 fn handle_frame(
     kind: FrameKind,
     body: &[u8],
-    cache: &SessionCache,
-    scheduler: &Scheduler,
-    stats: &ServeStats,
-    config: &ServerConfig,
-) -> Result<Response> {
+    shared: &ServerShared,
+    version: &mut u16,
+) -> Result<FrameOutcome> {
+    let cache = &shared.cache;
+    let scheduler = &shared.scheduler;
+    let stats = &shared.stats;
+    let config = &shared.config;
     match kind {
         FrameKind::Hello => {
             let hello = Hello::from_bytes(body)?;
-            hello.check(cache.params())?;
-            Ok(Response::Hello {
+            let negotiated = hello.check(cache.params())?;
+            *version = negotiated;
+            Ok(FrameOutcome::plain(Response::Hello {
                 workers: config.workers as u16,
                 queue_capacity: scheduler.capacity() as u32,
                 max_batch: scheduler.max_batch() as u32,
-            })
+                version: negotiated,
+            }))
         }
         FrameKind::Ping => {
             if !body.is_empty() {
                 return Err(ServeError::BadFrame("ping frame with a body"));
             }
-            Ok(Response::Pong {
+            Ok(FrameOutcome::plain(Response::Pong {
                 stats: stats.snapshot(),
-            })
+            }))
+        }
+        FrameKind::Introspect => {
+            if !body.is_empty() {
+                return Err(ServeError::BadFrame("introspect frame with a body"));
+            }
+            Ok(FrameOutcome::plain(Response::IntrospectReport {
+                snapshot: shared.introspect(),
+            }))
+        }
+        FrameKind::FlightDump => {
+            if !body.is_empty() {
+                return Err(ServeError::BadFrame("flight-dump frame with a body"));
+            }
+            Ok(FrameOutcome::plain(Response::FlightDump {
+                json: shared.flight.to_chrome_trace().to_json(),
+            }))
         }
         FrameKind::LoadKeys => {
             let key_id = cache.put_keys_bytes(body)?;
-            Ok(Response::KeysLoaded { key_id })
+            Ok(FrameOutcome::plain(Response::KeysLoaded { key_id }))
         }
         FrameKind::LoadMatrix => {
             let matrix = protocol::matrix_from_bytes(body, cache.params())?;
             let matrix_id = cache.put_matrix(body, &matrix)?;
-            Ok(Response::MatrixLoaded {
+            Ok(FrameOutcome::plain(Response::MatrixLoaded {
                 matrix_id,
                 rows: matrix.rows() as u32,
                 cols: matrix.cols() as u32,
-            })
+            }))
         }
         FrameKind::Hmvp => {
-            let req = protocol::hmvp_request_from_bytes(body, cache.params())?;
+            let req = protocol::hmvp_request_from_bytes(body, cache.params(), *version)?;
+            // A client-stamped id continues the client's trace; an unset
+            // or v2 request gets a server-side id so every request shows
+            // up in the flight recorder either way.
+            let trace_id = TraceId::from_wire(req.trace_id).unwrap_or_else(TraceId::generate);
+            let trace = Arc::new(SpanRecorder::new(trace_id));
+            let started = Instant::now();
+            let start_ns = shared.flight.now_ns();
             if let Some(f) = config.faults.as_deref() {
                 // Evict the referenced entries just before the lookup —
                 // the client must recover via re-upload (idempotent
                 // thanks to content addressing).
                 if f.should(Fault::ForcedEviction) {
                     stats.on_fault_injected();
+                    shared.flight.record_event(
+                        FlightEventKind::Fault,
+                        "forced_eviction",
+                        Some(trace_id),
+                    );
                     let _ = cache.evict_keys(req.key_id);
                     let _ = cache.evict_matrix(req.matrix_id);
                 }
@@ -486,19 +653,35 @@ fn handle_frame(
                 cts: req.cts,
                 deadline,
                 enqueued: Instant::now(),
+                trace: Arc::clone(&trace),
                 reply: tx,
             })?;
             // The worker always replies (success, HE failure, TimedOut,
             // or Internal on a caught panic); a disconnected channel
             // means the pool itself died — also a typed Internal, so the
             // client can retry elsewhere instead of diagnosing a hang.
+            let recorded_before = trace.total_recorded_ns();
+            let recv_started = Instant::now();
             let result = rx.recv().map_err(|_| {
                 stats.on_internal_error(1);
                 ServeError::Internal("worker pool terminated".into())
-            })??;
-            Ok(Response::HmvpDone {
-                len: result.len as u64,
-                packed: result.packed,
+            });
+            // Everything the scheduler and worker attributed (queue,
+            // batch, kernel phases) happened inside this recv block; the
+            // residual is reply handoff — the worker's send racing this
+            // thread's wakeup — and charges to `serialize`, the reply
+            // path, so phase coverage holds on saturated machines where
+            // wakeup latency is real.
+            let recv_ns = u64::try_from(recv_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let attributed = trace.total_recorded_ns().saturating_sub(recorded_before);
+            trace.record(phase::SERIALIZE, recv_ns.saturating_sub(attributed));
+            let result = result??;
+            Ok(FrameOutcome {
+                response: Response::HmvpDone {
+                    len: result.len as u64,
+                    packed: result.packed,
+                },
+                trace: Some((trace, started, start_ns)),
             })
         }
         FrameKind::Result | FrameKind::Error => {

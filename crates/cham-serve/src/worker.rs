@@ -31,10 +31,35 @@ use crate::scheduler::{HmvpJob, Scheduler};
 use crate::stats::ServeStats;
 use crate::ServeError;
 use cham_telemetry::counter_add;
+use cham_telemetry::flight::{FlightEventKind, FlightRecorder};
+use cham_telemetry::span::{self, phase};
 use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Everything a worker thread needs besides the scheduler: the cache it
+/// resolves nothing from (jobs carry resolved handles) but whose `Hmvp`
+/// engine it executes on, the counters, the fault harness, and the
+/// flight recorder it reports panics to.
+#[derive(Clone)]
+pub struct WorkerContext {
+    /// Shared session cache (for its `Hmvp` engine).
+    pub cache: Arc<SessionCache>,
+    /// Live service counters.
+    pub stats: Arc<ServeStats>,
+    /// Intra-batch parallelism cap handed to the kernel dispatch.
+    pub batch_threads: usize,
+    /// Seeded fault injection, when armed.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Flight recorder receiving panic/fault events.
+    pub flight: Arc<FlightRecorder>,
+    /// When set, the flight recorder dumps its Chrome-trace JSON here on
+    /// a caught worker panic (the "what were the last requests doing"
+    /// artifact).
+    pub dump_path: Option<Arc<PathBuf>>,
+}
 
 /// Handle to a spawned pool; dropping it without [`WorkerPool::join`]
 /// detaches the threads (they still exit on scheduler shutdown).
@@ -45,36 +70,30 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `workers` threads executing batches from `scheduler`.
     ///
-    /// `batch_threads` is the intra-batch parallelism cap each worker
-    /// hands to `multiply_many` (how many batch items may run as
-    /// concurrent kernel-pool tasks) — keep it at 1 when `workers`
+    /// `ctx.batch_threads` is the intra-batch parallelism cap each
+    /// worker hands to the kernel dispatch (how many batch items may run
+    /// as concurrent kernel-pool tasks) — keep it at 1 when `workers`
     /// already covers the cores, raise it for few-worker/large-batch
     /// deployments. It caps task fan-out, not OS threads: actual
     /// concurrency is always bounded by the shared kernel pool.
     ///
-    /// `faults`, when set, arms the worker-layer injection sites
+    /// `ctx.faults`, when set, arms the worker-layer injection sites
     /// ([`Fault::SlowBatch`], [`Fault::WorkerPanic`]).
     #[must_use]
-    pub fn spawn(
-        scheduler: Arc<Scheduler>,
-        cache: Arc<SessionCache>,
-        stats: Arc<ServeStats>,
-        workers: usize,
-        batch_threads: usize,
-        faults: Option<Arc<FaultInjector>>,
-    ) -> Self {
+    pub fn spawn(scheduler: Arc<Scheduler>, workers: usize, ctx: WorkerContext) -> Self {
         assert!(workers > 0, "worker pool must have at least one thread");
-        let batch_threads = batch_threads.max(1);
+        let ctx = WorkerContext {
+            batch_threads: ctx.batch_threads.max(1),
+            ..ctx
+        };
         let handles = (0..workers)
             .map(|i| {
                 let scheduler = Arc::clone(&scheduler);
-                let cache = Arc::clone(&cache);
-                let stats = Arc::clone(&stats);
-                let faults = faults.clone();
+                let ctx = ctx.clone();
                 std::thread::Builder::new()
                     .name(format!("cham-serve-worker-{i}"))
                     .spawn(move || {
-                        worker_loop(&scheduler, &cache, &stats, batch_threads, faults.as_deref());
+                        worker_loop(&scheduler, &ctx);
                     })
                     .expect("spawn worker thread")
             })
@@ -102,15 +121,9 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(
-    scheduler: &Scheduler,
-    cache: &SessionCache,
-    stats: &ServeStats,
-    batch_threads: usize,
-    faults: Option<&FaultInjector>,
-) {
+fn worker_loop(scheduler: &Scheduler, ctx: &WorkerContext) {
     while let Some(batch) = scheduler.next_batch() {
-        execute_batch(cache, stats, batch, batch_threads, faults);
+        execute_batch(ctx, batch);
     }
 }
 
@@ -129,14 +142,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// on HE failure, and on panic alike. The invariant the chaos suite
 /// leans on: once a batch leaves the scheduler, every reply channel in
 /// it receives exactly one message.
-fn execute_batch(
-    cache: &SessionCache,
-    stats: &ServeStats,
-    batch: Vec<HmvpJob>,
-    batch_threads: usize,
-    faults: Option<&FaultInjector>,
-) {
+fn execute_batch(ctx: &WorkerContext, batch: Vec<HmvpJob>) {
     cham_telemetry::time_scope!("cham_serve.batch.execute");
+    let stats = &ctx.stats;
+    let faults = ctx.faults.as_deref();
+    let batch_started = Instant::now();
     // Pre-execution deadline check: batch formation already filtered
     // expired jobs, but a long predecessor batch may have aged these.
     let now = Instant::now();
@@ -155,6 +165,11 @@ fn execute_batch(
     if let Some(f) = faults {
         if f.should(Fault::SlowBatch) {
             stats.on_fault_injected();
+            ctx.flight.record_event(
+                FlightEventKind::Fault,
+                "slow_batch",
+                Some(live[0].trace.trace_id()),
+            );
             std::thread::sleep(f.delay());
         }
     }
@@ -166,17 +181,61 @@ fn execute_batch(
     // Clone the reply senders out *before* entering the unwind boundary:
     // whatever execution does, the replies survive to carry the outcome.
     let replies: Vec<_> = live.iter().map(|j| j.reply.clone()).collect();
+    // Batch prep (deadline partition, input/reply clones, injected batch
+    // delays) charges every live request equally.
+    let prep_ns = u64::try_from(batch_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    for job in &live {
+        job.trace.record(phase::BATCH, prep_ns);
+    }
+    let traces: Vec<_> = live.iter().map(|j| Arc::clone(&j.trace)).collect();
+    let batch_threads = ctx.batch_threads;
+    let hmvp = ctx.cache.hmvp();
+    // Replies only go out once the whole batch has finished, so every
+    // job's latency spans the full execution window. Snapshot what each
+    // trace has attributed so far: the window time *not* spent in a
+    // job's own kernel phases is batching-induced wait (riding behind
+    // siblings on a saturated pool) and is charged to `batch` below —
+    // without it, coalesced requests lose their wait time and the
+    // phase-coverage invariant only holds on idle machines.
+    let recorded_before: Vec<u64> = traces.iter().map(|t| t.total_recorded_ns()).collect();
+    let exec_started = Instant::now();
     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
         if let Some(f) = faults {
             if f.should(Fault::WorkerPanic) {
                 stats.on_fault_injected();
+                ctx.flight.record_event(
+                    FlightEventKind::Fault,
+                    "worker_panic",
+                    Some(traces[0].trace_id()),
+                );
                 panic!("injected worker panic");
             }
         }
-        cache
-            .hmvp()
-            .multiply_many(&matrix, &inputs, &keys, batch_threads)
+        // Mirrors `Hmvp::multiply_many`'s dispatch exactly, but installs
+        // each job's span recorder around its slice of the work so the
+        // kernel phase spans (encode/dot/keyswitch/rescale) attribute to
+        // the right request even when the batch fans out.
+        match inputs.len() {
+            1 => span::with_recorder(Arc::clone(&traces[0]), || {
+                hmvp.multiply_parallel(&matrix, &inputs[0], &keys, batch_threads)
+                    .map(|r| vec![r])
+            }),
+            _ => cham_pool::map_capped(&inputs, batch_threads, |i, cts| {
+                span::with_recorder(Arc::clone(&traces[i]), || {
+                    hmvp.multiply(&matrix, cts, &keys)
+                })
+            })
+            .into_iter()
+            .collect(),
+        }
     }));
+    let exec_ns = u64::try_from(exec_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    if outcome.is_ok() {
+        for (trace, before) in traces.iter().zip(&recorded_before) {
+            let own_ns = trace.total_recorded_ns().saturating_sub(*before);
+            trace.record(phase::BATCH, exec_ns.saturating_sub(own_ns));
+        }
+    }
     match outcome {
         Ok(Ok(results)) => {
             debug_assert_eq!(results.len(), live.len());
@@ -197,6 +256,16 @@ fn execute_batch(
             let message = panic_message(payload.as_ref());
             stats.on_internal_error(replies.len());
             counter_add!("cham_serve.requests.panicked", replies.len() as u64);
+            ctx.flight.record_event(
+                FlightEventKind::Panic,
+                message.clone(),
+                Some(traces[0].trace_id()),
+            );
+            // A worker panic is exactly the moment the flight recorder
+            // exists for: dump what the last requests were doing.
+            if let Some(path) = &ctx.dump_path {
+                let _ = ctx.flight.dump_to(path.as_ref());
+            }
             for reply in replies {
                 let _ = reply.send(Err(ServeError::Internal(message.clone())));
             }

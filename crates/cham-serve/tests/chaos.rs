@@ -18,6 +18,7 @@ use cham_he::keys::{GaloisKeys, SecretKey};
 use cham_he::params::ChamParams;
 use cham_serve::server::{Server, ServerConfig};
 use cham_serve::{ClientConfig, FaultConfig, FaultInjector, RetryClient, RetryPolicy};
+use cham_telemetry::flight::FlightEventKind;
 use rand::{Rng, SeedableRng};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -139,6 +140,33 @@ fn soak(seed: u64) -> (u64, u64, u64, u64) {
         }
         (retries, reuploads, recovered)
     });
+
+    // The flight recorder must have seen the chaos: fault events from
+    // the injection sites, and request traces whose phase spans still
+    // tile the request — monotonic and non-overlapping — no matter how
+    // the faults perturbed scheduling.
+    let flight = server.flight().snapshot();
+    let fault_events = flight
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, FlightEventKind::Fault))
+        .count();
+    assert!(
+        fault_events > 0,
+        "faults were injected but none reached the flight recorder"
+    );
+    assert!(!flight.traces.is_empty(), "no request traces recorded");
+    for trace in &flight.traces {
+        assert_ne!(trace.trace_id.as_u64(), 0);
+        for w in trace.phases.windows(2) {
+            assert_eq!(
+                w[0].start_ns + w[0].dur_ns,
+                w[1].start_ns,
+                "trace {} phases must tile without gaps or overlap",
+                trace.trace_id
+            );
+        }
+    }
 
     let stats = server.shutdown();
     let total = CLIENT_THREADS * REQUESTS_PER_CLIENT as u64;

@@ -15,6 +15,12 @@
 //!   metrics dump, Chrome trace JSON ([`trace`]), and the structured
 //!   benchmark [`record::RunRecord`] schema that `cham-bench --json`
 //!   binaries emit.
+//! * **Request tracing** ([`span`], [`flight`]) — per-request trace IDs
+//!   and phase recorders plus a bounded flight recorder of recent
+//!   request traces. Unlike the process-wide machinery these are *not*
+//!   feature-gated: ID propagation and the serving stack's phase
+//!   breakdown are product surfaces, and their cost is opt-in per
+//!   request at runtime rather than per build.
 //!
 //! Everything hot is gated behind the `telemetry` cargo feature. With the
 //! feature **disabled** (the default) the recording hooks are inlined
@@ -30,18 +36,22 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod flight;
 pub mod fmt;
 pub mod histogram;
 pub mod json;
 pub mod record;
 pub mod report;
+pub mod span;
 pub mod timer;
 pub mod trace;
 
 pub use counters::Counter;
-pub use histogram::Histogram;
+pub use flight::FlightRecorder;
+pub use histogram::{Histogram, LiveHistogram};
 pub use json::JsonValue;
 pub use record::RunRecord;
+pub use span::{Span, SpanRecorder, TraceId};
 pub use timer::ScopedTimer;
 
 /// `true` when the crate was compiled with the `telemetry` feature.

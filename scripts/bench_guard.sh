@@ -6,12 +6,17 @@
 #   scripts/bench_guard.sh <baseline.json> <current.json>
 #
 # The guarded metric set is chosen by the record's "name" field:
-#   table3_ntt  -> cpu_ntt_ops_per_sec (higher is better),
-#                  ntt_lazy_seconds    (lower is better)
-#   fig8_hmvp   -> dot_phase_serial_seconds, dot_phase_parallel_seconds,
-#                  dot_phase_unfused_seconds (lower is better)
+#   table3_ntt       -> cpu_ntt_ops_per_sec (higher is better),
+#                       ntt_lazy_seconds    (lower is better)
+#   fig8_hmvp        -> dot_phase_serial_seconds, dot_phase_parallel_seconds,
+#                       dot_phase_unfused_seconds (lower is better)
+#   serve_throughput -> served_seconds, latency_p99_ns (lower is better),
+#                       speedup (higher is better)
 # Metrics missing from either file are skipped (so a pre-ablation baseline
-# still guards the metrics it has). Exits 1 if any guarded metric regresses
+# still guards the metrics it has — new observability fields like
+# latency_p50/p99/p999_ns and the phase_ns.* map never fail on their first
+# appearance). phase_ns.* entries present in both records are diffed
+# informationally but never gate. Exits 1 if any guarded metric regresses
 # by more than BENCH_GUARD_TOLERANCE (default 0.10 = 10%).
 set -euo pipefail
 
@@ -37,6 +42,11 @@ GUARDS = {
         "dot_phase_serial_seconds": "lower",
         "dot_phase_parallel_seconds": "lower",
         "dot_phase_unfused_seconds": "lower",
+    },
+    "serve_throughput": {
+        "served_seconds": "lower",
+        "latency_p99_ns": "lower",
+        "speedup": "higher",
     },
 }
 
@@ -86,6 +96,29 @@ for metric, direction in guards.items():
 
 if checked == 0:
     sys.exit(f"{name}: no guarded metrics present in both records")
+
+# Informational per-phase attribution diff: phase_ns.* keys are new
+# observability output — report drift when both records carry them, never
+# fail on them (a first run after the fields appeared has no baseline).
+phase_keys = sorted(
+    k
+    for k in set(base.get("metrics", {})) | set(cur.get("metrics", {}))
+    if k.startswith("phase_ns.")
+)
+for key in phase_keys:
+    b = base.get("metrics", {}).get(key)
+    c = cur.get("metrics", {}).get(key)
+    if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+        print(f"  info  {key}: present in one record only (not gated)")
+        continue
+    if b > 0:
+        drift = (c - b) / b
+        print(
+            f"  info  {key}: baseline {b:.6g} -> current {c:.6g} "
+            f"({'+' if drift >= 0 else ''}{drift * 100:.1f}%, informational)"
+        )
+    else:
+        print(f"  info  {key}: baseline {b:.6g} -> current {c:.6g} (informational)")
 
 if failures:
     sys.exit(
