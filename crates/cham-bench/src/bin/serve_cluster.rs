@@ -1,0 +1,326 @@
+//! Cluster serving under failure: open-loop load against a 3-shard,
+//! 2-replica loopback fleet with one replica killed mid-run (and, when
+//! `CHAM_SERVE_FAULTS` is set, seeded faults armed on another).
+//!
+//! Requests are issued *open-loop*: each client fires on a fixed
+//! schedule regardless of how long earlier requests took, so a slow or
+//! failing shard shows up as latency (the measurement includes queueing
+//! behind the schedule), not as a silently reduced request rate —
+//! the standard correction for coordinated omission.
+//!
+//! The run record (`--json`, `cham-run-record/v1`) carries the tail
+//! latencies (p50/p99/p999), goodput, per-shard balance, and the
+//! recovery counters (failovers, retries, re-uploads). The headline
+//! assertions — the resilience claim of the cluster layer:
+//!
+//! * `failed_requests == 0`: a replica dying mid-run and a faulty peer
+//!   cost latency, never answers;
+//! * every *surviving* shard served requests (balance never collapses
+//!   onto one node);
+//! * every decrypted result equals the plain reference product — the
+//!   failover path returns verified-correct ciphertexts, not garbage.
+
+use cham_bench::BenchRun;
+use cham_cluster::{ClusterClient, Topology};
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::hmvp::{Hmvp, Matrix};
+use cham_he::keys::{GaloisKeys, SecretKey};
+use cham_he::params::ChamParams;
+use cham_serve::server::{Server, ServerConfig};
+use cham_serve::shard::{HashRing, ShardSpec};
+use cham_serve::{ClientConfig, FaultInjector, RetryPolicy};
+use rand::Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NODES: u16 = 3;
+const REPLICATION: u16 = 2;
+const VNODES: u32 = 128;
+/// Bands of one ring dimension each: at N=256, six bands spread over
+/// the fleet, so every request fans out and every shard holds bands.
+const ROWS: usize = 6 * 256;
+const COLS: usize = 256;
+const CLIENTS: usize = 3;
+const PER_CLIENT: usize = 6;
+/// Open-loop inter-arrival time per client.
+const INTERVAL: Duration = Duration::from_millis(150);
+/// The slot killed once half of each client's schedule has fired.
+const VICTIM: u16 = 2;
+/// The slot faults arm on (when `CHAM_SERVE_FAULTS` is set).
+const FAULTED: u16 = 1;
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ns.len() as f64) * p).ceil() as usize;
+    sorted_ns[rank.clamp(1, sorted_ns.len()) - 1]
+}
+
+fn main() {
+    let mut run = BenchRun::from_env("serve_cluster");
+    let workers = run.threads();
+    let params = Arc::new(ChamParams::insecure_test_default().expect("test params"));
+    let mut rng = cham_bench::bench_rng();
+    let sk = SecretKey::generate(&params, &mut rng);
+    let enc = Encryptor::new(&params, &sk);
+    let dec = Decryptor::new(&params, &sk);
+    let max_log = params.max_pack_log();
+    let gkeys = GaloisKeys::generate_for_packing(&sk, max_log, &mut rng).expect("gk");
+    let indices: Vec<usize> = (1..=max_log).map(|j| (1usize << j) + 1).collect();
+    let hmvp = Hmvp::from_arc(Arc::clone(&params));
+    let t = params.plain_modulus();
+    let matrix = Matrix::random(ROWS, COLS, t.value(), &mut rng);
+    let total = CLIENTS * PER_CLIENT;
+
+    // Pre-encrypt every input so latency measures serving, not client
+    // crypto.
+    let mut vectors = Vec::with_capacity(total);
+    let mut inputs = Vec::with_capacity(total);
+    for _ in 0..total {
+        let v: Vec<u64> = (0..COLS).map(|_| rng.gen_range(0..t.value())).collect();
+        let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).expect("encrypt");
+        vectors.push(v);
+        inputs.push(cts);
+    }
+
+    // The fleet: 3 shards x 2 replicas; seeded faults (if armed via the
+    // environment) on one replica, another killed mid-run.
+    let faults = FaultInjector::from_env();
+    let ring = HashRing::new(NODES, VNODES, REPLICATION);
+    let mut servers: Vec<Option<Server>> = Vec::new();
+    for i in 0..NODES {
+        let config = ServerConfig {
+            workers,
+            queue_capacity: total.max(16),
+            max_batch: 4,
+            shard: Some(ShardSpec::new(ring.clone(), i, 1)),
+            node_id: 0xC0DE + u64::from(i),
+            faults: if i == FAULTED { faults.clone() } else { None },
+            ..ServerConfig::default()
+        };
+        servers.push(Some(
+            Server::start("127.0.0.1:0", Arc::clone(&params), &config).expect("server"),
+        ));
+    }
+    let topology = Topology::new(
+        servers
+            .iter()
+            .map(|s| {
+                s.as_ref()
+                    .expect("fleet just started")
+                    .local_addr()
+                    .to_string()
+            })
+            .collect(),
+    )
+    .expect("topology")
+    .with_vnodes(VNODES)
+    .with_replication(REPLICATION)
+    .with_epoch(1);
+
+    println!(
+        "serve_cluster: {total} requests ({CLIENTS} clients x {PER_CLIENT}, open-loop \
+         every {INTERVAL:?}), {ROWS}x{COLS} matrix over {NODES} shards x {REPLICATION} \
+         replicas, N = {}, faults {} on shard {FAULTED}, shard {VICTIM} killed mid-run",
+        params.degree(),
+        if faults.is_some() { "ARMED" } else { "off" },
+    );
+
+    // Generous budget: under a dead replica plus seeded faults, a
+    // request may burn several failover+retry rounds; the policy bounds
+    // them, and the open-loop latency ledger charges every one.
+    let policy = RetryPolicy {
+        max_attempts: 40,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(50),
+        jitter_seed: 0xC1,
+        total_deadline: Some(Duration::from_secs(60)),
+    };
+
+    let start = Instant::now();
+    let done_requests = std::sync::atomic::AtomicUsize::new(0);
+    let outcome = std::thread::scope(|scope| {
+        // The reaper: once half the requests have completed (so the
+        // victim demonstrably served live traffic first — setup time
+        // varies too much for a wall-clock trigger), one replica dies.
+        let reaper = {
+            let victim = servers[usize::from(VICTIM)].take().expect("victim");
+            let done_requests = &done_requests;
+            scope.spawn(move || {
+                while done_requests.load(std::sync::atomic::Ordering::Relaxed) < total / 2 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                victim.shutdown();
+            })
+        };
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS {
+            let topology = topology.clone();
+            let params = &params;
+            let hmvp = &hmvp;
+            let dec = &dec;
+            let matrix = &matrix;
+            let gkeys = &gkeys;
+            let indices = &indices;
+            let inputs = &inputs;
+            let vectors = &vectors;
+            let done_requests = &done_requests;
+            let mut policy = policy;
+            policy.jitter_seed = 0xC1 ^ (c as u64 + 1);
+            handles.push(scope.spawn(move || {
+                let mut client = ClusterClient::with_config(
+                    topology,
+                    Arc::clone(params),
+                    ClientConfig::default(),
+                    policy,
+                );
+                // Uploads are content-addressed and idempotent: every
+                // client performing them keeps setup symmetric.
+                let key_id = client.load_keys(gkeys, indices).expect("load keys");
+                let sharded = client
+                    .load_matrix_sharded(matrix, params.degree())
+                    .expect("load matrix");
+                let t0 = Instant::now();
+                let mut latencies_ns = Vec::with_capacity(PER_CLIENT);
+                let mut failed = 0u64;
+                for k in 0..PER_CLIENT {
+                    // Open-loop: fire at the scheduled instant even if
+                    // the previous request ran long (lateness counts).
+                    let due = INTERVAL * k as u32;
+                    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let scheduled = t0 + due;
+                    let i = c * PER_CLIENT + k;
+                    match client.hmvp_sharded(key_id, &sharded, &inputs[i], None) {
+                        Ok(result) => {
+                            latencies_ns.push(scheduled.elapsed().as_nanos() as u64);
+                            let got = hmvp.decrypt_result(&result, dec).expect("decrypt");
+                            assert_eq!(
+                                got,
+                                matrix.mul_vector_mod(&vectors[i], t).expect("reference"),
+                                "request {i} decrypted to a wrong product"
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("request {i} failed: {e}");
+                            failed += 1;
+                        }
+                    }
+                    done_requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                (latencies_ns, failed, client.stats())
+            }));
+        }
+        reaper.join().expect("reaper");
+        let mut latencies_ns = Vec::with_capacity(total);
+        let mut failed = 0u64;
+        let mut failovers = 0u64;
+        let mut retries = 0u64;
+        let mut reuploads = 0u64;
+        let mut recovered = 0u64;
+        let mut refreshes = 0u64;
+        let mut per_shard = vec![0u64; usize::from(NODES)];
+        for h in handles {
+            let (lat, f, stats) = h.join().expect("client thread");
+            latencies_ns.extend(lat);
+            failed += f;
+            failovers += stats.failovers;
+            retries += stats.retries;
+            reuploads += stats.reuploads;
+            recovered += stats.faults_recovered;
+            refreshes += stats.refreshes;
+            for (slot, n) in stats.per_node_requests.iter().enumerate() {
+                per_shard[slot] += n;
+            }
+        }
+        (
+            latencies_ns,
+            failed,
+            failovers,
+            retries,
+            reuploads,
+            recovered,
+            refreshes,
+            per_shard,
+        )
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let (mut latencies_ns, failed, failovers, retries, reuploads, recovered, refreshes, per_shard) =
+        outcome;
+    latencies_ns.sort_unstable();
+
+    let goodput_rps = latencies_ns.len() as f64 / wall_seconds;
+    let p50 = percentile(&latencies_ns, 0.50);
+    let p99 = percentile(&latencies_ns, 0.99);
+    let p999 = percentile(&latencies_ns, 0.999);
+    println!(
+        "latency p50 {:.2} ms  p99 {:.2} ms  p999 {:.2} ms  goodput {goodput_rps:.1} req/s",
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        p999 as f64 / 1e6,
+    );
+    println!(
+        "failed {failed}  failovers {failovers}  retries {retries}  reuploads {reuploads}  \
+         recovered {recovered}  refreshes {refreshes}  per-shard {per_shard:?}"
+    );
+
+    // The resilience claim: a dead replica and a faulty one cost
+    // latency, never requests.
+    assert_eq!(
+        failed, 0,
+        "cluster serving lost {failed} of {total} requests"
+    );
+    assert_eq!(latencies_ns.len(), total, "every request must be measured");
+    assert!(
+        failovers >= 1,
+        "the killed replica was never failed over — the kill did not bite"
+    );
+    // Balance: every surviving shard served (the victim may legitimately
+    // drop to its pre-kill share, but never to zero — it served the
+    // first half of the run).
+    for (slot, &served) in per_shard.iter().enumerate() {
+        assert!(
+            served > 0,
+            "shard {slot} served nothing: balance collapsed {per_shard:?}"
+        );
+    }
+
+    // Drain the survivors; their books must balance.
+    let mut completed = 0u64;
+    for s in servers.iter_mut().filter_map(Option::take) {
+        let stats = s.shutdown();
+        completed += stats.completed;
+    }
+    assert!(
+        completed >= total as u64,
+        "survivors completed {completed}, expected at least {total} band requests"
+    );
+
+    run.param("nodes", u64::from(NODES))
+        .param("replication", u64::from(REPLICATION))
+        .param("vnodes", u64::from(VNODES))
+        .param("rows", ROWS)
+        .param("cols", COLS)
+        .param("clients", CLIENTS)
+        .param("requests", total)
+        .param("degree", params.degree())
+        .param("workers", workers)
+        .param("interval_ms", INTERVAL.as_millis() as u64)
+        .param("faults_armed", u64::from(faults.is_some()));
+    run.metric("latency_p50_ns", p50)
+        .metric("latency_p99_ns", p99)
+        .metric("latency_p999_ns", p999)
+        .metric("goodput_rps", goodput_rps)
+        .metric("failed_requests", failed)
+        .metric("failovers", failovers)
+        .metric("retries", retries)
+        .metric("reuploads", reuploads)
+        .metric("faults_recovered", recovered)
+        .metric("refreshes", refreshes);
+    for (slot, &served) in per_shard.iter().enumerate() {
+        run.metric(format!("per_shard_requests_{slot}"), served);
+    }
+    run.finish();
+}

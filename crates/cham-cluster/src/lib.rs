@@ -1,0 +1,37 @@
+//! Sharded, replicated multi-node HMVP serving on top of [`cham_serve`].
+//!
+//! A single `cham-serve` node holds every key set and matrix it serves.
+//! That caps the working set at one machine's memory and makes the node
+//! a single point of failure. This crate spreads the content-addressed
+//! object space across a static fleet:
+//!
+//! * [`ring`] — a consistent-hash ring mapping 64-bit content ids
+//!   (FNV-1a hashes of uploaded key/matrix bytes) to shard slots, with
+//!   configurable virtual nodes per slot and R-way replication. The
+//!   ring is *canonically defined* in `cham_serve::shard` so servers
+//!   can enforce ownership without depending on this crate; it is
+//!   re-exported and analyzed here.
+//! * [`topology`] — the static cluster map: an ordered node list
+//!   (`host:port,...` from a flag or `CHAM_CLUSTER`), a ring epoch, and
+//!   the vnode/replication shape. Slot `i` of the ring is served by
+//!   node `i` of the list.
+//! * [`client`] — [`ClusterClient`]: routes each upload and HMVP to the
+//!   replica set owning its content id, fans large matrices out across
+//!   shards as row bands and reassembles results in row order,
+//!   fails over between replicas (via `cham_serve`'s `RetryClient`
+//!   endpoint pool), and re-routes through a topology refresh when a
+//!   server answers `WrongShard`.
+//!
+//! The wire protocol is unchanged except for protocol v4's trailing
+//! cluster block in the hello response (`node_id`, `shard_index`,
+//! `shard_count`, ring epoch), which v2/v3 peers never see — a
+//! cluster-aware client talking to a pre-cluster server simply runs
+//! single-node, and vice versa.
+
+pub mod client;
+pub mod ring;
+pub mod topology;
+
+pub use client::{Band, ClusterClient, ClusterStatsSnapshot, MatrixHandle, ShardedMatrix};
+pub use ring::{distribution, remap_fraction, HashRing};
+pub use topology::Topology;

@@ -1,0 +1,65 @@
+//! The consistent-hash ring, plus analysis helpers.
+//!
+//! The ring itself lives in [`cham_serve::shard`] — servers must be
+//! able to check ownership of an id without depending on the cluster
+//! crate — and is re-exported here as the canonical routing structure.
+//! This module adds the measurement functions the ring's quality
+//! contract is stated in: per-slot key distribution (how even is the
+//! spread) and remap fraction (how much moves when the fleet changes).
+//!
+//! The quality bars the property tests hold the ring to:
+//!
+//! * replica sets are distinct slots, led by the primary;
+//! * at ≥ 64 vnodes per slot, no slot's share of a large uniform key
+//!   population strays more than ~15% from the mean;
+//! * growing or shrinking the fleet by one node remaps close to the
+//!   theoretical minimum `1/N` of keys — and certainly no more than
+//!   `2/N` — because a node's arrival only claims the arcs its own
+//!   points cut, leaving every other boundary where it was.
+
+pub use cham_serve::shard::{mix64, HashRing, DEFAULT_REPLICATION, DEFAULT_VNODES};
+
+/// Counts how many of `keys` each slot owns as primary.
+///
+/// The returned vector has one entry per ring slot; entries sum to
+/// `keys.len()`.
+#[must_use]
+pub fn distribution(ring: &HashRing, keys: impl IntoIterator<Item = u64>) -> Vec<u64> {
+    let mut counts = vec![0u64; ring.nodes() as usize];
+    for key in keys {
+        counts[ring.primary(key) as usize] += 1;
+    }
+    counts
+}
+
+/// The fraction of `keys` whose primary changes between two rings.
+///
+/// For a well-behaved consistent-hash ring differing by one slot, this
+/// is near `1/max(N)` — only arcs adjacent to the changed slot's points
+/// move.
+#[must_use]
+pub fn remap_fraction(
+    before: &HashRing,
+    after: &HashRing,
+    keys: impl IntoIterator<Item = u64>,
+) -> f64 {
+    let mut total = 0u64;
+    let mut moved = 0u64;
+    for key in keys {
+        total += 1;
+        if before.primary(key) != after.primary(key) {
+            moved += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    moved as f64 / total as f64
+}
+
+/// A deterministic stream of well-spread probe keys for distribution
+/// measurements (mixed so sequential seeds don't correlate with ring
+/// point placement).
+pub fn probe_keys(count: u64) -> impl Iterator<Item = u64> {
+    (0..count).map(|i| mix64(i ^ 0xD1B5_4A32_D192_ED03))
+}

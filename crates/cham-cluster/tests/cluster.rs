@@ -1,0 +1,391 @@
+//! Cluster integration: a real 3-shard loopback fleet under a
+//! [`ClusterClient`].
+//!
+//! Four end-to-end claims:
+//!
+//! 1. **Fan-out changes nothing cryptographically**: an HMVP fanned
+//!    across shard-held row bands reassembles to packed ciphertexts
+//!    *bit-identical* to a single standalone server computing the same
+//!    matrix (bands are aligned to multiples of `N`, so each band's
+//!    packing is the corresponding slice of the single-node packing).
+//! 2. **Replica failover is invisible**: killing a replica mid-run
+//!    loses zero requests — the routes quarantine the dead node and the
+//!    surviving replica (which holds every band by replication) serves.
+//! 3. **Misrouting heals by refresh, not by retry**: a client started
+//!    with a stale (rotated) address map gets a typed `WrongShard`,
+//!    rebuilds the map from the fleet's own hello answers, and
+//!    succeeds — with zero blind retries.
+//! 4. **Version interop is bidirectional**: a v3-pinned client runs the
+//!    full workload against a v4 shard-configured server (and sees no
+//!    cluster block); a v4 client against a v3-era server downgrades
+//!    and reads no cluster block.
+//!
+//! Everything runs on degree-64 parameters: band alignment is the ring
+//! dimension, so small `N` keeps multi-band matrices cheap.
+
+use cham_cluster::{ClusterClient, Topology};
+use cham_he::encrypt::{Decryptor, Encryptor};
+use cham_he::hmvp::{Hmvp, HmvpResult, Matrix};
+use cham_he::keys::{GaloisKeys, SecretKey};
+use cham_he::params::{ChamParams, ChamParamsBuilder};
+use cham_serve::protocol::{self, FrameKind, Hello, Response};
+use cham_serve::server::{Server, ServerConfig};
+use cham_serve::shard::{HashRing, ShardSpec};
+use cham_serve::{ClientConfig, RetryClient, RetryPolicy, ServeClient};
+use rand::{Rng, SeedableRng};
+use std::net::TcpListener;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+const DEGREE: usize = 64;
+const NODES: u16 = 3;
+const VNODES: u32 = 128;
+
+struct Fixture {
+    params: Arc<ChamParams>,
+    sk: SecretKey,
+    gkeys: GaloisKeys,
+    indices: Vec<usize>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let params = Arc::new(ChamParamsBuilder::new().degree(DEGREE).build().unwrap());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC1A5);
+        let sk = SecretKey::generate(&params, &mut rng);
+        let max_log = params.max_pack_log();
+        let gkeys = GaloisKeys::generate_for_packing(&sk, max_log, &mut rng).unwrap();
+        let indices = (1..=max_log).map(|j| (1usize << j) + 1).collect();
+        Fixture {
+            params,
+            sk,
+            gkeys,
+            indices,
+        }
+    })
+}
+
+fn quick_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        jitter_seed: seed,
+        total_deadline: Some(Duration::from_secs(60)),
+    }
+}
+
+/// Starts a `NODES`-shard fleet with `replication`, returning the
+/// servers (slot order) and the matching topology.
+fn start_fleet(replication: u16, epoch: u64) -> (Vec<Option<Server>>, Topology) {
+    let f = fixture();
+    let ring = HashRing::new(NODES, VNODES, replication);
+    let mut servers = Vec::new();
+    for i in 0..NODES {
+        let config = ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 2,
+            shard: Some(ShardSpec::new(ring.clone(), i, epoch)),
+            node_id: 0xA0 + u64::from(i),
+            ..ServerConfig::default()
+        };
+        servers.push(Some(
+            Server::start("127.0.0.1:0", Arc::clone(&f.params), &config).unwrap(),
+        ));
+    }
+    let topology = Topology::new(
+        servers
+            .iter()
+            .map(|s| s.as_ref().unwrap().local_addr().to_string())
+            .collect(),
+    )
+    .unwrap()
+    .with_vnodes(VNODES)
+    .with_replication(replication)
+    .with_epoch(epoch);
+    (servers, topology)
+}
+
+fn assert_bit_identical(a: &HmvpResult, b: &HmvpResult) {
+    assert_eq!(a.len, b.len, "output length diverged");
+    assert_eq!(a.packed.len(), b.packed.len(), "packing shape diverged");
+    for (i, (x, y)) in a.packed.iter().zip(&b.packed).enumerate() {
+        assert_eq!(x.log_count, y.log_count, "packed {i} depth diverged");
+        assert_eq!(x.count, y.count, "packed {i} fill diverged");
+        assert_eq!(x.ciphertext, y.ciphertext, "packed {i} bits diverged");
+    }
+}
+
+/// Fan-out over 3 shards is bit-identical to one standalone server.
+#[test]
+fn sharded_hmvp_is_bit_exact_vs_single_node() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA0);
+    // 160 rows over a 64-degree ring: bands of 64, 64, 32.
+    let matrix = Matrix::random(160, DEGREE, t.value(), &mut rng);
+    let v: Vec<u64> = (0..matrix.cols())
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+
+    // Reference: one standalone (shardless) server computing the whole
+    // matrix.
+    let single = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&f.params),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut sc =
+        RetryClient::connect(single.local_addr().to_string(), Arc::clone(&f.params)).unwrap();
+    let key_id = sc.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = sc.load_matrix(&matrix).unwrap();
+    let reference = sc.hmvp(key_id, matrix_id, &cts, None).unwrap();
+    single.shutdown();
+
+    // Cluster: 3 shards, bands spread by content id.
+    let (mut servers, topology) = start_fleet(2, 1);
+    let mut cc = ClusterClient::with_config(
+        topology,
+        Arc::clone(&f.params),
+        ClientConfig::default(),
+        quick_policy(0xFA0),
+    );
+    let ckey_id = cc.load_keys(&f.gkeys, &f.indices).unwrap();
+    assert_eq!(ckey_id, key_id, "key content ids are address-independent");
+    let sharded = cc.load_matrix_sharded(&matrix, DEGREE).unwrap();
+    assert_eq!(sharded.bands.len(), 3);
+    assert_eq!(
+        sharded.bands.iter().map(|b| b.rows).collect::<Vec<_>>(),
+        [64, 64, 32]
+    );
+    let fanned = cc.hmvp_sharded(ckey_id, &sharded, &cts, None).unwrap();
+
+    assert_bit_identical(&reference, &fanned);
+    let got = hmvp.decrypt_result(&fanned, &dec).unwrap();
+    assert_eq!(got, matrix.mul_vector_mod(&v, t).unwrap());
+
+    for s in &mut servers {
+        s.take().unwrap().shutdown();
+    }
+}
+
+/// Killing a replica mid-run: zero failed requests, failover observed.
+#[test]
+fn replica_kill_mid_run_loses_no_requests() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x6B1);
+    let matrix = Matrix::random(192, DEGREE, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let reference_rhs: Vec<Vec<u64>> = (0..8)
+        .map(|_| {
+            (0..matrix.cols())
+                .map(|_| rng.gen_range(0..t.value()))
+                .collect()
+        })
+        .collect();
+
+    let (mut servers, topology) = start_fleet(2, 1);
+    let mut cc = ClusterClient::with_config(
+        topology,
+        Arc::clone(&f.params),
+        ClientConfig::default(),
+        quick_policy(0x6B1),
+    );
+    let key_id = cc.load_keys(&f.gkeys, &f.indices).unwrap();
+    let sharded = cc.load_matrix_sharded(&matrix, DEGREE).unwrap();
+    // Kill the primary of the first band — guaranteed to be serving at
+    // least that band when the axe falls.
+    let victim = sharded.bands[0].replicas[0];
+
+    for (i, v) in reference_rhs.iter().enumerate() {
+        if i == reference_rhs.len() / 2 {
+            servers[usize::from(victim)].take().unwrap().shutdown();
+        }
+        let cts = hmvp.encrypt_vector(v, &enc, &mut rng).unwrap();
+        let result = cc.hmvp_sharded(key_id, &sharded, &cts, None).unwrap();
+        let got = hmvp.decrypt_result(&result, &dec).unwrap();
+        assert_eq!(got, matrix.mul_vector_mod(v, t).unwrap(), "request {i}");
+    }
+
+    let stats = cc.stats();
+    assert!(
+        stats.failovers >= 1,
+        "the killed primary was never failed over: {stats:?}"
+    );
+    // Balance attribution saw the fleet, and nothing after the kill was
+    // credited wrongly: only live slots serve.
+    assert_eq!(stats.per_node_requests.len(), usize::from(NODES));
+    assert!(stats.per_node_requests.iter().sum::<u64>() > 0);
+
+    for s in &mut servers {
+        if let Some(s) = s.take() {
+            s.shutdown();
+        }
+    }
+}
+
+/// A stale (rotated) address map heals through one typed `WrongShard`
+/// and a topology refresh — not a blind retry loop.
+#[test]
+fn wrong_shard_triggers_reroute_not_retry_loop() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x57A1E);
+    let matrix = Matrix::random(DEGREE, DEGREE, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+
+    // Replication 1: exactly one correct home per id, so a rotated map
+    // *always* misroutes.
+    let (mut servers, topology) = start_fleet(1, 7);
+    let mut rotated_nodes = topology.nodes().to_vec();
+    rotated_nodes.rotate_left(1);
+    let stale = Topology::new(rotated_nodes)
+        .unwrap()
+        .with_vnodes(VNODES)
+        .with_replication(1)
+        .with_epoch(0);
+    let mut cc = ClusterClient::with_config(
+        stale,
+        Arc::clone(&f.params),
+        ClientConfig::default(),
+        quick_policy(0x57A1E),
+    );
+
+    let key_id = cc.load_keys(&f.gkeys, &f.indices).unwrap();
+    let handle = cc.load_matrix(&matrix).unwrap();
+    let v: Vec<u64> = (0..matrix.cols())
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+    let result = cc.hmvp(key_id, handle.id, &cts, None).unwrap();
+    let got = hmvp.decrypt_result(&result, &dec).unwrap();
+    assert_eq!(got, matrix.mul_vector_mod(&v, t).unwrap());
+
+    let stats = cc.stats();
+    assert!(
+        stats.refreshes >= 1,
+        "misrouting never triggered a topology refresh: {stats:?}"
+    );
+    assert_eq!(
+        stats.retries, 0,
+        "WrongShard must re-route, not blind-retry: {stats:?}"
+    );
+    // The refreshed map matches the fleet's real slot order and adopted
+    // the fleet's epoch.
+    assert_eq!(cc.topology().nodes(), topology.nodes());
+    assert_eq!(cc.topology().epoch(), 7);
+
+    for s in &mut servers {
+        s.take().unwrap().shutdown();
+    }
+}
+
+/// v3-pinned client against a v4 shard-configured server: downgraded
+/// hello without a cluster block, full workload still serves.
+#[test]
+fn v3_client_runs_against_v4_sharded_server() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    // One-slot ring: the server owns every id, so sharding is enforced
+    // but never rejects — exactly what a pre-cluster client expects.
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&f.params),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 2,
+            shard: Some(ShardSpec::new(HashRing::new(1, VNODES, 1), 0, 3)),
+            node_id: 0xBEEF,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let v3_config = ClientConfig {
+        protocol_version: 3,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        ServeClient::connect_with(server.local_addr(), Arc::clone(&f.params), &v3_config).unwrap();
+    let info = client.server_info();
+    assert_eq!(info.version, 3, "server must honor the pinned revision");
+    assert_eq!(info.cluster, None, "no cluster block below v4");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x73);
+    let matrix = Matrix::random(DEGREE, DEGREE, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+    let v: Vec<u64> = (0..matrix.cols())
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+    let result = client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+    let got = hmvp.decrypt_result(&result, &dec).unwrap();
+    assert_eq!(got, matrix.mul_vector_mod(&v, t).unwrap());
+
+    // A v4 client on the same server *does* see the identity.
+    let v4 = ServeClient::connect(server.local_addr(), Arc::clone(&f.params)).unwrap();
+    let identity = v4.server_info().cluster.expect("v4 advertises identity");
+    assert_eq!(identity.node_id, 0xBEEF);
+    assert_eq!(identity.shard_index, 0);
+    assert_eq!(identity.shard_count, 1);
+    assert_eq!(identity.epoch, 3);
+    drop((client, v4));
+    server.shutdown();
+}
+
+/// v4 client against a v3-era server (no cluster block on the wire):
+/// negotiates down, reads no identity, and keeps working.
+#[test]
+fn v4_client_downgrades_against_v3_server() {
+    let f = fixture();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        // A minimal v3-era server: accepts the hello, answers in v3
+        // shape (no cluster block exists at that revision).
+        let (mut stream, _) = listener.accept().unwrap();
+        let (kind, body) = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        let hello = Hello::from_bytes(&body).unwrap();
+        assert_eq!(hello.version, protocol::PROTOCOL_VERSION);
+        let resp = Response::Hello {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            version: 3,
+            cluster: None,
+        };
+        protocol::write_frame(&mut stream, FrameKind::Result, &resp.to_bytes()).unwrap();
+    });
+    let client = ServeClient::connect(addr, Arc::clone(&f.params)).unwrap();
+    let info = client.server_info();
+    assert_eq!(
+        info.version, 3,
+        "client must settle on the server's revision"
+    );
+    assert_eq!(info.cluster, None, "no cluster block exists below v4");
+    drop(client);
+    handle.join().unwrap();
+}

@@ -1,0 +1,135 @@
+//! Property tests for the consistent-hash ring: the quality contract
+//! the cluster's placement depends on.
+//!
+//! Three properties matter operationally:
+//!
+//! 1. **Replica sets are usable**: distinct slots, led by the primary,
+//!    exactly `min(R, N)` wide — otherwise "R-way replication" silently
+//!    degrades to fewer copies.
+//! 2. **Load balance**: with enough virtual nodes (≥ 64 per slot) no
+//!    slot's share of a uniform key population strays more than 15%
+//!    from the mean — the bound the serving bench asserts per-shard
+//!    balance against.
+//! 3. **Minimal remap**: growing or shrinking the fleet by one node
+//!    moves at most ~`2/N` of keys — the property that makes epoch
+//!    bumps cheap (only the remapped fraction re-uploads).
+
+use cham_cluster::ring::{distribution, probe_keys, remap_fraction, HashRing};
+use proptest::prelude::*;
+
+const PROBES: u64 = 20_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replica_sets_are_distinct_led_by_primary(
+        nodes in 1..24u16,
+        vnodes in 1..96u32,
+        replication in 1..6u16,
+        key in any::<u64>(),
+    ) {
+        let ring = HashRing::new(nodes, vnodes, replication);
+        let reps = ring.replicas(key);
+        prop_assert_eq!(reps.len(), usize::from(replication.min(nodes)));
+        prop_assert_eq!(reps[0], ring.primary(key));
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), reps.len(), "duplicate slot in {:?}", reps);
+        for &slot in &reps {
+            prop_assert!(slot < nodes);
+            prop_assert!(ring.owns(key, slot));
+        }
+    }
+
+    #[test]
+    fn distribution_is_balanced_within_15_percent(
+        nodes in 2..9u16,
+        vnodes in 128..257u32,
+    ) {
+        // The tight bar: at the default vnode count (128) and practical
+        // fleet sizes, every slot is within 15% of the mean.
+        let ring = HashRing::new(nodes, vnodes, 2);
+        let counts = distribution(&ring, probe_keys(PROBES));
+        let mean = PROBES as f64 / f64::from(nodes);
+        for (slot, &count) in counts.iter().enumerate() {
+            let deviation = (count as f64 - mean).abs() / mean;
+            prop_assert!(
+                deviation <= 0.15,
+                "slot {} holds {} of {} keys ({:.1}% off the mean) \
+                 at {} nodes x {} vnodes",
+                slot, count, PROBES, deviation * 100.0, nodes, vnodes
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_never_degenerates_at_64_vnodes(
+        nodes in 2..17u16,
+        vnodes in 64..257u32,
+    ) {
+        // The coarse bar over a wider shape range: worst-slot deviation
+        // shrinks like 1/sqrt(vnodes) (arc lengths are a sum of vnodes
+        // independent arcs), and vnode placement never collapses into
+        // hot spots beyond that law's tail.
+        let ring = HashRing::new(nodes, vnodes, 2);
+        let counts = distribution(&ring, probe_keys(PROBES));
+        let mean = PROBES as f64 / f64::from(nodes);
+        let bound = 3.5 / f64::from(vnodes).sqrt();
+        for (slot, &count) in counts.iter().enumerate() {
+            let deviation = (count as f64 - mean).abs() / mean;
+            prop_assert!(
+                deviation <= bound,
+                "slot {} holds {} of {} keys ({:.1}% off the mean, bound {:.1}%) \
+                 at {} nodes x {} vnodes",
+                slot, count, PROBES, deviation * 100.0, bound * 100.0, nodes, vnodes
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_by_one_remaps_at_most_2_over_n(
+        nodes in 2..13u16,
+        vnodes in 64..257u32,
+    ) {
+        let before = HashRing::new(nodes, vnodes, 2);
+        let after = HashRing::new(nodes + 1, vnodes, 2);
+        let moved = remap_fraction(&before, &after, probe_keys(PROBES));
+        let bound = 2.0 / f64::from(nodes + 1);
+        prop_assert!(
+            moved <= bound,
+            "{:.4} of keys moved adding node {} (bound {:.4}) at {} vnodes",
+            moved, nodes, bound, vnodes
+        );
+        // Every moved key must have moved *to* the new slot — existing
+        // boundaries never shift when a node's own points are added.
+        for key in probe_keys(PROBES) {
+            if before.primary(key) != after.primary(key) {
+                prop_assert_eq!(after.primary(key), nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_the_fleet_by_one_remaps_at_most_2_over_n(
+        nodes in 3..14u16,
+        vnodes in 64..257u32,
+    ) {
+        let before = HashRing::new(nodes, vnodes, 2);
+        let after = HashRing::new(nodes - 1, vnodes, 2);
+        let moved = remap_fraction(&before, &after, probe_keys(PROBES));
+        let bound = 2.0 / f64::from(nodes);
+        prop_assert!(
+            moved <= bound,
+            "{:.4} of keys moved removing a node from {} (bound {:.4})",
+            moved, nodes, bound
+        );
+        // Only keys the removed slot owned may move.
+        for key in probe_keys(PROBES) {
+            if before.primary(key) != after.primary(key) {
+                prop_assert_eq!(before.primary(key), nodes - 1);
+            }
+        }
+    }
+}

@@ -22,9 +22,20 @@
 //! `--flight-dump PATH` writes its Perfetto JSON there on a caught
 //! worker panic and at shutdown. Live inspection needs no flag — point
 //! `cham-serve-top` at the server.
+//!
+//! **Cluster membership.** `--cluster host:port,host:port,...` (or the
+//! `CHAM_CLUSTER` environment variable) declares the fleet; this node's
+//! slot is the position of `--addr` in that list unless `--shard-index`
+//! overrides it. The node then enforces shard ownership: requests for
+//! keys outside its ring slice are answered with `WrongShard` carrying
+//! `--epoch`, which cluster clients use to refresh their topology.
+//! `--vnodes` and `--replication` must match across the fleet — every
+//! node hashes the same ring.
 
 use cham_he::params::ChamParams;
+use cham_serve::cache::content_hash;
 use cham_serve::server::{Server, ServerConfig};
+use cham_serve::shard::{HashRing, ShardSpec, DEFAULT_REPLICATION, DEFAULT_VNODES};
 use cham_serve::{FaultConfig, FaultInjector};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,6 +46,30 @@ struct Args {
     params: String,
     config: ServerConfig,
     stats_every: Option<u64>,
+    cluster: Option<Vec<String>>,
+    shard_index: Option<u16>,
+    node_id: Option<u64>,
+    vnodes: u32,
+    replication: u16,
+    epoch: u64,
+}
+
+fn parse_cluster_list(spec: &str) -> Result<Vec<String>, String> {
+    let nodes: Vec<String> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if nodes.is_empty() {
+        return Err("cluster list is empty".into());
+    }
+    for node in &nodes {
+        if !node.contains(':') {
+            return Err(format!("cluster node {node} is missing a :port"));
+        }
+    }
+    Ok(nodes)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +78,12 @@ fn parse_args() -> Result<Args, String> {
         params: "default".into(),
         config: ServerConfig::default(),
         stats_every: None,
+        cluster: None,
+        shard_index: None,
+        node_id: None,
+        vnodes: DEFAULT_VNODES,
+        replication: DEFAULT_REPLICATION,
+        epoch: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -68,13 +109,37 @@ fn parse_args() -> Result<Args, String> {
             "--flight-dump" => {
                 args.config.flight_dump_path = Some(value("--flight-dump")?.into());
             }
+            "--cluster" => args.cluster = Some(parse_cluster_list(&value("--cluster")?)?),
+            "--shard-index" => {
+                args.shard_index = Some(
+                    value("--shard-index")?
+                        .parse::<u16>()
+                        .map_err(|_| "not a shard index".to_string())?,
+                );
+            }
+            "--node-id" => {
+                let v = value("--node-id")?;
+                let parsed = v
+                    .strip_prefix("0x")
+                    .map_or_else(|| v.parse::<u64>(), |hex| u64::from_str_radix(hex, 16));
+                args.node_id = Some(parsed.map_err(|_| format!("not a node id: {v}"))?);
+            }
+            "--vnodes" => args.vnodes = parse_num(&value("--vnodes")?)? as u32,
+            "--replication" => args.replication = parse_num(&value("--replication")?)? as u16,
+            "--epoch" => {
+                args.epoch = value("--epoch")?
+                    .parse::<u64>()
+                    .map_err(|_| "not an epoch".to_string())?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: cham-serve [--addr HOST:PORT] [--params test|default|large] \
                             [--workers N] [--queue N] [--max-batch N] [--batch-threads N] \
                             [--key-cache N] [--matrix-cache N] [--max-frame BYTES] \
                             [--faults SPEC] [--stats-every SECS] \
-                            [--flight N] [--flight-dump PATH]"
+                            [--flight N] [--flight-dump PATH] \
+                            [--cluster HOST:PORT,...] [--shard-index N] [--node-id N] \
+                            [--vnodes N] [--replication N] [--epoch N]"
                         .into(),
                 );
             }
@@ -120,6 +185,56 @@ fn main() -> ExitCode {
     }
     if let Some(f) = &args.config.faults {
         eprintln!("fault injection ARMED: {:?}", f.config());
+    }
+    if args.cluster.is_none() {
+        if let Ok(spec) = std::env::var("CHAM_CLUSTER") {
+            if !spec.trim().is_empty() {
+                args.cluster = match parse_cluster_list(&spec) {
+                    Ok(nodes) => Some(nodes),
+                    Err(msg) => {
+                        eprintln!("CHAM_CLUSTER: {msg}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+        }
+    }
+    if let Some(nodes) = &args.cluster {
+        let index = match args.shard_index {
+            Some(i) => i,
+            None => match nodes.iter().position(|n| *n == args.addr) {
+                Some(i) => i as u16,
+                None => {
+                    eprintln!(
+                        "--addr {} is not in the cluster list; pass --shard-index",
+                        args.addr
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        if usize::from(index) >= nodes.len() {
+            eprintln!(
+                "--shard-index {index} out of range for {} nodes",
+                nodes.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        let ring = HashRing::new(nodes.len() as u16, args.vnodes, args.replication);
+        args.config.shard = Some(ShardSpec::new(ring, index, args.epoch));
+        args.config.node_id = args
+            .node_id
+            .unwrap_or_else(|| content_hash(args.addr.as_bytes()));
+        println!(
+            "cluster: shard {index}/{} epoch={} node_id={:#018x} vnodes={} replication={}",
+            nodes.len(),
+            args.epoch,
+            args.config.node_id,
+            args.vnodes,
+            args.replication
+        );
+    } else if let Some(id) = args.node_id {
+        args.config.node_id = id;
     }
     let params = match params_by_name(&args.params) {
         Ok(p) => Arc::new(p),

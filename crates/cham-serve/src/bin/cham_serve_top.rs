@@ -97,6 +97,14 @@ fn params_by_name(name: &str) -> Result<ChamParams, String> {
 
 fn render(snap: &IntrospectSnapshot) {
     let s = &snap.stats;
+    if snap.shard_count > 0 {
+        println!(
+            "node      shard {}/{} node_id={:#018x}",
+            snap.shard_index, snap.shard_count, snap.node_id
+        );
+    } else if snap.node_id != 0 {
+        println!("node      standalone node_id={:#018x}", snap.node_id);
+    }
     println!(
         "requests  accepted={} completed={} busy={} timed_out={} failed={} internal={}",
         s.accepted, s.completed, s.rejected_busy, s.timed_out, s.failed, s.internal_errors

@@ -68,6 +68,9 @@ pub struct ServerInfo {
     pub max_batch: u32,
     /// Negotiated protocol revision this connection speaks.
     pub version: u16,
+    /// The server's cluster identity (protocol v4; `None` from older
+    /// servers and standalone v4 servers).
+    pub cluster: Option<crate::shard::ClusterIdentity>,
 }
 
 /// A connected, hello-verified client.
@@ -157,6 +160,7 @@ impl ServeClient {
                 queue_capacity: 0,
                 max_batch: 0,
                 version: MIN_PROTOCOL_VERSION,
+                cluster: None,
             },
         };
         let hello = Hello {
@@ -169,6 +173,7 @@ impl ServeClient {
             queue_capacity,
             max_batch,
             version,
+            cluster,
         } = resp
         else {
             return Err(ServeError::BadFrame("hello answered with wrong response"));
@@ -180,6 +185,7 @@ impl ServeClient {
             // The echo is authoritative but never above what we offered —
             // both sides must agree on the *lower* revision's framing.
             version: version.min(offer),
+            cluster,
         };
         Ok(client)
     }

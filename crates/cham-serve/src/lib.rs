@@ -59,6 +59,7 @@ pub mod protocol;
 pub mod retry;
 pub mod scheduler;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod worker;
 
@@ -68,9 +69,10 @@ use std::fmt;
 pub use cache::SessionCache;
 pub use client::{ClientConfig, ServeClient, ServerInfo};
 pub use faults::{Fault, FaultConfig, FaultInjector};
-pub use retry::{RetryClient, RetryPolicy, RetryStatsSnapshot};
+pub use retry::{Endpoints, RetryClient, RetryPolicy, RetryStatsSnapshot};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
+pub use shard::{ClusterIdentity, HashRing, ShardSpec};
 pub use stats::{IntrospectSnapshot, PhaseHistograms, PhaseStat, ServeStats, StatsSnapshot};
 
 /// Errors from the serving layer.
@@ -91,6 +93,18 @@ pub enum ServeError {
     Incompatible(&'static str),
     /// The server is shutting down.
     Shutdown,
+    /// The request was routed to a server that does not own the
+    /// referenced content hash under its shard ring. Carries the
+    /// server's ring epoch so a stale client refreshes its topology
+    /// instead of retrying blindly (protocol v4).
+    WrongShard {
+        /// The server's topology epoch.
+        epoch: u64,
+        /// The slot the answering server serves.
+        shard_index: u16,
+        /// Total slots in the server's ring.
+        shard_count: u16,
+    },
     /// The server failed internally — a worker panic or a dead worker
     /// pool. The request may be retried; the input was never at fault.
     Internal(String),
@@ -117,6 +131,15 @@ impl fmt::Display for ServeError {
             ServeError::UnknownMatrix(id) => write!(f, "unknown matrix {id:#018x}"),
             ServeError::Incompatible(m) => write!(f, "incompatible peer: {m}"),
             ServeError::Shutdown => write!(f, "server is shutting down"),
+            ServeError::WrongShard {
+                epoch,
+                shard_index,
+                shard_count,
+            } => write!(
+                f,
+                "wrong shard: this node serves slot {shard_index}/{shard_count} \
+                 (ring epoch {epoch}); refresh the cluster topology"
+            ),
             ServeError::Internal(m) => write!(f, "internal server error: {m}"),
             ServeError::He(e) => write!(f, "he error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),

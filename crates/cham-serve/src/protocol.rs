@@ -36,7 +36,12 @@
 //! [`Response::Hello`] `version` field. A v2 client never sees the new
 //! field (the server serializes its hello response in v2 shape for it,
 //! and parses its `Hmvp` bodies as v2), and a v3 client talking to an
-//! older server reads the missing echo as "2" and downgrades.
+//! older server reads the missing echo as "2" and downgrades. Revision
+//! 4 appends a cluster-identity block to the hello *response* (and the
+//! `WrongShard` error code) with the same trailing-field trick: the
+//! block is serialized only when the negotiated revision is ≥ 4, so the
+//! client hello body never changed shape and v2/v3 interop is
+//! untouched.
 //!
 //! `deadline_ms` uses an explicit sentinel: [`DEADLINE_NONE`]
 //! (`u32::MAX`) means "no deadline". A literal `0` is **rejected** as a
@@ -48,6 +53,7 @@
 //! is what makes `LoadKeys`/`LoadMatrix` idempotent and therefore safe
 //! for [`crate::retry::RetryClient`] to replay after an eviction.
 
+use crate::shard::ClusterIdentity;
 use crate::stats::{IntrospectSnapshot, PhaseStat, StatsSnapshot};
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
@@ -62,8 +68,12 @@ use std::io::{Read, Write};
 /// `deadline_ms = 0` for "no deadline", conflating it with an explicit
 /// zero-millisecond deadline). Revision 3 added the `trace_id` field to
 /// `Hmvp` bodies, the `version` echo in hello responses, and the
-/// `Introspect`/`FlightDump` frames.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// `Introspect`/`FlightDump` frames. Revision 4 added the trailing
+/// cluster-identity block to hello responses, the `WrongShard` error
+/// code, and node-identity counters in `IntrospectReport` (all via the
+/// same trailing-field trick revision 3 used, so v2/v3 peers interop
+/// unchanged).
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest protocol revision this crate still accepts from a peer.
 /// Revision 2 clients interoperate (their requests simply carry no trace
@@ -153,6 +163,10 @@ pub enum ErrorCode {
     Shutdown = 7,
     /// HE-layer or other internal failure.
     Internal = 8,
+    /// The content hash is not owned by this shard (protocol v4; the
+    /// message carries the server's ring epoch and slot so the client
+    /// can refresh its topology).
+    WrongShard = 9,
 }
 
 impl ErrorCode {
@@ -166,6 +180,7 @@ impl ErrorCode {
             6 => Ok(ErrorCode::Incompatible),
             7 => Ok(ErrorCode::Shutdown),
             8 => Ok(ErrorCode::Internal),
+            9 => Ok(ErrorCode::WrongShard),
             _ => Err(ServeError::BadFrame("unknown error code")),
         }
     }
@@ -183,8 +198,31 @@ pub fn error_to_wire(e: &ServeError) -> (ErrorCode, String) {
         ServeError::Incompatible(m) => (ErrorCode::Incompatible, (*m).to_string()),
         ServeError::Shutdown => (ErrorCode::Shutdown, "server shutting down".into()),
         ServeError::Internal(m) => (ErrorCode::Internal, m.clone()),
+        ServeError::WrongShard {
+            epoch,
+            shard_index,
+            shard_count,
+        } => (
+            ErrorCode::WrongShard,
+            format!("epoch={epoch} shard={shard_index}/{shard_count}"),
+        ),
         other => (ErrorCode::Internal, other.to_string()),
     }
+}
+
+/// Parses the `epoch=E shard=I/N` message a `WrongShard` error travels
+/// as back into its fields, mirroring [`parse_id_message`] — the client
+/// side needs the epoch typed to decide whether its topology is stale.
+fn parse_wrong_shard_message(message: &str) -> Option<(u64, u16, u16)> {
+    let rest = message.trim().strip_prefix("epoch=")?;
+    let (epoch, rest) = rest.split_once(' ')?;
+    let rest = rest.strip_prefix("shard=")?;
+    let (index, count) = rest.split_once('/')?;
+    Some((
+        epoch.parse().ok()?,
+        index.parse().ok()?,
+        count.parse().ok()?,
+    ))
 }
 
 /// Parses the `{id:#018x}` message an `UnknownKey`/`UnknownMatrix` error
@@ -212,6 +250,14 @@ pub fn wire_to_error(code: ErrorCode, message: String) -> ServeError {
         },
         ErrorCode::UnknownMatrix => match parse_id_message(&message) {
             Some(id) => ServeError::UnknownMatrix(id),
+            None => ServeError::Remote { code, message },
+        },
+        ErrorCode::WrongShard => match parse_wrong_shard_message(&message) {
+            Some((epoch, shard_index, shard_count)) => ServeError::WrongShard {
+                epoch,
+                shard_index,
+                shard_count,
+            },
             None => ServeError::Remote { code, message },
         },
         ErrorCode::BadFrame | ErrorCode::Incompatible => ServeError::Remote { code, message },
@@ -569,6 +615,12 @@ enum ResponseTag {
 /// without breaking older readers (which parse the prefix they know).
 const PONG_FIELDS: usize = 11;
 
+/// Counters appended to the `IntrospectReport` stats block in protocol
+/// v4: `node_id`, `shard_index`, `shard_count`. Pre-v4 readers skip
+/// them by count; pre-v4 *senders* simply omit them and the parser
+/// reads zeros (standalone).
+const INTROSPECT_EXTRA_FIELDS: usize = 3;
+
 fn snapshot_fields(s: &StatsSnapshot) -> [u64; PONG_FIELDS] {
     [
         s.accepted,
@@ -601,6 +653,11 @@ pub enum Response {
         /// **only when ≥ 3** — a v2 peer's strict parser must see the
         /// exact v2 body, and reads the missing field as "2".
         version: u16,
+        /// Cluster identity of the answering server (`None` on a
+        /// standalone server). Serialized as a trailing presence byte +
+        /// fields **only when the negotiated revision is ≥ 4**, so v2/v3
+        /// peers parse the exact body their revision defined.
+        cluster: Option<ClusterIdentity>,
     },
     /// Answer to `LoadKeys`: the content hash the set is cached under.
     KeysLoaded {
@@ -654,6 +711,7 @@ impl Response {
                 queue_capacity,
                 max_batch,
                 version,
+                cluster,
             } => {
                 out.push(ResponseTag::Hello as u8);
                 out.extend_from_slice(&workers.to_le_bytes());
@@ -665,6 +723,20 @@ impl Response {
                 // the response with the *negotiated* revision.
                 if *version >= 3 {
                     out.extend_from_slice(&version.to_le_bytes());
+                }
+                // The v4 cluster block rides the same trick one revision
+                // later: a presence byte, then the identity fields.
+                if *version >= 4 {
+                    match cluster {
+                        Some(id) => {
+                            out.push(1);
+                            out.extend_from_slice(&id.node_id.to_le_bytes());
+                            out.extend_from_slice(&id.shard_index.to_le_bytes());
+                            out.extend_from_slice(&id.shard_count.to_le_bytes());
+                            out.extend_from_slice(&id.epoch.to_le_bytes());
+                        }
+                        None => out.push(0),
+                    }
                 }
             }
             Response::KeysLoaded { key_id } => {
@@ -702,9 +774,18 @@ impl Response {
             }
             Response::IntrospectReport { snapshot } => {
                 out.push(ResponseTag::IntrospectReport as u8);
-                // Counter block reuses the extensible Pong idiom.
-                out.push(PONG_FIELDS as u8);
+                // Counter block reuses the extensible Pong idiom; the
+                // node-identity fields (v4) travel as appended counters,
+                // which pre-v4 readers skip by count.
+                out.push((PONG_FIELDS + INTROSPECT_EXTRA_FIELDS) as u8);
                 for field in snapshot_fields(&snapshot.stats) {
+                    out.extend_from_slice(&field.to_le_bytes());
+                }
+                for field in [
+                    snapshot.node_id,
+                    u64::from(snapshot.shard_index),
+                    u64::from(snapshot.shard_count),
+                ] {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
                 for v in [
@@ -763,11 +844,28 @@ impl Response {
                 // A pre-v3 server sends no version echo; read absence
                 // as "the peer negotiated 2".
                 let version = if r.remaining() > 0 { r.u16()? } else { 2 };
+                // The body is self-describing: the echoed revision says
+                // whether the cluster block follows.
+                let cluster = if version >= 4 {
+                    match r.u8()? {
+                        0 => None,
+                        1 => Some(ClusterIdentity {
+                            node_id: r.u64()?,
+                            shard_index: r.u16()?,
+                            shard_count: r.u16()?,
+                            epoch: r.u64()?,
+                        }),
+                        _ => return Err(ServeError::BadFrame("bad cluster presence byte")),
+                    }
+                } else {
+                    None
+                };
                 Response::Hello {
                     workers,
                     queue_capacity,
                     max_batch,
                     version,
+                    cluster,
                 }
             }
             t if t == ResponseTag::KeysLoaded as u8 => Response::KeysLoaded { key_id: r.u64()? },
@@ -794,10 +892,10 @@ impl Response {
                 Response::HmvpDone { len, packed }
             }
             t if t == ResponseTag::Pong as u8 => Response::Pong {
-                stats: read_stats_block(&mut r)?,
+                stats: read_stats_block(&mut r)?.0,
             },
             t if t == ResponseTag::IntrospectReport as u8 => {
-                let stats = read_stats_block(&mut r)?;
+                let (stats, extras) = read_stats_block(&mut r)?;
                 let queue_depth = r.u32()?;
                 let queue_capacity = r.u32()?;
                 let workers = r.u32()?;
@@ -838,6 +936,11 @@ impl Response {
                         pool_steals,
                         flight_traces,
                         flight_dropped,
+                        // Node identity rides the appended counters; a
+                        // pre-v4 report has none and reads standalone.
+                        node_id: extras.first().copied().unwrap_or(0),
+                        shard_index: extras.get(1).map_or(0, |&v| v as u32),
+                        shard_count: extras.get(2).map_or(0, |&v| v as u32),
                         phases,
                     },
                 }
@@ -856,9 +959,10 @@ impl Response {
 }
 
 /// Parses the `[count u8][u64 × count]` stats block `Pong` and
-/// `IntrospectReport` share. Counters appended by a newer peer are
-/// skipped; fewer than [`PONG_FIELDS`] is malformed.
-fn read_stats_block(r: &mut Reader<'_>) -> Result<StatsSnapshot> {
+/// `IntrospectReport` share. Counters appended by a newer peer come
+/// back in the extras vector (callers that predate them ignore it);
+/// fewer than [`PONG_FIELDS`] is malformed.
+fn read_stats_block(r: &mut Reader<'_>) -> Result<(StatsSnapshot, Vec<u64>)> {
     let count = r.u8()? as usize;
     if count < PONG_FIELDS {
         return Err(ServeError::BadFrame("stats snapshot too short"));
@@ -867,22 +971,26 @@ fn read_stats_block(r: &mut Reader<'_>) -> Result<StatsSnapshot> {
     for slot in &mut fields {
         *slot = r.u64()?;
     }
+    let mut extras = Vec::with_capacity(count - PONG_FIELDS);
     for _ in PONG_FIELDS..count {
-        let _ = r.u64()?;
+        extras.push(r.u64()?);
     }
-    Ok(StatsSnapshot {
-        accepted: fields[0],
-        rejected_busy: fields[1],
-        timed_out: fields[2],
-        completed: fields[3],
-        failed: fields[4],
-        batches: fields[5],
-        batch_requests: fields[6],
-        peak_queue_depth: fields[7],
-        internal_errors: fields[8],
-        rejected_shutdown: fields[9],
-        faults_injected: fields[10],
-    })
+    Ok((
+        StatsSnapshot {
+            accepted: fields[0],
+            rejected_busy: fields[1],
+            timed_out: fields[2],
+            completed: fields[3],
+            failed: fields[4],
+            batches: fields[5],
+            batch_requests: fields[6],
+            peak_queue_depth: fields[7],
+            internal_errors: fields[8],
+            rejected_shutdown: fields[9],
+            faults_injected: fields[10],
+        },
+        extras,
+    ))
 }
 
 /// Serializes an `Error` frame body.
@@ -1114,6 +1222,19 @@ mod tests {
                 queue_capacity: 64,
                 max_batch: 8,
                 version: 3,
+                cluster: None,
+            },
+            Response::Hello {
+                workers: 4,
+                queue_capacity: 64,
+                max_batch: 8,
+                version: 4,
+                cluster: Some(ClusterIdentity {
+                    node_id: 0xA11CE,
+                    shard_index: 1,
+                    shard_count: 3,
+                    epoch: 7,
+                }),
             },
             Response::KeysLoaded { key_id: 0xDEAD },
             Response::MatrixLoaded {
@@ -1163,6 +1284,9 @@ mod tests {
                     pool_steals: 12,
                     flight_traces: 9,
                     flight_dropped: 1,
+                    node_id: 0xC0FFEE,
+                    shard_index: 2,
+                    shard_count: 3,
                     phases,
                 },
             },
@@ -1180,14 +1304,16 @@ mod tests {
                         queue_capacity: b,
                         max_batch: c,
                         version: v,
+                        cluster: cl,
                     },
                     Response::Hello {
                         workers: x,
                         queue_capacity: y,
                         max_batch: z,
                         version: w,
+                        cluster: cm,
                     },
-                ) => assert_eq!((a, b, c, v), (x, y, z, w)),
+                ) => assert_eq!((a, b, c, v, cl), (x, y, z, w, cm)),
                 (Response::KeysLoaded { key_id: a }, Response::KeysLoaded { key_id: b }) => {
                     assert_eq!(a, b);
                 }
@@ -1242,12 +1368,14 @@ mod tests {
             queue_capacity: 2,
             max_batch: 3,
             version: 2,
+            cluster: None,
         };
         let v3 = Response::Hello {
             workers: 1,
             queue_capacity: 2,
             max_batch: 3,
             version: 3,
+            cluster: None,
         };
         let v2_bytes = v2.to_bytes();
         let v3_bytes = v3.to_bytes();
@@ -1263,6 +1391,69 @@ mod tests {
         }
         // A torn version echo (one trailing byte) is malformed.
         assert!(Response::from_bytes(&v3_bytes[..v3_bytes.len() - 1], &p).is_err());
+    }
+
+    #[test]
+    fn hello_response_cluster_block_shapes() {
+        let p = params();
+        let id = ClusterIdentity {
+            node_id: 42,
+            shard_index: 2,
+            shard_count: 3,
+            epoch: 5,
+        };
+        // A negotiated-v3 response drops the cluster block even when the
+        // server is shard-configured — v3 peers parse their exact shape.
+        let v3_clustered = Response::Hello {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 3,
+            version: 3,
+            cluster: Some(id),
+        };
+        match Response::from_bytes(&v3_clustered.to_bytes(), &p).unwrap() {
+            Response::Hello {
+                version, cluster, ..
+            } => {
+                assert_eq!(version, 3);
+                assert_eq!(cluster, None);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A v4 standalone response carries an explicit "absent" byte...
+        let v4_alone = Response::Hello {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 3,
+            version: 4,
+            cluster: None,
+        };
+        let alone_bytes = v4_alone.to_bytes();
+        // One extra byte on the wire: the "no cluster block" marker.
+        assert_eq!(alone_bytes.len(), v3_clustered.to_bytes().len() + 1);
+        match Response::from_bytes(&alone_bytes, &p).unwrap() {
+            Response::Hello { cluster, .. } => assert_eq!(cluster, None),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // ...and a clustered v4 response round-trips the identity.
+        let v4 = Response::Hello {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch: 3,
+            version: 4,
+            cluster: Some(id),
+        };
+        let v4_bytes = v4.to_bytes();
+        match Response::from_bytes(&v4_bytes, &p).unwrap() {
+            Response::Hello { cluster, .. } => assert_eq!(cluster, Some(id)),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Torn identity fields and garbage presence bytes are malformed.
+        assert!(Response::from_bytes(&v4_bytes[..v4_bytes.len() - 1], &p).is_err());
+        let mut bad = alone_bytes;
+        let last = bad.len() - 1;
+        bad[last] = 9;
+        assert!(Response::from_bytes(&bad, &p).is_err());
     }
 
     #[test]
@@ -1303,6 +1494,27 @@ mod tests {
         assert!(matches!(
             wire_to_error(code, msg),
             ServeError::UnknownMatrix(7)
+        ));
+        // WrongShard reconstructs its typed fields from the canonical
+        // "epoch=E shard=I/N" message...
+        let (code, msg) = error_to_wire(&ServeError::WrongShard {
+            epoch: 12,
+            shard_index: 1,
+            shard_count: 3,
+        });
+        assert_eq!(code, ErrorCode::WrongShard);
+        assert_eq!(msg, "epoch=12 shard=1/3");
+        assert!(matches!(
+            wire_to_error(code, msg),
+            ServeError::WrongShard {
+                epoch: 12,
+                shard_index: 1,
+                shard_count: 3,
+            }
+        ));
+        assert!(matches!(
+            wire_to_error(ErrorCode::WrongShard, "garbled".into()),
+            ServeError::Remote { .. }
         ));
         // ...and fall back to Remote for anything else.
         assert!(matches!(

@@ -1,14 +1,16 @@
 //! A resilient wrapper around [`ServeClient`]: bounded retry with
 //! deterministic jittered backoff, reconnect-and-re-handshake on
-//! transport faults, and automatic re-upload of evicted key/matrix
-//! material.
+//! transport faults, automatic re-upload of evicted key/matrix
+//! material, and replica failover across an endpoint pool.
 //!
 //! The design splits failure handling by *what the error proves*:
 //!
 //! * **Transport faults** ([`ServeError::Io`], client-side
 //!   [`ServeError::BadFrame`], remote `BadFrame`) prove the stream can no
-//!   longer be trusted — the connection is dropped and the next attempt
-//!   reconnects and re-runs the hello handshake.
+//!   longer be trusted — the connection is dropped, the endpoint it was
+//!   connected to is quarantined for a cooldown, and the next attempt
+//!   connects to the next live endpoint (the same one, after cooldown,
+//!   when the pool holds only one).
 //! * **Backpressure** ([`ServeError::Busy`]) and server-side failures
 //!   ([`ServeError::Internal`], e.g. a caught worker panic) prove nothing
 //!   about the request — it is retried on the live connection after
@@ -16,11 +18,18 @@
 //! * **Evictions** ([`ServeError::UnknownKey`], [`ServeError::UnknownMatrix`])
 //!   are recovered by re-uploading the material this client previously
 //!   loaded. Ids are content hashes, so the re-upload is idempotent and
-//!   lands on exactly the id the failed request referenced.
+//!   lands on exactly the id the failed request referenced — which is
+//!   also why failover to a replica that never saw our uploads works:
+//!   the eviction path replays them there.
+//! * **[`ServeError::Shutdown`]** is terminal on a single-endpoint
+//!   client (the server asked us to go away), but with more than one
+//!   endpoint it is a failover signal: quarantine the draining server
+//!   and carry on at the next replica.
 //! * **Semantic errors** ([`ServeError::Incompatible`], [`ServeError::He`],
-//!   [`ServeError::TimedOut`], [`ServeError::Shutdown`]) would fail
-//!   identically on retry (or the server asked us to go away) — they
-//!   surface immediately.
+//!   [`ServeError::TimedOut`], [`ServeError::WrongShard`]) would fail
+//!   identically on retry — they surface immediately. `WrongShard` in
+//!   particular must reach the caller: only the cluster-level client can
+//!   refresh the topology map; blind retry would loop forever.
 //!
 //! Backoff doubles from [`RetryPolicy::base_backoff`] up to
 //! [`RetryPolicy::max_backoff`], scaled by a jitter factor in
@@ -82,6 +91,192 @@ fn backoff_for(policy: &RetryPolicy, rng: &mut SplitMix64, attempt: u32) -> Dura
     capped.mul_f64(0.5 + 0.5 * rng.next_f64())
 }
 
+/// How long a failed endpoint sits out of rotation before it is dialed
+/// again. Long enough that a dead replica is not hot-looped on every
+/// reconnect, short enough that a restarted one rejoins promptly.
+const DEFAULT_QUARANTINE: Duration = Duration::from_millis(500);
+
+/// One address in a fixed endpoint pool, with its quarantine state.
+struct FixedEndpoint {
+    addr: String,
+    quarantined_until: Option<Instant>,
+}
+
+enum EndpointsKind {
+    /// A known list of interchangeable endpoints (replicas of one
+    /// shard, or a single server). Dead entries are quarantined for a
+    /// cooldown and skipped while any live entry remains.
+    Fixed {
+        list: Vec<FixedEndpoint>,
+        cursor: usize,
+        cooldown: Duration,
+    },
+    /// Caller-supplied resolution: invoked with a monotonically
+    /// increasing attempt counter on every (re)connect, so DNS-style
+    /// re-resolution and custom rotation schemes share the retry loop
+    /// instead of reimplementing it.
+    Provider {
+        provide: Box<dyn FnMut(u64) -> String + Send>,
+        calls: u64,
+        current: Option<String>,
+    },
+}
+
+/// Where a [`RetryClient`] connects. Built from a single address (the
+/// common case — `From<&str>`/`From<String>`), a replica list
+/// (`From<Vec<String>>` / [`Endpoints::fixed`]), or a provider closure
+/// ([`Endpoints::provider`]).
+pub struct Endpoints {
+    kind: EndpointsKind,
+}
+
+impl Endpoints {
+    /// A fixed pool of interchangeable addresses, tried in order with
+    /// per-endpoint quarantine on failure.
+    pub fn fixed<I, S>(addrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            kind: EndpointsKind::Fixed {
+                list: addrs
+                    .into_iter()
+                    .map(|a| FixedEndpoint {
+                        addr: a.into(),
+                        quarantined_until: None,
+                    })
+                    .collect(),
+                cursor: 0,
+                cooldown: DEFAULT_QUARANTINE,
+            },
+        }
+    }
+
+    /// Endpoint resolution via a closure called with the number of
+    /// prior calls (0 on the first connect).
+    pub fn provider(provide: impl FnMut(u64) -> String + Send + 'static) -> Self {
+        Self {
+            kind: EndpointsKind::Provider {
+                provide: Box::new(provide),
+                calls: 0,
+                current: None,
+            },
+        }
+    }
+
+    /// Overrides the quarantine cooldown of a fixed pool (no effect on
+    /// provider endpoints — the closure owns rotation policy there).
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
+        if let EndpointsKind::Fixed { cooldown: c, .. } = &mut self.kind {
+            *c = cooldown;
+        }
+        self
+    }
+
+    /// Whether failover can reach a *different* endpoint — the condition
+    /// under which `Shutdown` is worth absorbing instead of surfacing.
+    fn multi(&self) -> bool {
+        match &self.kind {
+            EndpointsKind::Fixed { list, .. } => list.len() > 1,
+            EndpointsKind::Provider { .. } => true,
+        }
+    }
+
+    /// The address the next connect should dial.
+    ///
+    /// Fixed pools return the cursor's endpoint, skipping quarantined
+    /// entries while any live one remains; with everything quarantined
+    /// the earliest-expiring entry is returned (the pool never refuses —
+    /// the retry policy, not the pool, decides when to give up).
+    fn current(&mut self) -> Result<String> {
+        match &mut self.kind {
+            EndpointsKind::Fixed {
+                list,
+                cursor,
+                cooldown: _,
+            } => {
+                if list.is_empty() {
+                    return Err(ServeError::Io(std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "endpoint pool is empty",
+                    )));
+                }
+                let now = Instant::now();
+                for off in 0..list.len() {
+                    let i = (*cursor + off) % list.len();
+                    if list[i].quarantined_until.is_none_or(|t| t <= now) {
+                        *cursor = i;
+                        return Ok(list[i].addr.clone());
+                    }
+                }
+                let i = (0..list.len())
+                    .min_by_key(|&i| list[i].quarantined_until)
+                    .expect("non-empty list");
+                *cursor = i;
+                Ok(list[i].addr.clone())
+            }
+            EndpointsKind::Provider {
+                provide,
+                calls,
+                current,
+            } => {
+                if current.is_none() {
+                    let addr = provide(*calls);
+                    *calls += 1;
+                    *current = Some(addr);
+                }
+                Ok(current.clone().expect("just provided"))
+            }
+        }
+    }
+
+    /// Marks the current endpoint failed: fixed pools quarantine it for
+    /// the cooldown and advance the cursor; provider endpoints drop the
+    /// cached address so the closure resolves afresh. Returns whether
+    /// the next [`Self::current`] can name a different endpoint (i.e.
+    /// whether this counts as a failover).
+    fn fail_current(&mut self) -> bool {
+        match &mut self.kind {
+            EndpointsKind::Fixed {
+                list,
+                cursor,
+                cooldown,
+            } => {
+                if list.is_empty() {
+                    return false;
+                }
+                list[*cursor].quarantined_until = Some(Instant::now() + *cooldown);
+                *cursor = (*cursor + 1) % list.len();
+                list.len() > 1
+            }
+            EndpointsKind::Provider { current, .. } => {
+                *current = None;
+                true
+            }
+        }
+    }
+}
+
+impl From<String> for Endpoints {
+    fn from(addr: String) -> Self {
+        Self::fixed([addr])
+    }
+}
+
+impl From<&str> for Endpoints {
+    fn from(addr: &str) -> Self {
+        Self::fixed([addr])
+    }
+}
+
+impl From<Vec<String>> for Endpoints {
+    fn from(addrs: Vec<String>) -> Self {
+        Self::fixed(addrs)
+    }
+}
+
 /// Counters describing what a [`RetryClient`] had to do so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RetryStatsSnapshot {
@@ -95,20 +290,25 @@ pub struct RetryStatsSnapshot {
     /// client-side measure of faults *recovered from*, as opposed to the
     /// server's count of faults injected.
     pub faults_recovered: u64,
+    /// Endpoint switches: times a failure moved this client off its
+    /// current endpoint toward a different one.
+    pub failovers: u64,
 }
 
 /// A [`ServeClient`] that survives transient failures.
 ///
 /// Stores every key set and matrix it uploads, so it can replay them
-/// after a server-side eviction. The memory cost mirrors what the caller
-/// already holds (the material had to exist to be uploaded); callers that
-/// cannot afford it should use [`ServeClient`] and recover manually.
+/// after a server-side eviction — or onto a failover replica that never
+/// saw them. The memory cost mirrors what the caller already holds (the
+/// material had to exist to be uploaded); callers that cannot afford it
+/// should use [`ServeClient`] and recover manually.
 pub struct RetryClient {
-    addr: String,
+    endpoints: Endpoints,
     params: Arc<ChamParams>,
     config: ClientConfig,
     policy: RetryPolicy,
     client: Option<ServeClient>,
+    connected_addr: Option<String>,
     ever_connected: bool,
     key_uploads: HashMap<u64, Vec<u8>>,
     matrix_uploads: HashMap<u64, Matrix>,
@@ -120,17 +320,18 @@ impl RetryClient {
     /// Builds an unconnected client; the first operation connects.
     #[must_use]
     pub fn new(
-        addr: impl Into<String>,
+        endpoints: impl Into<Endpoints>,
         params: Arc<ChamParams>,
         config: ClientConfig,
         policy: RetryPolicy,
     ) -> Self {
         Self {
-            addr: addr.into(),
+            endpoints: endpoints.into(),
             params,
             config,
             policy,
             client: None,
+            connected_addr: None,
             ever_connected: false,
             key_uploads: HashMap::new(),
             matrix_uploads: HashMap::new(),
@@ -144,9 +345,9 @@ impl RetryClient {
     ///
     /// # Errors
     /// The last error once the policy's attempts/budget are exhausted.
-    pub fn connect(addr: impl Into<String>, params: Arc<ChamParams>) -> Result<Self> {
+    pub fn connect(endpoints: impl Into<Endpoints>, params: Arc<ChamParams>) -> Result<Self> {
         Self::connect_with(
-            addr,
+            endpoints,
             params,
             ClientConfig::default(),
             RetryPolicy::default(),
@@ -159,12 +360,12 @@ impl RetryClient {
     /// # Errors
     /// The last error once the policy's attempts/budget are exhausted.
     pub fn connect_with(
-        addr: impl Into<String>,
+        endpoints: impl Into<Endpoints>,
         params: Arc<ChamParams>,
         config: ClientConfig,
         policy: RetryPolicy,
     ) -> Result<Self> {
-        let mut client = Self::new(addr, params, config, policy);
+        let mut client = Self::new(endpoints, params, config, policy);
         client.run(|_| Ok(()))?;
         Ok(client)
     }
@@ -175,11 +376,36 @@ impl RetryClient {
         self.stats
     }
 
+    /// The address of the live connection, if any — which replica is
+    /// actually serving this client right now.
+    #[must_use]
+    pub fn endpoint(&self) -> Option<&str> {
+        if self.client.is_some() {
+            self.connected_addr.as_deref()
+        } else {
+            None
+        }
+    }
+
     /// The serving shape from the most recent hello exchange, if any
     /// connection is currently live.
     #[must_use]
     pub fn server_info(&self) -> Option<ServerInfo> {
         self.client.as_ref().map(ServeClient::server_info)
+    }
+
+    /// Seeds the eviction-replay store with key bytes uploaded through
+    /// some *other* client (e.g. a cluster client that broadcast them),
+    /// so a failover or eviction on this connection can replay them.
+    pub fn remember_keys_bytes(&mut self, id: u64, bytes: Vec<u8>) {
+        self.key_uploads.insert(id, bytes);
+    }
+
+    /// Seeds the eviction-replay store with a matrix uploaded through
+    /// some other client. Content-addressed: `id` must be the hash the
+    /// server reported for it.
+    pub fn remember_matrix(&mut self, id: u64, matrix: Matrix) {
+        self.matrix_uploads.insert(id, matrix);
     }
 
     /// Health check with retry; returns the server's counter snapshot.
@@ -239,7 +465,8 @@ impl RetryClient {
     }
 
     /// Runs one HMVP with full recovery: backoff on `Busy`, reconnect on
-    /// transport faults, re-upload on eviction, retry on `Internal`.
+    /// transport faults, re-upload on eviction, retry on `Internal`,
+    /// failover on `Shutdown` when the pool holds replicas.
     /// `deadline` is the *server-side* queue deadline per attempt;
     /// [`RetryPolicy::total_deadline`] bounds the whole operation.
     ///
@@ -302,16 +529,23 @@ impl RetryClient {
             // Backpressure / transient server failure: same connection,
             // just wait and go again.
             ServeError::Busy | ServeError::Internal(_) => true,
-            // The stream is dead or desynced: reconnect next attempt.
+            // The stream is dead or desynced: quarantine the endpoint it
+            // led to and reconnect (elsewhere, if the pool has options).
+            // A connect-phase failure already failed its endpoint inside
+            // `ensure_connected` — no live client means nothing to do.
             ServeError::Io(_) | ServeError::BadFrame(_) => {
-                self.client = None;
+                if self.client.is_some() {
+                    self.fail_over();
+                }
                 true
             }
             ServeError::Remote {
                 code: ErrorCode::BadFrame,
                 ..
             } => {
-                self.client = None;
+                if self.client.is_some() {
+                    self.fail_over();
+                }
                 true
             }
             // Eviction: replay the uploaded material (content-addressed,
@@ -324,24 +558,56 @@ impl RetryClient {
                 self.reupload_matrix(*id);
                 true
             }
-            // Version/parameter mismatch, HE failure, expired deadline,
-            // server going away: retrying proves nothing.
+            // A draining server is terminal for a single endpoint but a
+            // failover signal when replicas exist (the single-endpoint
+            // case falls through to the non-retryable catch-all).
+            ServeError::Shutdown if self.endpoints.multi() => {
+                self.fail_over();
+                true
+            }
+            // Misrouting is the *cluster* client's problem: it must
+            // refresh its topology map. Retrying here would hammer the
+            // same wrong shard forever.
+            ServeError::WrongShard { .. } => false,
+            // Version/parameter mismatch, HE failure, expired deadline:
+            // retrying proves nothing.
             _ => false,
+        }
+    }
+
+    /// Drops the connection and rotates the endpoint pool off its
+    /// current entry, counting a failover when a different endpoint is
+    /// reachable.
+    fn fail_over(&mut self) {
+        self.client = None;
+        self.connected_addr = None;
+        if self.endpoints.fail_current() {
+            self.stats.failovers += 1;
         }
     }
 
     fn ensure_connected(&mut self) -> Result<&mut ServeClient> {
         if self.client.is_none() {
-            let client = ServeClient::connect_with(
-                self.addr.as_str(),
-                Arc::clone(&self.params),
-                &self.config,
-            )?;
-            if self.ever_connected {
-                self.stats.reconnects += 1;
+            let addr = self.endpoints.current()?;
+            match ServeClient::connect_with(addr.as_str(), Arc::clone(&self.params), &self.config) {
+                Ok(client) => {
+                    if self.ever_connected {
+                        self.stats.reconnects += 1;
+                    }
+                    self.ever_connected = true;
+                    self.connected_addr = Some(addr);
+                    self.client = Some(client);
+                }
+                Err(e) => {
+                    // The endpoint refused or timed out — quarantine it
+                    // so the next attempt dials the next replica instead
+                    // of hot-looping a dead address.
+                    if self.endpoints.fail_current() {
+                        self.stats.failovers += 1;
+                    }
+                    return Err(e);
+                }
             }
-            self.ever_connected = true;
-            self.client = Some(client);
         }
         Ok(self.client.as_mut().expect("connection just ensured"))
     }
@@ -449,12 +715,73 @@ mod tests {
         }));
         // Non-retryable:
         assert!(!client.recover(&ServeError::TimedOut));
-        assert!(!client.recover(&ServeError::Shutdown));
         assert!(!client.recover(&ServeError::Incompatible("version")));
         assert!(!client.recover(&ServeError::He(cham_he::HeError::NoiseBudgetExhausted)));
         assert!(!client.recover(&ServeError::Remote {
             code: ErrorCode::Incompatible,
             message: "prime chain".into(),
         }));
+        // Misrouting must surface to the cluster layer, never retry.
+        assert!(!client.recover(&ServeError::WrongShard {
+            epoch: 1,
+            shard_index: 0,
+            shard_count: 3,
+        }));
+        // Shutdown is terminal with one endpoint...
+        assert!(!client.recover(&ServeError::Shutdown));
+        // ...and a failover signal with several.
+        let params = Arc::new(cham_he::params::ChamParams::insecure_test_default().unwrap());
+        let mut pooled = RetryClient::new(
+            vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()],
+            params,
+            ClientConfig::default(),
+            RetryPolicy::default(),
+        );
+        assert!(pooled.recover(&ServeError::Shutdown));
+        assert_eq!(pooled.stats().failovers, 1);
+    }
+
+    #[test]
+    fn fixed_pool_quarantines_and_rotates() {
+        let mut eps =
+            Endpoints::fixed(["a:1", "b:2", "c:3"]).with_cooldown(Duration::from_millis(40));
+        assert!(eps.multi());
+        assert_eq!(eps.current().unwrap(), "a:1");
+        // Repeated calls without failure stay put.
+        assert_eq!(eps.current().unwrap(), "a:1");
+        // Failing the current endpoint advances past it...
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "b:2");
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "c:3");
+        // ...and with every endpoint quarantined the earliest-expiring
+        // one is still offered (the pool never refuses).
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "a:1");
+        // After the cooldown the first endpoint is live again.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(eps.current().unwrap(), "a:1");
+    }
+
+    #[test]
+    fn provider_endpoints_resolve_per_failure() {
+        let mut eps = Endpoints::provider(|n| format!("node-{n}:9"));
+        assert!(eps.multi());
+        // Stable until a failure...
+        assert_eq!(eps.current().unwrap(), "node-0:9");
+        assert_eq!(eps.current().unwrap(), "node-0:9");
+        // ...then re-resolved with the bumped counter.
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "node-1:9");
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "node-2:9");
+    }
+
+    #[test]
+    fn empty_fixed_pool_is_a_typed_error() {
+        let mut eps = Endpoints::fixed(Vec::<String>::new());
+        assert!(!eps.multi());
+        assert!(matches!(eps.current(), Err(ServeError::Io(_))));
+        assert!(!eps.fail_current());
     }
 }

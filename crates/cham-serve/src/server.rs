@@ -23,10 +23,11 @@
 //! fault (torn write, reset) — those surface client-side as I/O errors,
 //! which [`crate::retry::RetryClient`] treats as reconnect-and-retry.
 
-use crate::cache::SessionCache;
+use crate::cache::{content_hash, SessionCache};
 use crate::faults::{Fault, FaultInjector};
 use crate::protocol::{self, FrameKind, Hello, Response};
 use crate::scheduler::{HmvpJob, Scheduler};
+use crate::shard::{ClusterIdentity, ShardSpec};
 use crate::stats::{IntrospectSnapshot, PhaseHistograms, ServeStats, StatsSnapshot};
 use crate::worker::{WorkerContext, WorkerPool};
 use crate::{Result, ServeError};
@@ -75,6 +76,16 @@ pub struct ServerConfig {
     /// a caught worker panic and at shutdown (on-demand dumps go over
     /// the wire via the `FlightDump` op regardless).
     pub flight_dump_path: Option<PathBuf>,
+    /// Cluster membership (`None` = standalone). A shard-configured
+    /// server enforces ring ownership: `LoadMatrix`/`Hmvp` requests
+    /// whose content hash it does not own are answered with a typed
+    /// [`ServeError::WrongShard`] carrying the ring epoch, so stale
+    /// clients refresh their topology instead of retrying blindly.
+    /// Galois key uploads are exempt — every shard needs the keys.
+    pub shard: Option<ShardSpec>,
+    /// Operator-assigned node id surfaced in hello responses and
+    /// introspection (`0` = unset).
+    pub node_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +102,8 @@ impl Default for ServerConfig {
             faults: None,
             flight_capacity: 64,
             flight_dump_path: None,
+            shard: None,
+            node_id: 0,
         }
     }
 }
@@ -127,7 +140,41 @@ impl ServerShared {
             pool_steals: pool.as_ref().map_or(0, |p| p.steals),
             flight_traces: flight_traces as u32,
             flight_dropped,
+            node_id: self.config.node_id,
+            shard_index: self
+                .config
+                .shard
+                .as_ref()
+                .map_or(0, |s| u32::from(s.shard_index)),
+            shard_count: self
+                .config
+                .shard
+                .as_ref()
+                .map_or(0, |s| u32::from(s.ring.nodes())),
             phases: self.phases.snapshot(),
+        }
+    }
+
+    /// The identity block a v4 hello response advertises (`None` when
+    /// this server is standalone).
+    fn cluster_identity(&self) -> Option<ClusterIdentity> {
+        self.config.shard.as_ref().map(|s| ClusterIdentity {
+            node_id: self.config.node_id,
+            shard_index: s.shard_index,
+            shard_count: s.ring.nodes(),
+            epoch: s.epoch,
+        })
+    }
+
+    /// Rejects a content hash this shard does not own.
+    fn check_owned(&self, id: u64) -> Result<()> {
+        match &self.config.shard {
+            Some(s) if !s.ring.owns(id, s.shard_index) => Err(ServeError::WrongShard {
+                epoch: s.epoch,
+                shard_index: s.shard_index,
+                shard_count: s.ring.nodes(),
+            }),
+            _ => Ok(()),
         }
     }
 }
@@ -569,6 +616,8 @@ fn handle_frame(
                 queue_capacity: scheduler.capacity() as u32,
                 max_batch: scheduler.max_batch() as u32,
                 version: negotiated,
+                // Serialized only when the negotiated revision is ≥ 4.
+                cluster: shared.cluster_identity(),
             }))
         }
         FrameKind::Ping => {
@@ -600,6 +649,11 @@ fn handle_frame(
             Ok(FrameOutcome::plain(Response::KeysLoaded { key_id }))
         }
         FrameKind::LoadMatrix => {
+            // Ownership is enforced before the (expensive) NTT encode:
+            // a misrouted upload costs the cluster nothing but the
+            // frame, and the typed reply tells the client which map
+            // revision to refresh against.
+            shared.check_owned(content_hash(body))?;
             let matrix = protocol::matrix_from_bytes(body, cache.params())?;
             let matrix_id = cache.put_matrix(body, &matrix)?;
             Ok(FrameOutcome::plain(Response::MatrixLoaded {
@@ -610,6 +664,7 @@ fn handle_frame(
         }
         FrameKind::Hmvp => {
             let req = protocol::hmvp_request_from_bytes(body, cache.params(), *version)?;
+            shared.check_owned(req.matrix_id)?;
             // A client-stamped id continues the client's trace; an unset
             // or v2 request gets a server-side id so every request shows
             // up in the flight recorder either way.

@@ -306,6 +306,14 @@ pub struct IntrospectSnapshot {
     pub flight_traces: u32,
     /// Request traces evicted from the flight recorder ring so far.
     pub flight_dropped: u64,
+    /// Operator-assigned node id (`0` = unset) — distinguishes a fleet
+    /// of `cham-serve-top` reports (protocol v4, additive).
+    pub node_id: u64,
+    /// The ring slot this server serves (`0` when standalone — check
+    /// `shard_count` to tell the difference).
+    pub shard_index: u32,
+    /// Total ring slots in the server's cluster (`0` = standalone).
+    pub shard_count: u32,
     /// Per-phase latency summaries (phases with at least one sample).
     pub phases: Vec<PhaseStat>,
 }
@@ -365,6 +373,11 @@ impl IntrospectSnapshot {
             ("pool_steals".into(), self.pool_steals.into()),
             ("flight_traces".into(), u64::from(self.flight_traces).into()),
             ("flight_dropped".into(), self.flight_dropped.into()),
+            // Node identity (v4): additive keys — consumers of the v1
+            // schema that predate them keep parsing unchanged.
+            ("node_id".into(), self.node_id.into()),
+            ("shard_index".into(), u64::from(self.shard_index).into()),
+            ("shard_count".into(), u64::from(self.shard_count).into()),
             ("phases".into(), phases),
         ])
     }
@@ -500,6 +513,9 @@ mod tests {
         );
         assert!(snap.phase(phase::ENCODE).is_some());
         assert!(snap.phase(phase::DOT).is_none());
+        // Node identity renders additively (zeros on a standalone node).
+        assert_eq!(json.get("node_id").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(json.get("shard_count").and_then(JsonValue::as_u64), Some(0));
         // The rendered JSON parses back (round-trip through the parser).
         let text = json.to_string();
         assert!(JsonValue::parse(&text).is_ok());

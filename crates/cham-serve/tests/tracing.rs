@@ -279,6 +279,7 @@ fn v3_client_falls_back_to_strict_v2_server() {
                 queue_capacity: 8,
                 max_batch: 4,
                 version: MIN_PROTOCOL_VERSION,
+                cluster: None,
             };
             protocol::write_frame(&mut stream, FrameKind::Result, &resp.to_bytes()).unwrap();
             return offers;

@@ -12,6 +12,9 @@
 #                       dot_phase_unfused_seconds (lower is better)
 #   serve_throughput -> served_seconds, latency_p99_ns (lower is better),
 #                       speedup (higher is better)
+#   serve_cluster    -> latency_p99_ns (lower is better),
+#                       goodput_rps (higher is better); failed_requests
+#                       gates at exactly zero regardless of tolerance
 # Metrics missing from either file are skipped (so a pre-ablation baseline
 # still guards the metrics it has — new observability fields like
 # latency_p50/p99/p999_ns and the phase_ns.* map never fail on their first
@@ -47,6 +50,10 @@ GUARDS = {
         "served_seconds": "lower",
         "latency_p99_ns": "lower",
         "speedup": "higher",
+    },
+    "serve_cluster": {
+        "latency_p99_ns": "lower",
+        "goodput_rps": "higher",
     },
 }
 
@@ -92,6 +99,20 @@ for metric, direction in guards.items():
         f"({'+' if change >= 0 else ''}{change * 100:.1f}%, {direction} is better)"
     )
     if change < -tolerance:
+        failures.append(metric)
+
+# Correctness gates: some records carry counters that must be exactly
+# zero — a single lost request is a resilience bug, not a 10% regression.
+ZERO_GATES = {"serve_cluster": ["failed_requests"]}
+for metric in ZERO_GATES.get(name, []):
+    c = cur.get("metrics", {}).get(metric)
+    if not isinstance(c, (int, float)):
+        print(f"  skip  {metric}: missing from current")
+        continue
+    checked += 1
+    status = "ok" if c == 0 else "FAIL"
+    print(f"  {status:>4}  {metric}: {c:.6g} (must be exactly 0)")
+    if c != 0:
         failures.append(metric)
 
 if checked == 0:
