@@ -94,6 +94,11 @@ pub struct ClusterStatsSnapshot {
     pub faults_recovered: u64,
     /// Replica failovers (endpoint switches) across all routes.
     pub failovers: u64,
+    /// Matrix chunks actually sent over streamed (protocol v5) uploads.
+    pub chunks_sent: u64,
+    /// Chunks skipped because the server already held them — the
+    /// resumable-re-upload savings across retries and failovers.
+    pub chunks_skipped: u64,
     /// Topology refreshes triggered by `WrongShard` answers (or called
     /// explicitly).
     pub refreshes: u64,
@@ -184,6 +189,8 @@ impl ClusterClient {
             s.reuploads += r.reuploads;
             s.faults_recovered += r.faults_recovered;
             s.failovers += r.failovers;
+            s.chunks_sent += r.chunks_sent;
+            s.chunks_skipped += r.chunks_skipped;
         }
         s.refreshes = self.refreshes;
         s.per_node_requests = self.per_node_requests.clone();
@@ -258,7 +265,9 @@ impl ClusterClient {
     /// rounded up to a multiple of the ring dimension `N`, so each
     /// band's packed outputs are bit-identical to the corresponding
     /// single-node slice — and uploads each band to its own replica
-    /// set.
+    /// set. On protocol-v5 connections each band uploads as streamed,
+    /// resumable chunks (see `cham_serve::ServeClient::load_matrix_streamed`),
+    /// so a mid-band disconnect re-sends only the missing pieces.
     ///
     /// # Errors
     /// Any band upload failing after retry/failover.
@@ -579,6 +588,8 @@ impl ClusterClient {
             self.retired.reuploads += s.reuploads;
             self.retired.faults_recovered += s.faults_recovered;
             self.retired.failovers += s.failovers;
+            self.retired.chunks_sent += s.chunks_sent;
+            self.retired.chunks_skipped += s.chunks_skipped;
         }
     }
 }

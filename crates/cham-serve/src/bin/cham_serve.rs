@@ -6,7 +6,14 @@
 //!            [--batch-threads N] [--key-cache N] [--matrix-cache N]
 //!            [--max-frame BYTES] [--faults SPEC] [--stats-every SECS]
 //!            [--flight N] [--flight-dump PATH]
+//!            [--store-dir PATH] [--store-cap-bytes N]
 //! ```
+//!
+//! `--store-dir` arms the persistent data plane: encoded matrices spill
+//! to a crash-safe segment store there, and a restart against the same
+//! directory comes back warm (no re-encode). `--store-cap-bytes` bounds
+//! the store's on-disk footprint (LRU-evicted past it; default
+//! unbounded).
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that line),
 //! then serves until the process is killed. With `--stats-every` it also
@@ -109,6 +116,10 @@ fn parse_args() -> Result<Args, String> {
             "--flight-dump" => {
                 args.config.flight_dump_path = Some(value("--flight-dump")?.into());
             }
+            "--store-dir" => args.config.store_dir = Some(value("--store-dir")?.into()),
+            "--store-cap-bytes" => {
+                args.config.store_cap_bytes = parse_num(&value("--store-cap-bytes")?)? as u64;
+            }
             "--cluster" => args.cluster = Some(parse_cluster_list(&value("--cluster")?)?),
             "--shard-index" => {
                 args.shard_index = Some(
@@ -138,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
                             [--key-cache N] [--matrix-cache N] [--max-frame BYTES] \
                             [--faults SPEC] [--stats-every SECS] \
                             [--flight N] [--flight-dump PATH] \
+                            [--store-dir PATH] [--store-cap-bytes N] \
                             [--cluster HOST:PORT,...] [--shard-index N] [--node-id N] \
                             [--vnodes N] [--replication N] [--epoch N]"
                         .into(),
@@ -251,6 +263,16 @@ fn main() -> ExitCode {
         }
     };
     println!("listening on {}", server.local_addr());
+    if let Some(store) = server.cache().store() {
+        let s = store.stats();
+        println!(
+            "store: dir={} segments={} bytes={} quarantined={}",
+            store.dir().display(),
+            s.segments,
+            s.bytes,
+            s.quarantined
+        );
+    }
     println!(
         "params={} workers={} queue={} max_batch={} batch_threads={}",
         args.params,

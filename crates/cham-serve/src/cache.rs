@@ -9,6 +9,7 @@
 //! used entry, so a long-running server cannot grow without limit.
 
 use crate::stats::PhaseHistograms;
+use crate::store::SegmentStore;
 use crate::{Result, ServeError};
 use cham_he::hmvp::{EncodedMatrix, Hmvp, Matrix};
 use cham_he::keys::GaloisKeys;
@@ -16,6 +17,7 @@ use cham_he::params::ChamParams;
 use cham_telemetry::counter_add;
 use cham_telemetry::flight::{FlightEventKind, FlightRecorder};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -105,6 +107,8 @@ pub struct SessionCache {
     matrices: Mutex<LruMap<EncodedMatrix>>,
     phases: Option<Arc<PhaseHistograms>>,
     flight: Option<Arc<FlightRecorder>>,
+    store: Option<Arc<SegmentStore>>,
+    store_restores: AtomicU64,
 }
 
 impl SessionCache {
@@ -119,6 +123,8 @@ impl SessionCache {
             matrices: Mutex::new(LruMap::new(matrix_capacity)),
             phases: None,
             flight: None,
+            store: None,
+            store_restores: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +141,81 @@ impl SessionCache {
         self.phases = phases;
         self.flight = flight;
         self
+    }
+
+    /// Attaches the persistent segment store as a spill/restore tier
+    /// under the matrix LRU: every freshly encoded matrix is snapshotted
+    /// to the store (crash-safely, best-effort), and a RAM miss restores
+    /// the NTT-form bytes from disk instead of re-encoding — which is
+    /// what makes a restarted server come back warm.
+    #[must_use]
+    pub fn with_store(mut self, store: Option<Arc<SegmentStore>>) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The attached persistent store, when configured.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<SegmentStore>> {
+        self.store.as_ref()
+    }
+
+    /// Matrices restored from the persistent store into the RAM LRU
+    /// without an NTT encode — the warm-restart savings, always-on (the
+    /// `cham_serve.store.restores` telemetry counter mirrors it).
+    #[must_use]
+    pub fn store_restores(&self) -> u64 {
+        self.store_restores.load(Ordering::Relaxed)
+    }
+
+    /// Tries to restore the encoded matrix `id` from the persistent
+    /// store into the RAM LRU. No NTT encode happens on this path — the
+    /// stored bytes are already in NTT form and deserialization is a
+    /// copy plus validation. A stored payload that fails to decode
+    /// against this cache's params is dropped from the store (it belongs
+    /// to some other parameter set) and reads as a miss.
+    fn restore_matrix(&self, id: u64) -> Option<Arc<EncodedMatrix>> {
+        let store = self.store.as_ref()?;
+        let bytes = store.get(id)?;
+        match cham_he::wire::encoded_matrix_from_bytes(&bytes, &self.params) {
+            Ok(encoded) => {
+                let encoded = Arc::new(encoded);
+                let evicted = self
+                    .matrices
+                    .lock()
+                    .expect("matrix cache poisoned")
+                    .insert(id, Arc::clone(&encoded));
+                self.store_restores.fetch_add(1, Ordering::Relaxed);
+                counter_add!("cham_serve.store.restores", 1);
+                if evicted {
+                    counter_add!("cham_serve.cache.matrix_evict", 1);
+                    self.on_evict("matrix (lru, store restore)".into());
+                }
+                Some(encoded)
+            }
+            Err(_) => {
+                store.remove(id);
+                counter_add!("cham_serve.store.decode_errors", 1);
+                None
+            }
+        }
+    }
+
+    /// Snapshots a freshly encoded matrix to the persistent store.
+    /// Best-effort: a spill failure (disk full, injected torn snapshot)
+    /// costs durability, not correctness — the RAM entry still serves.
+    fn spill_matrix(&self, id: u64, encoded: &EncodedMatrix) {
+        let Some(store) = self.store.as_ref() else {
+            return;
+        };
+        match cham_he::wire::encoded_matrix_to_bytes(encoded) {
+            Ok(bytes) => {
+                if store.put(id, &bytes).is_err() {
+                    counter_add!("cham_serve.store.spill_errors", 1);
+                }
+            }
+            Err(_) => counter_add!("cham_serve.store.spill_errors", 1),
+        }
     }
 
     fn on_evict(&self, detail: String) {
@@ -214,6 +295,12 @@ impl SessionCache {
                 return Ok(id);
             }
         }
+        // A warm store can satisfy a re-upload without any NTT work:
+        // the segment is keyed by the same content hash, so identical
+        // bytes restore the previously encoded form.
+        if self.restore_matrix(id).is_some() {
+            return Ok(id);
+        }
         // Encode outside the lock: this is seconds of NTT work at
         // production sizes and must not serialize unrelated lookups.
         let encode_started = Instant::now();
@@ -223,6 +310,7 @@ impl SessionCache {
                 u64::try_from(encode_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
             );
         }
+        self.spill_matrix(id, &encoded);
         let evicted = self
             .matrices
             .lock()
@@ -241,11 +329,12 @@ impl SessionCache {
     /// # Errors
     /// [`ServeError::UnknownMatrix`] when absent (or already evicted).
     pub fn get_matrix(&self, id: u64) -> Result<Arc<EncodedMatrix>> {
-        self.matrices
-            .lock()
-            .expect("matrix cache poisoned")
-            .get(id)
-            .ok_or(ServeError::UnknownMatrix(id))
+        if let Some(hit) = self.matrices.lock().expect("matrix cache poisoned").get(id) {
+            return Ok(hit);
+        }
+        // RAM miss: the persistent tier may still hold the encoding
+        // (server restart, or LRU pressure spilled it out from under us).
+        self.restore_matrix(id).ok_or(ServeError::UnknownMatrix(id))
     }
 
     /// Evicts a cached key set by id; returns whether it was present.

@@ -11,8 +11,10 @@
 //! (resets, torn writes, `Busy`, evictions), wrap the connection in a
 //! [`crate::retry::RetryClient`] instead of using this type directly.
 
+use crate::cache::content_hash;
 use crate::protocol::{
-    self, FrameKind, Hello, Response, DEADLINE_NONE, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    self, FrameKind, Hello, MatrixChunkStart, Response, DEADLINE_NONE, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 use crate::stats::{IntrospectSnapshot, StatsSnapshot};
 use crate::{Result, ServeError};
@@ -55,6 +57,20 @@ impl Default for ClientConfig {
             protocol_version: PROTOCOL_VERSION,
         }
     }
+}
+
+/// Outcome of one streamed matrix upload: the content id plus how many
+/// chunks actually crossed the wire. `chunks_skipped` counts chunks the
+/// server's received-bitmap already held — nonzero exactly when a
+/// resumed upload avoided re-sending data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkUpload {
+    /// The matrix's content id (same id the monolithic path returns).
+    pub matrix_id: u64,
+    /// Chunks sent over the wire by this call.
+    pub chunks_sent: u32,
+    /// Chunks skipped because the server already held them.
+    pub chunks_skipped: u32,
 }
 
 /// Server shape reported in the hello exchange.
@@ -236,9 +252,30 @@ impl ServeClient {
     /// Uploads a plaintext matrix; the server encodes it to NTT form once
     /// and caches it under the returned content id.
     ///
+    /// On a protocol-v5 connection the upload streams in
+    /// [`protocol::DEFAULT_CHUNK_BYTES`] chunks (bounded memory on both
+    /// ends, resumable); against v4-and-older servers it falls back to
+    /// the monolithic single-frame `LoadMatrix`. Both paths return the
+    /// same content id.
+    ///
     /// # Errors
     /// Transport or server-side validation errors.
     pub fn load_matrix(&mut self, matrix: &Matrix) -> Result<u64> {
+        if self.info.version >= 5 {
+            return self
+                .load_matrix_streamed(matrix, protocol::DEFAULT_CHUNK_BYTES)
+                .map(|u| u.matrix_id);
+        }
+        self.load_matrix_monolithic(matrix)
+    }
+
+    /// Uploads a matrix as one `LoadMatrix` frame regardless of the
+    /// negotiated revision — the pre-v5 wire behavior, kept callable for
+    /// interop tests and peers that must not stream.
+    ///
+    /// # Errors
+    /// Transport or server-side validation errors.
+    pub fn load_matrix_monolithic(&mut self, matrix: &Matrix) -> Result<u64> {
         let body = protocol::matrix_to_bytes(matrix);
         match self.roundtrip(FrameKind::LoadMatrix, &body)? {
             Response::MatrixLoaded {
@@ -253,6 +290,109 @@ impl ServeClient {
             }
             _ => Err(ServeError::BadFrame(
                 "load-matrix answered with wrong response",
+            )),
+        }
+    }
+
+    /// Streams a matrix upload in `chunk_bytes`-sized chunks (protocol
+    /// v5): declares the upload, reads the server's received-bitmap,
+    /// sends only the chunks the server lacks, and commits. On a fresh
+    /// upload every chunk is sent; on a resume after a disconnect the
+    /// bitmap makes the re-upload incremental — the returned
+    /// [`ChunkUpload`] counts both.
+    ///
+    /// # Errors
+    /// [`ServeError::Incompatible`] below protocol v5,
+    /// [`ServeError::ChunkMismatch`] when the server refuses a chunk's
+    /// content check, transport or server-side validation errors.
+    pub fn load_matrix_streamed(
+        &mut self,
+        matrix: &Matrix,
+        chunk_bytes: usize,
+    ) -> Result<ChunkUpload> {
+        if self.info.version < 5 {
+            return Err(ServeError::Incompatible(
+                "streamed uploads need protocol v5",
+            ));
+        }
+        let body = protocol::matrix_to_bytes(matrix);
+        // Clamp the chunk size into the protocol's bounds, growing it if
+        // needed so the count stays under MAX_CHUNK_COUNT (the caps
+        // guarantee a compliant size always exists for a legal body).
+        let chunk_bytes = chunk_bytes
+            .max(body.len().div_ceil(protocol::MAX_CHUNK_COUNT))
+            .clamp(1, protocol::MAX_CHUNK_BYTES);
+        let matrix_id = content_hash(&body);
+        let start = MatrixChunkStart::new(
+            matrix_id,
+            body.len(),
+            chunk_bytes,
+            matrix.rows() as u32,
+            matrix.cols() as u32,
+        );
+        let mut bitmap = self.chunk_ack(FrameKind::MatrixChunkStart, &start.to_bytes(), &start)?;
+        let mut chunks_sent = 0u32;
+        let mut chunks_skipped = 0u32;
+        for index in 0..start.chunk_count {
+            if protocol::bitmap_get(&bitmap, index as usize) {
+                chunks_skipped += 1;
+                continue;
+            }
+            let off = index as usize * chunk_bytes;
+            let data = &body[off..off + start.len_of_chunk(index)];
+            let frame = protocol::matrix_chunk_to_bytes(matrix_id, index, content_hash(data), data);
+            bitmap = self.chunk_ack(FrameKind::MatrixChunk, &frame, &start)?;
+            chunks_sent += 1;
+        }
+        match self.roundtrip(
+            FrameKind::MatrixChunkCommit,
+            &protocol::matrix_chunk_commit_to_bytes(matrix_id),
+        )? {
+            Response::MatrixLoaded {
+                matrix_id: id,
+                rows,
+                cols,
+            } => {
+                if id != matrix_id
+                    || (rows as usize, cols as usize) != (matrix.rows(), matrix.cols())
+                {
+                    return Err(ServeError::BadFrame("server committed a different matrix"));
+                }
+                Ok(ChunkUpload {
+                    matrix_id,
+                    chunks_sent,
+                    chunks_skipped,
+                })
+            }
+            _ => Err(ServeError::BadFrame(
+                "chunk commit answered with wrong response",
+            )),
+        }
+    }
+
+    /// One chunk-op round trip expecting a [`Response::ChunkAck`] that
+    /// matches `start`'s declaration; returns the received-bitmap.
+    fn chunk_ack(
+        &mut self,
+        kind: FrameKind,
+        body: &[u8],
+        start: &MatrixChunkStart,
+    ) -> Result<Vec<u8>> {
+        match self.roundtrip(kind, body)? {
+            Response::ChunkAck {
+                matrix_id,
+                chunk_count,
+                bitmap,
+            } => {
+                if matrix_id != start.matrix_id || chunk_count != start.chunk_count {
+                    return Err(ServeError::BadFrame(
+                        "chunk ack disagrees with the declared upload",
+                    ));
+                }
+                Ok(bitmap)
+            }
+            _ => Err(ServeError::BadFrame(
+                "chunk op answered with wrong response",
             )),
         }
     }

@@ -18,6 +18,7 @@
 //! | [`Fault::ForcedEviction`] | cache | key/matrix evicted mid-flight → `UnknownKey`/`UnknownMatrix` |
 //! | [`Fault::SlowBatch`] | worker | batch execution delayed by a bounded sleep |
 //! | [`Fault::WorkerPanic`] | worker | worker panics mid-batch → typed `Internal` reply |
+//! | [`Fault::TornSnapshot`] | store | segment snapshot torn mid-write → recovery quarantines it |
 //!
 //! **Zero cost when disabled.** The server holds an
 //! `Option<Arc<FaultInjector>>`; every call site is an `if let Some(..)`
@@ -59,10 +60,16 @@ pub enum Fault {
     SlowBatch,
     /// Panic inside the worker mid-batch.
     WorkerPanic,
+    /// Tear a persistent-store segment write mid-snapshot: the segment
+    /// file is left truncated (header promising more payload than is on
+    /// disk) exactly as a crash between `write` and `fsync` would, and
+    /// the write reports an I/O error. Store recovery must quarantine
+    /// the torn segment on the next open.
+    TornSnapshot,
 }
 
 /// Number of distinct fault kinds (size of the per-kind counter array).
-pub const FAULT_KINDS: usize = 8;
+pub const FAULT_KINDS: usize = 9;
 
 impl Fault {
     /// All fault kinds, in counter-index order.
@@ -75,6 +82,7 @@ impl Fault {
         Fault::ForcedEviction,
         Fault::SlowBatch,
         Fault::WorkerPanic,
+        Fault::TornSnapshot,
     ];
 
     /// Stable snake-case name (used in env specs and counter names).
@@ -89,6 +97,7 @@ impl Fault {
             Fault::ForcedEviction => "forced_eviction",
             Fault::SlowBatch => "slow_batch",
             Fault::WorkerPanic => "worker_panic",
+            Fault::TornSnapshot => "torn_snapshot",
         }
     }
 
@@ -102,6 +111,7 @@ impl Fault {
             Fault::ForcedEviction => 5,
             Fault::SlowBatch => 6,
             Fault::WorkerPanic => 7,
+            Fault::TornSnapshot => 8,
         }
     }
 }
@@ -130,6 +140,8 @@ pub struct FaultConfig {
     pub slow_batch: f64,
     /// Probability of a worker panic per batch.
     pub worker_panic: f64,
+    /// Probability of tearing a store segment write per snapshot.
+    pub torn_snapshot: f64,
     /// Upper bound (milliseconds) for injected delays.
     pub delay_max_ms: u64,
 }
@@ -146,6 +158,7 @@ impl Default for FaultConfig {
             forced_eviction: 0.0,
             slow_batch: 0.0,
             worker_panic: 0.0,
+            torn_snapshot: 0.0,
             delay_max_ms: 10,
         }
     }
@@ -166,6 +179,7 @@ impl FaultConfig {
             forced_eviction: p,
             slow_batch: p,
             worker_panic: p,
+            torn_snapshot: p,
             delay_max_ms: 10,
         }
     }
@@ -182,6 +196,7 @@ impl FaultConfig {
             Fault::ForcedEviction => self.forced_eviction,
             Fault::SlowBatch => self.slow_batch,
             Fault::WorkerPanic => self.worker_panic,
+            Fault::TornSnapshot => self.torn_snapshot,
         }
     }
 
@@ -217,6 +232,7 @@ impl FaultConfig {
             "forced_eviction" => self.forced_eviction = num()?,
             "slow_batch" => self.slow_batch = num()?,
             "worker_panic" => self.worker_panic = num()?,
+            "torn_snapshot" => self.torn_snapshot = num()?,
             other => return Err(format!("fault spec: unknown key {other}")),
         }
         Ok(())
@@ -335,6 +351,7 @@ impl FaultInjector {
                 Fault::ForcedEviction => counter_add!("cham_serve.faults.forced_eviction", 1),
                 Fault::SlowBatch => counter_add!("cham_serve.faults.slow_batch", 1),
                 Fault::WorkerPanic => counter_add!("cham_serve.faults.worker_panic", 1),
+                Fault::TornSnapshot => counter_add!("cham_serve.faults.torn_snapshot", 1),
             }
         }
         hit

@@ -26,6 +26,11 @@
 //!   deadline budget across attempts,
 //! * [`faults`] — the seeded, deterministic fault-injection harness the
 //!   chaos soak test drives (zero-cost when disabled),
+//! * [`store`] — the crash-safe persistent tier: a file-backed,
+//!   content-addressed segment store (write-temp + fsync + atomic
+//!   rename, CRC-guarded headers, quarantine-on-corruption recovery)
+//!   spilling NTT-form encodings under the LRU so restarts come back
+//!   warm with zero re-encodes,
 //! * [`stats`] — always-on service counters, per-phase latency
 //!   histograms, and the [`stats::IntrospectSnapshot`] served by the
 //!   `Introspect` wire op (plus `cham-telemetry` counters and histograms
@@ -61,19 +66,21 @@ pub mod scheduler;
 pub mod server;
 pub mod shard;
 pub mod stats;
+pub mod store;
 pub mod worker;
 
 use std::error::Error;
 use std::fmt;
 
 pub use cache::SessionCache;
-pub use client::{ClientConfig, ServeClient, ServerInfo};
+pub use client::{ChunkUpload, ClientConfig, ServeClient, ServerInfo};
 pub use faults::{Fault, FaultConfig, FaultInjector};
 pub use retry::{Endpoints, RetryClient, RetryPolicy, RetryStatsSnapshot};
 pub use scheduler::Scheduler;
 pub use server::{Server, ServerConfig};
 pub use shard::{ClusterIdentity, HashRing, ShardSpec};
 pub use stats::{IntrospectSnapshot, PhaseHistograms, PhaseStat, ServeStats, StatsSnapshot};
+pub use store::{SegmentStore, StoreStats};
 
 /// Errors from the serving layer.
 #[derive(Debug)]
@@ -104,6 +111,18 @@ pub enum ServeError {
         shard_index: u16,
         /// Total slots in the server's ring.
         shard_count: u16,
+    },
+    /// A streamed matrix chunk failed its content check (protocol v5):
+    /// the chunk's FNV checksum disagreed with its data, or a commit's
+    /// reassembled bytes hashed to something other than the declared
+    /// matrix id. Carries the upload and chunk so the client re-sends
+    /// exactly the corrupted piece.
+    ChunkMismatch {
+        /// The streamed upload's declared content hash.
+        matrix_id: u64,
+        /// The failing chunk index; [`protocol::CHUNK_INDEX_NONE`] when
+        /// the whole reassembled body mismatched at commit.
+        index: u32,
     },
     /// The server failed internally — a worker panic or a dead worker
     /// pool. The request may be retried; the input was never at fault.
@@ -140,6 +159,13 @@ impl fmt::Display for ServeError {
                 "wrong shard: this node serves slot {shard_index}/{shard_count} \
                  (ring epoch {epoch}); refresh the cluster topology"
             ),
+            ServeError::ChunkMismatch { matrix_id, index } => {
+                if *index == protocol::CHUNK_INDEX_NONE {
+                    write!(f, "chunk mismatch: matrix {matrix_id:#018x} body hash")
+                } else {
+                    write!(f, "chunk mismatch: matrix {matrix_id:#018x} chunk {index}")
+                }
+            }
             ServeError::Internal(m) => write!(f, "internal server error: {m}"),
             ServeError::He(e) => write!(f, "he error: {e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! `len` counts the kind byte plus the body, so an empty body frames as
-//! `len = 1`. Nine frame kinds exist; ciphertext and key payloads inside
+//! `len = 1`. Twelve frame kinds exist; ciphertext and key payloads inside
 //! bodies reuse the versioned `cham_he::wire` codecs unchanged, so the
 //! serving layer inherits their parameter validation (foreign modulus
 //! chains, out-of-range coefficients and truncation are rejected at the
@@ -24,6 +24,25 @@
 //! | `Ping` (7) | c→s | empty — health check; answered with a [`Response::Pong`] stats snapshot |
 //! | `Introspect` (8) | c→s | empty — answered with a [`Response::IntrospectReport`] snapshot (v3) |
 //! | `FlightDump` (9) | c→s | empty — answered with a [`Response::FlightDump`] trace JSON (v3) |
+//! | `MatrixChunkStart` (10) | c→s | `[matrix_id u64] [total_len u64] [chunk_size u32] [chunk_count u32] [rows u32] [cols u32]` (v5) |
+//! | `MatrixChunk` (11) | c→s | `[matrix_id u64] [index u32] [checksum u64] [data]` (v5) |
+//! | `MatrixChunkCommit` (12) | c→s | `[matrix_id u64]` (v5) |
+//!
+//! ## Streamed matrix uploads (protocol v5)
+//!
+//! `LoadMatrix` is one giant frame: the whole matrix must fit in memory
+//! twice (sender buffer + receiver body) before the server even parses a
+//! shape. Revision 5 adds a chunked path: `MatrixChunkStart` declares the
+//! exact monolithic `LoadMatrix` body (its FNV-1a content hash **is** the
+//! `matrix_id`, so both upload paths resolve to the same cache entry),
+//! then `MatrixChunk` frames carry bounded slices of that body — each
+//! with its own FNV checksum, validated *before* any copy into the
+//! assembly buffer — and `MatrixChunkCommit` reassembles, re-hashes and
+//! encodes. Start and every chunk are acknowledged with a
+//! [`Response::ChunkAck`] carrying the received-chunk bitmap, which is
+//! what makes re-upload resumable: after a disconnect the client replays
+//! `MatrixChunkStart`, reads the bitmap, and sends only the missing
+//! chunks. Chunks may arrive in any order and duplicates are idempotent.
 //!
 //! ## Version negotiation
 //!
@@ -72,8 +91,13 @@ use std::io::{Read, Write};
 /// cluster-identity block to hello responses, the `WrongShard` error
 /// code, and node-identity counters in `IntrospectReport` (all via the
 /// same trailing-field trick revision 3 used, so v2/v3 peers interop
-/// unchanged).
-pub const PROTOCOL_VERSION: u16 = 4;
+/// unchanged). Revision 5 added the streamed-matrix-upload frames
+/// (`MatrixChunkStart`/`MatrixChunk`/`MatrixChunkCommit`), the
+/// `ChunkAck` response, and the `ChunkMismatch` error code; the hello
+/// bodies are byte-identical to v4 — the echoed revision alone gates
+/// whether a client may stream, so v4-and-older peers fall back to the
+/// monolithic `LoadMatrix` in both skew directions.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Oldest protocol revision this crate still accepts from a peer.
 /// Revision 2 clients interoperate (their requests simply carry no trace
@@ -94,6 +118,21 @@ pub const DEADLINE_NONE: u32 = u32::MAX;
 /// before any allocation (a malicious peer cannot OOM the server with one
 /// header).
 pub const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// Upper bound on one streamed matrix chunk's data slice (protocol v5).
+/// Bounds the server's per-chunk working memory no matter what the peer
+/// declares; oversize chunks are rejected before allocation.
+pub const MAX_CHUNK_BYTES: usize = 4 << 20;
+
+/// Upper bound on the chunk count one streamed upload may declare. Caps
+/// the received-bitmap a [`Response::ChunkAck`] carries at 8 KiB and the
+/// per-upload bookkeeping the server must hold.
+pub const MAX_CHUNK_COUNT: usize = 1 << 16;
+
+/// Default chunk size a streaming client uses when the caller does not
+/// pick one: large enough to amortize the per-chunk round trip, small
+/// enough that sender and receiver stay bounded-memory.
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 
 /// Frame discriminator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +159,18 @@ pub enum FrameKind {
     /// On-demand flight-recorder dump: empty body, answered with the
     /// recorder's Chrome-trace JSON (protocol v3).
     FlightDump = 9,
+    /// Opens (or resumes) a streamed matrix upload: declares the
+    /// monolithic body's content hash, length, shape, and chunking;
+    /// answered with a [`Response::ChunkAck`] received-bitmap
+    /// (protocol v5).
+    MatrixChunkStart = 10,
+    /// One chunk of a streamed matrix upload, FNV-checksummed
+    /// individually (protocol v5).
+    MatrixChunk = 11,
+    /// Finishes a streamed upload: the server reassembles, verifies the
+    /// whole-body hash, encodes, and answers `MatrixLoaded`
+    /// (protocol v5).
+    MatrixChunkCommit = 12,
 }
 
 impl FrameKind {
@@ -138,6 +189,9 @@ impl FrameKind {
             7 => Ok(FrameKind::Ping),
             8 => Ok(FrameKind::Introspect),
             9 => Ok(FrameKind::FlightDump),
+            10 => Ok(FrameKind::MatrixChunkStart),
+            11 => Ok(FrameKind::MatrixChunk),
+            12 => Ok(FrameKind::MatrixChunkCommit),
             _ => Err(ServeError::BadFrame("unknown frame kind")),
         }
     }
@@ -167,6 +221,12 @@ pub enum ErrorCode {
     /// message carries the server's ring epoch and slot so the client
     /// can refresh its topology).
     WrongShard = 9,
+    /// A streamed matrix chunk failed its content check — per-chunk
+    /// checksum mismatch, or a commit whose reassembled bytes hash to
+    /// something other than the declared `matrix_id` (protocol v5). The
+    /// message carries the id and chunk index so the client re-sends
+    /// exactly the bad chunk.
+    ChunkMismatch = 10,
 }
 
 impl ErrorCode {
@@ -181,6 +241,7 @@ impl ErrorCode {
             7 => Ok(ErrorCode::Shutdown),
             8 => Ok(ErrorCode::Internal),
             9 => Ok(ErrorCode::WrongShard),
+            10 => Ok(ErrorCode::ChunkMismatch),
             _ => Err(ServeError::BadFrame("unknown error code")),
         }
     }
@@ -206,8 +267,23 @@ pub fn error_to_wire(e: &ServeError) -> (ErrorCode, String) {
             ErrorCode::WrongShard,
             format!("epoch={epoch} shard={shard_index}/{shard_count}"),
         ),
+        ServeError::ChunkMismatch { matrix_id, index } => (
+            ErrorCode::ChunkMismatch,
+            format!("matrix={matrix_id:#018x} chunk={index}"),
+        ),
         other => (ErrorCode::Internal, other.to_string()),
     }
+}
+
+/// Parses the `matrix=0x… chunk=I` message a `ChunkMismatch` error
+/// travels as back into its fields, mirroring [`parse_id_message`] — the
+/// retrying client needs the chunk index typed to re-send exactly the
+/// corrupted piece.
+fn parse_chunk_mismatch_message(message: &str) -> Option<(u64, u32)> {
+    let rest = message.trim().strip_prefix("matrix=")?;
+    let (id, rest) = rest.split_once(' ')?;
+    let index = rest.strip_prefix("chunk=")?;
+    Some((parse_id_message(id)?, index.parse().ok()?))
 }
 
 /// Parses the `epoch=E shard=I/N` message a `WrongShard` error travels
@@ -260,6 +336,10 @@ pub fn wire_to_error(code: ErrorCode, message: String) -> ServeError {
             },
             None => ServeError::Remote { code, message },
         },
+        ErrorCode::ChunkMismatch => match parse_chunk_mismatch_message(&message) {
+            Some((matrix_id, index)) => ServeError::ChunkMismatch { matrix_id, index },
+            None => ServeError::Remote { code, message },
+        },
         ErrorCode::BadFrame | ErrorCode::Incompatible => ServeError::Remote { code, message },
     }
 }
@@ -277,6 +357,62 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> Result<(
     w.write_all(&[kind as u8])?;
     w.write_all(body)?;
     w.flush()?;
+    Ok(())
+}
+
+/// Writes one frame whose body is scattered across `parts`, using
+/// `write_vectored` so the pieces reach the kernel without first being
+/// gathered into one contiguous buffer — the serialize-path copy the
+/// `HmvpDone` reply otherwise pays per packed ciphertext. On the wire
+/// the result is byte-identical to `write_frame` over the concatenated
+/// parts. Bumps the `cham_serve.wire.vectored_writes` /
+/// `cham_serve.wire.gathered_parts` counters so run records can surface
+/// how many copies the scatter-gather path avoided.
+///
+/// # Errors
+/// Propagates transport errors; rejects oversized bodies.
+pub fn write_frame_vectored(w: &mut impl Write, kind: FrameKind, parts: &[&[u8]]) -> Result<()> {
+    let body_len: usize = parts.iter().map(|p| p.len()).sum();
+    if body_len + 1 > MAX_FRAME_BYTES {
+        return Err(ServeError::BadFrame("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let len = (body_len + 1) as u32;
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&len.to_le_bytes());
+    header[4] = kind as u8;
+    // Flatten to one buffer list, skipping empty parts (a zero-length
+    // IoSlice is legal but wastes an iovec slot).
+    let bufs: Vec<&[u8]> = std::iter::once(&header[..])
+        .chain(parts.iter().copied())
+        .filter(|p| !p.is_empty())
+        .collect();
+    // write_vectored may accept any prefix of the total; resume from the
+    // first unwritten byte until everything is down.
+    let mut idx = 0;
+    let mut offset = 0;
+    while idx < bufs.len() {
+        let mut slices = Vec::with_capacity(bufs.len() - idx);
+        slices.push(std::io::IoSlice::new(&bufs[idx][offset..]));
+        for buf in &bufs[idx + 1..] {
+            slices.push(std::io::IoSlice::new(buf));
+        }
+        let mut n = w.write_vectored(&slices)?;
+        if n == 0 {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "vectored frame write stalled",
+            )));
+        }
+        while idx < bufs.len() && n >= bufs[idx].len() - offset {
+            n -= bufs[idx].len() - offset;
+            idx += 1;
+            offset = 0;
+        }
+        offset += n;
+    }
+    w.flush()?;
+    cham_telemetry::counter_add!("cham_serve.wire.vectored_writes", 1);
+    cham_telemetry::counter_add!("cham_serve.wire.gathered_parts", parts.len() as u64);
     Ok(())
 }
 
@@ -504,6 +640,174 @@ pub fn matrix_from_bytes(body: &[u8], params: &ChamParams) -> Result<Matrix> {
     Matrix::from_data(rows, cols, data).map_err(ServeError::He)
 }
 
+// -------------------------------------------- streamed chunks (v5)
+
+/// Sentinel chunk index in a [`ServeError::ChunkMismatch`]: the whole
+/// reassembled body mismatched at commit, not any single chunk.
+pub const CHUNK_INDEX_NONE: u32 = u32::MAX;
+
+/// A parsed `MatrixChunkStart` body: the declaration that opens (or
+/// resumes) a streamed matrix upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixChunkStart {
+    /// FNV-1a 64 content hash of the full monolithic `LoadMatrix` body —
+    /// identical to the id the monolithic path would cache under.
+    pub matrix_id: u64,
+    /// Exact byte length of the monolithic body.
+    pub total_len: u64,
+    /// Bytes per chunk (every chunk but the last is exactly this size).
+    pub chunk_size: u32,
+    /// Number of chunks (`⌈total_len / chunk_size⌉`).
+    pub chunk_count: u32,
+    /// Declared row count (validated against `total_len` up front).
+    pub rows: u32,
+    /// Declared column count.
+    pub cols: u32,
+}
+
+impl MatrixChunkStart {
+    /// Builds the declaration for a monolithic body of `total_len` bytes
+    /// split into `chunk_size`-byte chunks.
+    #[must_use]
+    pub fn new(matrix_id: u64, total_len: usize, chunk_size: usize, rows: u32, cols: u32) -> Self {
+        Self {
+            matrix_id,
+            total_len: total_len as u64,
+            chunk_size: chunk_size as u32,
+            chunk_count: total_len.div_ceil(chunk_size) as u32,
+            rows,
+            cols,
+        }
+    }
+
+    /// The byte length chunk `index` must carry.
+    #[must_use]
+    pub fn len_of_chunk(&self, index: u32) -> usize {
+        let start = u64::from(index) * u64::from(self.chunk_size);
+        let end = (start + u64::from(self.chunk_size)).min(self.total_len);
+        end.saturating_sub(start) as usize
+    }
+
+    /// Serializes the body.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&self.matrix_id.to_le_bytes());
+        out.extend_from_slice(&self.total_len.to_le_bytes());
+        out.extend_from_slice(&self.chunk_size.to_le_bytes());
+        out.extend_from_slice(&self.chunk_count.to_le_bytes());
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&self.cols.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a body. Every structural bound is checked
+    /// here — before the server allocates a single assembly byte.
+    ///
+    /// # Errors
+    /// [`ServeError::BadFrame`] for truncation, trailing bytes, a
+    /// zero/oversize chunk size, a chunk count disagreeing with
+    /// `total_len`, more than [`MAX_CHUNK_COUNT`] chunks, a total beyond
+    /// [`MAX_FRAME_BYTES`], or a shape that does not produce `total_len`.
+    pub fn from_bytes(body: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(body);
+        let start = Self {
+            matrix_id: r.u64()?,
+            total_len: r.u64()?,
+            chunk_size: r.u32()?,
+            chunk_count: r.u32()?,
+            rows: r.u32()?,
+            cols: r.u32()?,
+        };
+        r.done()?;
+        if start.total_len == 0 || start.total_len > MAX_FRAME_BYTES as u64 {
+            return Err(ServeError::BadFrame("chunked upload total out of bounds"));
+        }
+        if start.chunk_size == 0 || start.chunk_size as usize > MAX_CHUNK_BYTES {
+            return Err(ServeError::BadFrame("chunk size out of bounds"));
+        }
+        let expect_count = start.total_len.div_ceil(u64::from(start.chunk_size));
+        if u64::from(start.chunk_count) != expect_count {
+            return Err(ServeError::BadFrame("chunk count disagrees with total"));
+        }
+        if start.chunk_count as usize > MAX_CHUNK_COUNT {
+            return Err(ServeError::BadFrame("too many chunks"));
+        }
+        if start.rows == 0 || start.cols == 0 {
+            return Err(ServeError::BadFrame("empty matrix"));
+        }
+        let cells = u64::from(start.rows) * u64::from(start.cols);
+        if start.total_len != 8 + 8 * cells {
+            return Err(ServeError::BadFrame("chunked shape disagrees with total"));
+        }
+        Ok(start)
+    }
+}
+
+/// Serializes a `MatrixChunk` body: `[matrix_id][index][checksum][data]`.
+/// `checksum` is the FNV-1a 64 hash of `data` alone.
+#[must_use]
+pub fn matrix_chunk_to_bytes(matrix_id: u64, index: u32, checksum: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + data.len());
+    out.extend_from_slice(&matrix_id.to_le_bytes());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(data);
+    out
+}
+
+/// Parses a `MatrixChunk` body, borrowing the data slice (no copy — the
+/// caller validates checksum and placement against its `Start` record
+/// before the bytes land anywhere).
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for truncation or a data slice beyond
+/// [`MAX_CHUNK_BYTES`].
+pub fn matrix_chunk_from_bytes(body: &[u8]) -> Result<(u64, u32, u64, &[u8])> {
+    let mut r = Reader::new(body);
+    let matrix_id = r.u64()?;
+    let index = r.u32()?;
+    let checksum = r.u64()?;
+    let data = r.take(r.remaining())?;
+    if data.is_empty() {
+        return Err(ServeError::BadFrame("empty matrix chunk"));
+    }
+    if data.len() > MAX_CHUNK_BYTES {
+        return Err(ServeError::BadFrame("chunk exceeds MAX_CHUNK_BYTES"));
+    }
+    Ok((matrix_id, index, checksum, data))
+}
+
+/// Serializes a `MatrixChunkCommit` body.
+#[must_use]
+pub fn matrix_chunk_commit_to_bytes(matrix_id: u64) -> Vec<u8> {
+    matrix_id.to_le_bytes().to_vec()
+}
+
+/// Parses a `MatrixChunkCommit` body.
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for truncation or trailing bytes.
+pub fn matrix_chunk_commit_from_bytes(body: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(body);
+    let matrix_id = r.u64()?;
+    r.done()?;
+    Ok(matrix_id)
+}
+
+/// Reads bit `i` of a received-chunk bitmap.
+#[must_use]
+pub fn bitmap_get(bitmap: &[u8], i: usize) -> bool {
+    bitmap.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0)
+}
+
+/// Sets bit `i` of a received-chunk bitmap.
+pub fn bitmap_set(bitmap: &mut [u8], i: usize) {
+    if let Some(b) = bitmap.get_mut(i / 8) {
+        *b |= 1 << (i % 8);
+    }
+}
+
 // ----------------------------------------------------------------- Hmvp
 
 /// A parsed `Hmvp` request body.
@@ -608,6 +912,7 @@ enum ResponseTag {
     Pong = 5,
     IntrospectReport = 6,
     FlightDump = 7,
+    ChunkAck = 8,
 }
 
 /// Number of `u64` counter fields a `Pong` body carries. The body is
@@ -697,6 +1002,19 @@ pub enum Response {
     FlightDump {
         /// Perfetto-loadable trace JSON.
         json: String,
+    },
+    /// Answer to `MatrixChunkStart` and `MatrixChunk` (protocol v5): the
+    /// server's view of the upload so far. The bitmap (bit `i` = chunk
+    /// `i` received) is what makes re-upload resumable — a client
+    /// resuming after a disconnect reads it off the `Start` ack and
+    /// sends only the zero bits.
+    ChunkAck {
+        /// The upload's declared content hash.
+        matrix_id: u64,
+        /// Declared chunk count (fixes the bitmap length).
+        chunk_count: u32,
+        /// Received-chunk bitmap, `⌈chunk_count/8⌉` bytes, LSB-first.
+        bitmap: Vec<u8>,
     },
 }
 
@@ -824,8 +1142,49 @@ impl Response {
                 out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(bytes);
             }
+            Response::ChunkAck {
+                matrix_id,
+                chunk_count,
+                bitmap,
+            } => {
+                out.push(ResponseTag::ChunkAck as u8);
+                out.extend_from_slice(&matrix_id.to_le_bytes());
+                out.extend_from_slice(&chunk_count.to_le_bytes());
+                out.extend_from_slice(bitmap);
+            }
         }
         out
+    }
+
+    /// Serializes the response as a sequence of buffers suitable for
+    /// [`write_frame_vectored`]. Concatenated, the parts are byte-exact
+    /// [`Response::to_bytes`] output; the split avoids re-copying each
+    /// packed ciphertext's payload into one contiguous body on the
+    /// `HmvpDone` serialize path (the data-plane reply). Every other
+    /// variant is a single part.
+    #[must_use]
+    pub fn to_parts(&self) -> Vec<Vec<u8>> {
+        match self {
+            Response::HmvpDone { len, packed } => {
+                let mut head = Vec::with_capacity(11);
+                head.push(ResponseTag::HmvpDone as u8);
+                head.extend_from_slice(&len.to_le_bytes());
+                head.extend_from_slice(&(packed.len() as u16).to_le_bytes());
+                let mut parts = Vec::with_capacity(1 + 2 * packed.len());
+                parts.push(head);
+                for p in packed {
+                    let bytes = wire::rlwe_to_bytes(&p.ciphertext);
+                    let mut meta = Vec::with_capacity(9);
+                    meta.push(p.log_count as u8);
+                    meta.extend_from_slice(&(p.count as u32).to_le_bytes());
+                    meta.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    parts.push(meta);
+                    parts.push(bytes);
+                }
+                parts
+            }
+            other => vec![other.to_bytes()],
+        }
     }
 
     /// Parses a `Result` frame body.
@@ -950,6 +1309,19 @@ impl Response {
                 let json = String::from_utf8(r.take(len)?.to_vec())
                     .map_err(|_| ServeError::BadFrame("flight dump is not UTF-8"))?;
                 Response::FlightDump { json }
+            }
+            t if t == ResponseTag::ChunkAck as u8 => {
+                let matrix_id = r.u64()?;
+                let chunk_count = r.u32()?;
+                if chunk_count == 0 || chunk_count as usize > MAX_CHUNK_COUNT {
+                    return Err(ServeError::BadFrame("chunk ack count out of bounds"));
+                }
+                let bitmap = r.take((chunk_count as usize).div_ceil(8))?.to_vec();
+                Response::ChunkAck {
+                    matrix_id,
+                    chunk_count,
+                    bitmap,
+                }
             }
             _ => return Err(ServeError::BadFrame("unknown response tag")),
         };
@@ -1523,6 +1895,206 @@ mod tests {
         ));
         assert!(error_from_body(&[42, 0, 0]).is_err());
         assert!(error_from_body(&error_body(ErrorCode::Busy, "m")[..2]).is_err());
+    }
+
+    #[test]
+    fn chunk_start_roundtrip_and_validation() {
+        // A 3×7 matrix body: 8 + 8*21 = 176 bytes, 64-byte chunks -> 3.
+        let start = MatrixChunkStart::new(0xFEED, 176, 64, 3, 7);
+        assert_eq!(start.chunk_count, 3);
+        assert_eq!(start.len_of_chunk(0), 64);
+        assert_eq!(start.len_of_chunk(2), 48);
+        let back = MatrixChunkStart::from_bytes(&start.to_bytes()).unwrap();
+        assert_eq!(back, start);
+
+        let reject = |mutate: &dyn Fn(&mut MatrixChunkStart)| {
+            let mut s = start;
+            mutate(&mut s);
+            assert!(
+                matches!(
+                    MatrixChunkStart::from_bytes(&s.to_bytes()),
+                    Err(ServeError::BadFrame(_))
+                ),
+                "{s:?} should be rejected"
+            );
+        };
+        // Zero / oversize chunk size.
+        reject(&|s| s.chunk_size = 0);
+        reject(&|s| s.chunk_size = (MAX_CHUNK_BYTES + 1) as u32);
+        // Count disagreeing with total.
+        reject(&|s| s.chunk_count = 4);
+        // Zero / overflowing totals.
+        reject(&|s| s.total_len = 0);
+        reject(&|s| s.total_len = (MAX_FRAME_BYTES as u64) + 1);
+        // Shape not matching the total.
+        reject(&|s| s.rows = 4);
+        reject(&|s| s.rows = 0);
+        // Truncation / trailing bytes.
+        let bytes = start.to_bytes();
+        assert!(MatrixChunkStart::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(MatrixChunkStart::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn chunk_body_roundtrip_and_bounds() {
+        let data = [7u8; 48];
+        let body = matrix_chunk_to_bytes(0xFEED, 2, 0xC0DE, &data);
+        let (id, index, checksum, back) = matrix_chunk_from_bytes(&body).unwrap();
+        assert_eq!((id, index, checksum), (0xFEED, 2, 0xC0DE));
+        assert_eq!(back, data);
+        // Empty data and truncated headers are malformed.
+        assert!(matrix_chunk_from_bytes(&matrix_chunk_to_bytes(1, 0, 0, &[])).is_err());
+        assert!(matrix_chunk_from_bytes(&body[..12]).is_err());
+        // Oversize chunks are rejected before any copy.
+        let huge = matrix_chunk_to_bytes(1, 0, 0, &vec![0u8; MAX_CHUNK_BYTES + 1]);
+        assert!(matches!(
+            matrix_chunk_from_bytes(&huge),
+            Err(ServeError::BadFrame(_))
+        ));
+        // Commit bodies round-trip and reject trailing bytes.
+        let commit = matrix_chunk_commit_to_bytes(0xFEED);
+        assert_eq!(matrix_chunk_commit_from_bytes(&commit).unwrap(), 0xFEED);
+        let mut bad = commit;
+        bad.push(0);
+        assert!(matrix_chunk_commit_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn chunk_ack_roundtrip_and_bitmap() {
+        let p = params();
+        let mut bitmap = vec![0u8; 10usize.div_ceil(8)]; // 10 chunks -> 2 bytes
+        bitmap_set(&mut bitmap, 0);
+        bitmap_set(&mut bitmap, 9);
+        let ack = Response::ChunkAck {
+            matrix_id: 0xFEED,
+            chunk_count: 10,
+            bitmap: bitmap.clone(),
+        };
+        let bytes = ack.to_bytes();
+        match Response::from_bytes(&bytes, &p).unwrap() {
+            Response::ChunkAck {
+                matrix_id,
+                chunk_count,
+                bitmap: back,
+            } => {
+                assert_eq!(matrix_id, 0xFEED);
+                assert_eq!(chunk_count, 10);
+                assert!(bitmap_get(&back, 0) && bitmap_get(&back, 9));
+                assert!(!bitmap_get(&back, 1));
+                // Out-of-range reads are false, not panics.
+                assert!(!bitmap_get(&back, 500));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Truncated bitmap / implausible counts are malformed.
+        assert!(Response::from_bytes(&bytes[..bytes.len() - 1], &p).is_err());
+        let zero = Response::ChunkAck {
+            matrix_id: 1,
+            chunk_count: 0,
+            bitmap: vec![],
+        };
+        assert!(Response::from_bytes(&zero.to_bytes(), &p).is_err());
+        let huge = Response::ChunkAck {
+            matrix_id: 1,
+            chunk_count: (MAX_CHUNK_COUNT + 1) as u32,
+            bitmap: vec![0; (MAX_CHUNK_COUNT + 1).div_ceil(8)],
+        };
+        assert!(Response::from_bytes(&huge.to_bytes(), &p).is_err());
+    }
+
+    #[test]
+    fn chunk_mismatch_error_roundtrip() {
+        let (code, msg) = error_to_wire(&ServeError::ChunkMismatch {
+            matrix_id: 0xAB,
+            index: 3,
+        });
+        assert_eq!(code, ErrorCode::ChunkMismatch);
+        assert_eq!(msg, "matrix=0x00000000000000ab chunk=3");
+        assert!(matches!(
+            wire_to_error(code, msg),
+            ServeError::ChunkMismatch {
+                matrix_id: 0xAB,
+                index: 3,
+            }
+        ));
+        // The commit-level sentinel survives the round trip too.
+        let (code, msg) = error_to_wire(&ServeError::ChunkMismatch {
+            matrix_id: 9,
+            index: CHUNK_INDEX_NONE,
+        });
+        assert!(matches!(
+            wire_to_error(code, msg),
+            ServeError::ChunkMismatch {
+                matrix_id: 9,
+                index: CHUNK_INDEX_NONE,
+            }
+        ));
+        // Garbled messages fall back to Remote.
+        assert!(matches!(
+            wire_to_error(ErrorCode::ChunkMismatch, "garbled".into()),
+            ServeError::Remote { .. }
+        ));
+    }
+
+    #[test]
+    fn vectored_writes_match_contiguous_frames() {
+        let p = params();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let sk = SecretKey::generate(&p, &mut rng);
+        let enc = Encryptor::new(&p, &sk);
+        let coder = CoeffEncoder::new(&p);
+        let ct = enc.encrypt(&coder.encode_vector(&[4]).unwrap(), &mut rng);
+        let resp = Response::HmvpDone {
+            len: 3,
+            packed: vec![
+                PackedRlwe {
+                    ciphertext: ct.clone(),
+                    log_count: 2,
+                    count: 3,
+                },
+                PackedRlwe {
+                    ciphertext: ct,
+                    log_count: 1,
+                    count: 2,
+                },
+            ],
+        };
+        // to_parts concatenates to the exact to_bytes body...
+        let parts = resp.to_parts();
+        assert!(parts.len() > 1, "HmvpDone should scatter");
+        let concat: Vec<u8> = parts.concat();
+        assert_eq!(concat, resp.to_bytes());
+        // ...and the vectored writer emits the exact same frame bytes.
+        let mut contiguous = Vec::new();
+        write_frame(&mut contiguous, FrameKind::Result, &concat).unwrap();
+        let mut vectored = Vec::new();
+        let borrowed: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        write_frame_vectored(&mut vectored, FrameKind::Result, &borrowed).unwrap();
+        assert_eq!(vectored, contiguous);
+        // Single-part responses scatter trivially and still match.
+        let pong = Response::KeysLoaded { key_id: 1 };
+        let parts = pong.to_parts();
+        assert_eq!(parts.concat(), pong.to_bytes());
+        // A writer that dribbles one byte at a time still produces the
+        // exact frame (partial-write resumption).
+        struct Dribble(Vec<u8>);
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if buf.is_empty() {
+                    return Ok(0);
+                }
+                self.0.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut dribble = Dribble(Vec::new());
+        write_frame_vectored(&mut dribble, FrameKind::Result, &borrowed).unwrap();
+        assert_eq!(dribble.0, contiguous);
     }
 
     #[test]

@@ -39,9 +39,9 @@
 //! operation's attempts and sleeps; when the budget is exhausted the
 //! last error surfaces rather than another sleep starting.
 
-use crate::client::{ClientConfig, ServeClient, ServerInfo};
+use crate::client::{ChunkUpload, ClientConfig, ServeClient, ServerInfo};
 use crate::faults::SplitMix64;
-use crate::protocol::ErrorCode;
+use crate::protocol::{self, ErrorCode};
 use crate::stats::{IntrospectSnapshot, StatsSnapshot};
 use crate::{Result, ServeError};
 use cham_he::ciphertext::RlweCiphertext;
@@ -293,6 +293,13 @@ pub struct RetryStatsSnapshot {
     /// Endpoint switches: times a failure moved this client off its
     /// current endpoint toward a different one.
     pub failovers: u64,
+    /// Matrix chunks actually sent over the wire by streamed uploads
+    /// (protocol v5).
+    pub chunks_sent: u64,
+    /// Matrix chunks a streamed upload skipped because the server's
+    /// received-bitmap already held them — the measure of how much a
+    /// resumable re-upload saved versus whole-matrix replay.
+    pub chunks_skipped: u64,
 }
 
 /// A [`ServeClient`] that survives transient failures.
@@ -459,9 +466,11 @@ impl RetryClient {
     /// # Errors
     /// The last error once the policy's attempts/budget are exhausted.
     pub fn load_matrix(&mut self, matrix: &Matrix) -> Result<u64> {
-        let id = self.run(|c| c.load_matrix(matrix))?;
-        self.matrix_uploads.insert(id, matrix.clone());
-        Ok(id)
+        let up = self.run(|c| upload_matrix(c, matrix))?;
+        self.stats.chunks_sent += u64::from(up.chunks_sent);
+        self.stats.chunks_skipped += u64::from(up.chunks_skipped);
+        self.matrix_uploads.insert(up.matrix_id, matrix.clone());
+        Ok(up.matrix_id)
     }
 
     /// Runs one HMVP with full recovery: backoff on `Busy`, reconnect on
@@ -558,6 +567,14 @@ impl RetryClient {
                 self.reupload_matrix(*id);
                 true
             }
+            // A chunk (or the reassembled body) failed its content check
+            // mid-stream: the next attempt replays the upload, and the
+            // server's received-bitmap scopes it to what is missing.
+            ServeError::ChunkMismatch { .. }
+            | ServeError::Remote {
+                code: ErrorCode::ChunkMismatch,
+                ..
+            } => true,
             // A draining server is terminal for a single endpoint but a
             // failover signal when replicas exist (the single-endpoint
             // case falls through to the non-retryable catch-all).
@@ -635,7 +652,11 @@ impl RetryClient {
         self.stats.reuploads += done;
     }
 
-    /// Best-effort replay of an uploaded matrix after an eviction.
+    /// Best-effort replay of an uploaded matrix after an eviction. On a
+    /// v5 connection the replay streams chunked and *resumable*: the
+    /// server's received-bitmap (which survives reconnects) scopes the
+    /// replay to the chunks it is actually missing, instead of the
+    /// pre-v5 whole-matrix re-send.
     fn reupload_matrix(&mut self, id: u64) {
         let targets: Vec<Matrix> = if let Some(m) = self.matrix_uploads.get(&id) {
             vec![m.clone()]
@@ -643,14 +664,36 @@ impl RetryClient {
             self.matrix_uploads.values().cloned().collect()
         };
         let mut done = 0;
+        let mut sent = 0u64;
+        let mut skipped = 0u64;
         if let Ok(client) = self.ensure_connected() {
             for m in &targets {
-                if client.load_matrix(m).is_ok() {
+                if let Ok(up) = upload_matrix(client, m) {
                     done += 1;
+                    sent += u64::from(up.chunks_sent);
+                    skipped += u64::from(up.chunks_skipped);
                 }
             }
         }
         self.stats.reuploads += done;
+        self.stats.chunks_sent += sent;
+        self.stats.chunks_skipped += skipped;
+    }
+}
+
+/// Uploads a matrix the best way the connection's revision allows:
+/// streamed-resumable on v5, monolithic below (reported as zero chunks).
+fn upload_matrix(client: &mut ServeClient, matrix: &Matrix) -> Result<ChunkUpload> {
+    if client.server_info().version >= 5 {
+        client.load_matrix_streamed(matrix, protocol::DEFAULT_CHUNK_BYTES)
+    } else {
+        client
+            .load_matrix_monolithic(matrix)
+            .map(|matrix_id| ChunkUpload {
+                matrix_id,
+                chunks_sent: 0,
+                chunks_skipped: 0,
+            })
     }
 }
 

@@ -29,12 +29,14 @@ use crate::protocol::{self, FrameKind, Hello, Response};
 use crate::scheduler::{HmvpJob, Scheduler};
 use crate::shard::{ClusterIdentity, ShardSpec};
 use crate::stats::{IntrospectSnapshot, PhaseHistograms, ServeStats, StatsSnapshot};
+use crate::store::SegmentStore;
 use crate::worker::{WorkerContext, WorkerPool};
 use crate::{Result, ServeError};
 use cham_he::params::ChamParams;
 use cham_telemetry::counter_add;
 use cham_telemetry::flight::{FlightEventKind, FlightRecorder, RequestTrace};
 use cham_telemetry::span::{self, phase, SpanRecorder, TraceId};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -42,6 +44,27 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Upper bound on concurrently pending streamed uploads. Together with
+/// the per-upload `total_len` bound this caps the server's assembly
+/// memory; a further `MatrixChunkStart` is answered `Busy` unless an
+/// existing assembly has sat idle past [`UPLOAD_IDLE_REAP`].
+const MAX_PENDING_UPLOADS: usize = 4;
+
+/// Idle age after which a pending upload is reclaimed under pressure — a
+/// client that vanished mid-stream must not pin an assembly slot forever.
+const UPLOAD_IDLE_REAP: Duration = Duration::from_secs(30);
+
+/// Server-side state of one in-flight streamed matrix upload. Lives in
+/// [`ServerShared`] (not the connection) so a client that reconnects
+/// after a disconnect resumes the same assembly.
+struct ChunkAssembly {
+    start: protocol::MatrixChunkStart,
+    buf: Vec<u8>,
+    bitmap: Vec<u8>,
+    received: u32,
+    touched: Instant,
+}
 
 /// Serving shape: pool size, queue bound, batching and cache limits.
 #[derive(Debug, Clone)]
@@ -86,6 +109,13 @@ pub struct ServerConfig {
     /// Operator-assigned node id surfaced in hello responses and
     /// introspection (`0` = unset).
     pub node_id: u64,
+    /// When set, encoded matrices persist to a crash-safe
+    /// [`SegmentStore`] at this directory and a restarted server
+    /// restores them instead of re-encoding (`None` = RAM only).
+    pub store_dir: Option<PathBuf>,
+    /// Byte cap on the persistent store's live segments (`0` =
+    /// unbounded); past it the least recently used segments are evicted.
+    pub store_cap_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -104,6 +134,8 @@ impl Default for ServerConfig {
             flight_dump_path: None,
             shard: None,
             node_id: 0,
+            store_dir: None,
+            store_cap_bytes: 0,
         }
     }
 }
@@ -119,6 +151,8 @@ struct ServerShared {
     flight: Arc<FlightRecorder>,
     config: ServerConfig,
     shutdown: AtomicBool,
+    /// In-flight streamed uploads, keyed by declared matrix id.
+    uploads: Mutex<HashMap<u64, ChunkAssembly>>,
 }
 
 impl ServerShared {
@@ -206,9 +240,16 @@ impl Server {
                 .with_faults(config.faults.clone())
                 .with_flight(Some(Arc::clone(&flight))),
         );
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(
+                SegmentStore::open(dir, config.store_cap_bytes)?.with_faults(config.faults.clone()),
+            )),
+            None => None,
+        };
         let cache = Arc::new(
             SessionCache::new(params, config.key_cache, config.matrix_cache)
-                .with_telemetry(Some(Arc::clone(&phases)), Some(Arc::clone(&flight))),
+                .with_telemetry(Some(Arc::clone(&phases)), Some(Arc::clone(&flight)))
+                .with_store(store),
         );
         let pool = WorkerPool::spawn(
             Arc::clone(&scheduler),
@@ -230,6 +271,7 @@ impl Server {
             flight,
             config: config.clone(),
             shutdown: AtomicBool::new(false),
+            uploads: Mutex::new(HashMap::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -556,9 +598,9 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<()>
                         // and the flight recorder — an introspection
                         // probe right after a response never races its
                         // own request.
-                        let bytes = span::with_recorder(Arc::clone(&rec), || {
+                        let parts = span::with_recorder(Arc::clone(&rec), || {
                             let _sp = span::Span::enter(phase::SERIALIZE);
-                            outcome.response.to_bytes()
+                            outcome.response.to_parts()
                         });
                         let total_ns =
                             u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -570,14 +612,16 @@ fn handle_connection(mut stream: TcpStream, shared: &ServerShared) -> Result<()>
                             total_ns,
                             phases: spans,
                         });
-                        protocol::write_frame(&mut stream, FrameKind::Result, &bytes)?;
+                        // Scatter-gather write: ciphertext payloads go to
+                        // the socket from where they already are instead
+                        // of through one contiguous staging copy.
+                        let slices: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+                        protocol::write_frame_vectored(&mut stream, FrameKind::Result, &slices)?;
                     }
                     None => {
-                        protocol::write_frame(
-                            &mut stream,
-                            FrameKind::Result,
-                            &outcome.response.to_bytes(),
-                        )?;
+                        let parts = outcome.response.to_parts();
+                        let slices: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+                        protocol::write_frame_vectored(&mut stream, FrameKind::Result, &slices)?;
                     }
                 }
             }
@@ -738,6 +782,174 @@ fn handle_frame(
                 },
                 trace: Some((trace, started, start_ns)),
             })
+        }
+        FrameKind::MatrixChunkStart => {
+            if *version < 5 {
+                return Err(ServeError::Incompatible(
+                    "streamed uploads need protocol v5",
+                ));
+            }
+            let start = protocol::MatrixChunkStart::from_bytes(body)?;
+            shared.check_owned(start.matrix_id)?;
+            let bitmap_len = (start.chunk_count as usize).div_ceil(8);
+            // Already resident (RAM, or restored from the persistent
+            // store): ack everything received so the client skips
+            // straight to commit — content addressing makes the
+            // streamed re-upload as idempotent as the monolithic one.
+            if cache.get_matrix(start.matrix_id).is_ok() {
+                let mut bitmap = vec![0u8; bitmap_len];
+                for i in 0..start.chunk_count as usize {
+                    protocol::bitmap_set(&mut bitmap, i);
+                }
+                return Ok(FrameOutcome::plain(Response::ChunkAck {
+                    matrix_id: start.matrix_id,
+                    chunk_count: start.chunk_count,
+                    bitmap,
+                }));
+            }
+            let mut uploads = shared.uploads.lock().expect("uploads table poisoned");
+            if let Some(asm) = uploads.get_mut(&start.matrix_id) {
+                // Resume: the declaration must match what we already
+                // hold, else one of the two uploads is lying about the
+                // content behind this id.
+                if asm.start != start {
+                    return Err(ServeError::BadFrame(
+                        "streamed upload redeclared with different geometry",
+                    ));
+                }
+                asm.touched = Instant::now();
+                return Ok(FrameOutcome::plain(Response::ChunkAck {
+                    matrix_id: start.matrix_id,
+                    chunk_count: start.chunk_count,
+                    bitmap: asm.bitmap.clone(),
+                }));
+            }
+            if uploads.len() >= MAX_PENDING_UPLOADS {
+                // Reclaim an abandoned assembly before refusing.
+                let stale = uploads
+                    .iter()
+                    .filter(|(_, a)| a.touched.elapsed() >= UPLOAD_IDLE_REAP)
+                    .min_by_key(|(_, a)| a.touched)
+                    .map(|(&k, _)| k);
+                match stale {
+                    Some(k) => {
+                        uploads.remove(&k);
+                        counter_add!("cham_serve.chunks.reaped_uploads", 1);
+                    }
+                    None => return Err(ServeError::Busy),
+                }
+            }
+            let total = usize::try_from(start.total_len)
+                .map_err(|_| ServeError::BadFrame("chunked upload total out of bounds"))?;
+            uploads.insert(
+                start.matrix_id,
+                ChunkAssembly {
+                    start,
+                    buf: vec![0u8; total],
+                    bitmap: vec![0u8; bitmap_len],
+                    received: 0,
+                    touched: Instant::now(),
+                },
+            );
+            counter_add!("cham_serve.chunks.uploads_started", 1);
+            Ok(FrameOutcome::plain(Response::ChunkAck {
+                matrix_id: start.matrix_id,
+                chunk_count: start.chunk_count,
+                bitmap: vec![0u8; bitmap_len],
+            }))
+        }
+        FrameKind::MatrixChunk => {
+            if *version < 5 {
+                return Err(ServeError::Incompatible(
+                    "streamed uploads need protocol v5",
+                ));
+            }
+            let (matrix_id, index, checksum, data) = protocol::matrix_chunk_from_bytes(body)?;
+            let mut uploads = shared.uploads.lock().expect("uploads table poisoned");
+            let asm = uploads
+                .get_mut(&matrix_id)
+                .ok_or(ServeError::BadFrame("chunk for an undeclared upload"))?;
+            // Placement and content are validated before a single byte
+            // lands in the assembly buffer.
+            if index >= asm.start.chunk_count {
+                return Err(ServeError::BadFrame("chunk index out of range"));
+            }
+            if data.len() != asm.start.len_of_chunk(index) {
+                return Err(ServeError::BadFrame(
+                    "chunk length disagrees with declaration",
+                ));
+            }
+            if content_hash(data) != checksum {
+                return Err(ServeError::ChunkMismatch { matrix_id, index });
+            }
+            asm.touched = Instant::now();
+            if protocol::bitmap_get(&asm.bitmap, index as usize) {
+                counter_add!("cham_serve.chunks.duplicates", 1);
+            } else {
+                let off = index as usize * asm.start.chunk_size as usize;
+                asm.buf[off..off + data.len()].copy_from_slice(data);
+                protocol::bitmap_set(&mut asm.bitmap, index as usize);
+                asm.received += 1;
+                counter_add!("cham_serve.chunks.received", 1);
+            }
+            Ok(FrameOutcome::plain(Response::ChunkAck {
+                matrix_id,
+                chunk_count: asm.start.chunk_count,
+                bitmap: asm.bitmap.clone(),
+            }))
+        }
+        FrameKind::MatrixChunkCommit => {
+            if *version < 5 {
+                return Err(ServeError::Incompatible(
+                    "streamed uploads need protocol v5",
+                ));
+            }
+            let matrix_id = protocol::matrix_chunk_commit_from_bytes(body)?;
+            let asm = {
+                let mut uploads = shared.uploads.lock().expect("uploads table poisoned");
+                match uploads.get(&matrix_id) {
+                    Some(asm) if asm.received != asm.start.chunk_count => {
+                        // Keep the assembly: the client reads the error,
+                        // re-sends the missing chunks, and commits again.
+                        return Err(ServeError::BadFrame(
+                            "commit before every chunk was received",
+                        ));
+                    }
+                    Some(_) => uploads.remove(&matrix_id).expect("assembly vanished"),
+                    None => {
+                        // No assembly: the Start may have answered from
+                        // cache, or this is a duplicate commit. Either
+                        // way resident content makes it idempotent.
+                        drop(uploads);
+                        let encoded = cache.get_matrix(matrix_id)?;
+                        let (rows, cols) = encoded.shape();
+                        return Ok(FrameOutcome::plain(Response::MatrixLoaded {
+                            matrix_id,
+                            rows: rows as u32,
+                            cols: cols as u32,
+                        }));
+                    }
+                }
+            };
+            // The whole-body hash is the content address the client
+            // declared — if reassembly disagrees, some chunk lied in a
+            // way its own checksum missed, and the only safe answer is
+            // a full re-upload (the assembly is dropped).
+            if content_hash(&asm.buf) != matrix_id {
+                return Err(ServeError::ChunkMismatch {
+                    matrix_id,
+                    index: protocol::CHUNK_INDEX_NONE,
+                });
+            }
+            let matrix = protocol::matrix_from_bytes(&asm.buf, cache.params())?;
+            let loaded_id = cache.put_matrix(&asm.buf, &matrix)?;
+            debug_assert_eq!(loaded_id, matrix_id);
+            counter_add!("cham_serve.chunks.committed", 1);
+            Ok(FrameOutcome::plain(Response::MatrixLoaded {
+                matrix_id: loaded_id,
+                rows: matrix.rows() as u32,
+                cols: matrix.cols() as u32,
+            }))
         }
         FrameKind::Result | FrameKind::Error => {
             Err(ServeError::BadFrame("response frame sent to server"))

@@ -15,6 +15,11 @@
 #   serve_cluster    -> latency_p99_ns (lower is better),
 #                       goodput_rps (higher is better); failed_requests
 #                       gates at exactly zero regardless of tolerance
+#   serve_store      -> cold/warm_first_result_seconds (lower is better),
+#                       warm_speedup (higher is better); warm_matrix_encodes
+#                       and warm_chunks_sent gate at exactly zero — a warm
+#                       restart that re-encodes or re-streams is a
+#                       persistence bug, not a perf regression
 # Metrics missing from either file are skipped (so a pre-ablation baseline
 # still guards the metrics it has — new observability fields like
 # latency_p50/p99/p999_ns and the phase_ns.* map never fail on their first
@@ -54,6 +59,11 @@ GUARDS = {
     "serve_cluster": {
         "latency_p99_ns": "lower",
         "goodput_rps": "higher",
+    },
+    "serve_store": {
+        "cold_first_result_seconds": "lower",
+        "warm_first_result_seconds": "lower",
+        "warm_speedup": "higher",
     },
 }
 
@@ -103,7 +113,10 @@ for metric, direction in guards.items():
 
 # Correctness gates: some records carry counters that must be exactly
 # zero — a single lost request is a resilience bug, not a 10% regression.
-ZERO_GATES = {"serve_cluster": ["failed_requests"]}
+ZERO_GATES = {
+    "serve_cluster": ["failed_requests"],
+    "serve_store": ["warm_matrix_encodes", "warm_chunks_sent"],
+}
 for metric in ZERO_GATES.get(name, []):
     c = cur.get("metrics", {}).get(metric)
     if not isinstance(c, (int, float)):
