@@ -20,6 +20,11 @@ fn main() {
     let mut run = BenchRun::from_env("fig8_hmvp");
     let params = ChamParams::cham_default().expect("paper params");
     let threads = run.threads();
+    let backend = cham_math::Backend::active();
+    println!(
+        "SIMD backend: {backend} ({} lanes; override with CHAM_SIMD)",
+        backend.lanes()
+    );
     println!("measuring CPU per-op costs (N = 4096, {threads} thread(s))...");
     let cpu = CpuCosts::measure_with_threads(&params, threads);
     let model = HmvpCycleModel::cham();

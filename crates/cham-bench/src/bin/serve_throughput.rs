@@ -61,9 +61,10 @@ fn main() {
         inputs.push(cts);
     }
 
+    let backend = cham_math::Backend::active();
     println!(
         "serve_throughput: {total} requests ({CLIENTS} clients x {PER_CLIENT}), \
-         {ROWS}x{COLS} matrix, N = {}, {workers} worker(s)",
+         {ROWS}x{COLS} matrix, N = {}, {workers} worker(s), simd = {backend}",
         params.degree()
     );
 

@@ -8,7 +8,8 @@
 
 use cham_bench::{si, BenchRun, CpuCosts};
 use cham_he::params::ChamParams;
-use cham_math::NttTable;
+use cham_math::poly::LAZY_ACC_BOUND;
+use cham_math::{simd, Backend, NttTable};
 use cham_sim::baselines::published_ntt;
 use cham_sim::pipeline::HmvpCycleModel;
 use cham_sim::report::table3;
@@ -93,7 +94,93 @@ fn main() {
     );
     println!("lazy-reduction speedup:         {lazy_speedup:.2}x");
 
+    // Scalar-vs-SIMD ablation: the same lazy datapath, pinned to the scalar
+    // backend and to the host's best vector backend via `with_backend` (the
+    // in-process equivalent of two `CHAM_SIMD=scalar`/`=auto` runs), over
+    // all four hot kernels. `NttTable::new` above already captured the
+    // env-selected backend, so `ntt_lazy_seconds` stays the production
+    // path; the rows below isolate the vectorization factor.
+    let simd_backend = Backend::detect_auto();
+    let scalar_table = NttTable::with_backend(n, q, Backend::Scalar).expect("NTT table");
+    let simd_table = NttTable::with_backend(n, q, simd_backend).expect("NTT table");
+    let fwd_scalar_s = time_ntt(reps, || scalar_table.forward(&mut poly));
+    let fwd_simd_s = time_ntt(reps, || simd_table.forward(&mut poly));
+    let inv_scalar_s = time_ntt(reps, || scalar_table.inverse(&mut poly));
+    let inv_simd_s = time_ntt(reps, || simd_table.inverse(&mut poly));
+    // Element-wise kernels on single-limb N-length slices. The mul-lazy
+    // constants must be canonical (< q); the MAC runs a full
+    // LAZY_ACC_BOUND window (1 write + 15 accumulates) per rep so the
+    // u128 lanes never outrun their headroom proof.
+    let w: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q.value()).collect();
+    let ws: Vec<u64> = w.iter().map(|&x| q.shoup(x)).collect();
+    let mul_scalar_s = time_ntt(reps, || {
+        simd::mul_shoup_lazy_slice(Backend::Scalar, &mut poly, &w, &ws, &q);
+    });
+    let mul_simd_s = time_ntt(reps, || {
+        simd::mul_shoup_lazy_slice(simd_backend, &mut poly, &w, &ws, &q);
+    });
+    let mut acc = vec![0u128; n];
+    let mut mac_window = |backend: Backend| {
+        simd::mac_write(backend, &mut acc, &w, &w);
+        for _ in 1..LAZY_ACC_BOUND {
+            simd::mac_accumulate(backend, &mut acc, &w, &w);
+        }
+    };
+    let mac_reps = reps / LAZY_ACC_BOUND + 1;
+    let mac_scalar_s = time_ntt(mac_reps, || mac_window(Backend::Scalar));
+    let mac_simd_s = time_ntt(mac_reps, || mac_window(simd_backend));
+    let speedup_fwd = fwd_scalar_s / fwd_simd_s;
+    let speedup_inv = inv_scalar_s / inv_simd_s;
+    let speedup_mul = mul_scalar_s / mul_simd_s;
+    let speedup_mac = mac_scalar_s / mac_simd_s;
+    println!();
+    println!(
+        "=== Ablation: scalar vs SIMD backend `{}` ({} lanes, N = {n}) ===",
+        simd_backend,
+        simd_backend.lanes()
+    );
+    println!(
+        "{:>24} {:>14} {:>14} {:>10}",
+        "kernel", "scalar s", "simd s", "speedup"
+    );
+    let per = reps as f64;
+    let mac_per = (mac_reps * LAZY_ACC_BOUND) as f64;
+    for (name, s, v, sp) in [
+        (
+            "forward NTT",
+            fwd_scalar_s / per,
+            fwd_simd_s / per,
+            speedup_fwd,
+        ),
+        (
+            "inverse NTT",
+            inv_scalar_s / per,
+            inv_simd_s / per,
+            speedup_inv,
+        ),
+        (
+            "mul_shoup_lazy",
+            mul_scalar_s / per,
+            mul_simd_s / per,
+            speedup_mul,
+        ),
+        (
+            "mac (fused dot)",
+            mac_scalar_s / mac_per,
+            mac_simd_s / mac_per,
+            speedup_mac,
+        ),
+    ] {
+        println!("{name:>24} {s:>14.3e} {v:>14.3e} {sp:>9.2}x");
+    }
+
     run.param("degree", params.degree());
+    run.param("simd_ablation_backend", simd_backend.name());
+    run.metric("ntt_simd_seconds", fwd_simd_s / reps as f64)
+        .metric("simd_speedup_fwd_ntt", speedup_fwd)
+        .metric("simd_speedup_inv_ntt", speedup_inv)
+        .metric("simd_speedup_mul_lazy", speedup_mul)
+        .metric("simd_speedup_mac", speedup_mac);
     run.metric("ntt_strict_seconds", strict_s / reps as f64)
         .metric("ntt_lazy_seconds", lazy_s / reps as f64)
         .metric("ntt_lazy_speedup", lazy_speedup);

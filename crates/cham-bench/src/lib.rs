@@ -112,6 +112,26 @@ impl BenchRun {
         let mut record = RunRecord::start(name);
         record.param("threads", threads as u64);
         record.param("pool_threads", cham_pool::global().threads() as u64);
+        // Active SIMD backend (resolves CHAM_SIMD on first use) so every
+        // bench trajectory is attributable to the datapath that produced
+        // it. `simd_requested` preserves the raw env (distinguishes an
+        // explicit `scalar` pin from auto-resolution), and
+        // `simd_expect_vector` is computed from raw feature detection —
+        // independent of the Backend dispatch logic — so a dispatch bug
+        // that silently falls back to scalar cannot mask itself.
+        let backend = cham_math::Backend::active();
+        let requested = std::env::var("CHAM_SIMD").unwrap_or_else(|_| "auto".into());
+        #[cfg(target_arch = "x86_64")]
+        let host_vector = std::arch::is_x86_feature_detected!("avx2");
+        #[cfg(target_arch = "aarch64")]
+        let host_vector = true;
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        let host_vector = false;
+        let expect_vector = host_vector && !requested.trim().eq_ignore_ascii_case("scalar");
+        record.param("simd_backend", backend.name());
+        record.param("simd_lanes", backend.lanes() as u64);
+        record.param("simd_requested", requested);
+        record.param("simd_expect_vector", u64::from(expect_vector));
         Self {
             record,
             json_path,
@@ -170,6 +190,13 @@ impl BenchRun {
         let (hits, misses) = cham_he::scratch::scratch_stats();
         self.record.metric("scratch_hits", hits);
         self.record.metric("scratch_misses", misses);
+        // SIMD dispatch accounting (always-on atomics): totals across the
+        // kernel families, so a run that claims a vector backend but did
+        // all its work in scalar tails is visible in the record.
+        let simd = cham_math::simd_stats();
+        let (vector_elems, tail_elems) = simd.totals();
+        self.record.metric("simd_vector_elems", vector_elems);
+        self.record.metric("simd_tail_elems", tail_elems);
         self.record.finish();
         if let Some(path) = &self.json_path {
             self.record

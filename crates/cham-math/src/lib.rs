@@ -52,6 +52,7 @@ pub mod poly;
 pub mod primality;
 pub mod rns;
 pub mod sampling;
+pub mod simd;
 pub(crate) mod telemetry;
 
 pub use modulus::Modulus;
@@ -59,6 +60,7 @@ pub use ntt::NttTable;
 pub use ntt_cg::CgNttTable;
 pub use poly::Poly;
 pub use rns::{RnsContext, RnsPoly};
+pub use simd::{simd_stats, Backend, SimdStats};
 
 use std::error::Error;
 use std::fmt;

@@ -114,6 +114,15 @@ impl Modulus {
         // Barrett estimate is conservative by design.
         let ratio128 = u128::MAX / value as u128;
         let ratio = (ratio128 as u64, (ratio128 >> 64) as u64);
+        // Belt-and-braces twin of the range check above: the whole lazy
+        // datapath (scalar and SIMD) relies on 4q − 1 fitting in u64, i.e.
+        // q < 2^62. The `if` rejects violations in release builds; this
+        // assert documents the invariant at the single point it is
+        // established.
+        debug_assert!(
+            value.checked_mul(4).is_some(),
+            "lazy headroom requires q < 2^62"
+        );
         Ok(Self {
             value,
             ratio,
@@ -291,13 +300,20 @@ impl Modulus {
     }
 
     /// Shoup multiplication without the final conditional subtraction:
-    /// result in `[0, 2q)`, congruent to `a·w mod q`. Valid for **any**
-    /// `u64` operand `a` (in particular lazy `[0, 4q)` values) and a
-    /// canonical constant `w < q` with `w_shoup = self.shoup(w)` — the
-    /// quotient estimate `⌊a·w_shoup/2^64⌋` is off by at most one, so the
-    /// remainder stays below `2q`.
+    /// result in `[0, 2q)`, congruent to `a·w mod q`.
+    ///
+    /// **Lazy-range contract**: valid for **any** `u64` operand `a` (in
+    /// particular lazy `[0, 4q)` values) and a *canonical* constant
+    /// `w < q` with `w_shoup = self.shoup(w)` — the quotient estimate
+    /// `⌊a·w_shoup/2^64⌋` is off by at most one, so the remainder stays
+    /// below `2q`. The `q < 2^62` headroom this relies on is a `Modulus`
+    /// construction invariant (asserted in [`Modulus::new`]), **not** a
+    /// per-call precondition; the only per-call obligation is `w < q`,
+    /// checked here in debug builds. The SIMD twins in [`crate::simd`]
+    /// implement exactly this contract lane-for-lane.
     #[inline]
     pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(w < self.value, "mul_shoup_lazy requires canonical w < q");
         let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
         a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.value))
     }

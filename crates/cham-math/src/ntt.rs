@@ -32,6 +32,7 @@
 
 use crate::modulus::Modulus;
 use crate::primality::min_primitive_root_of_unity;
+use crate::simd::{Backend, Kernel};
 use crate::{bit_reverse, log2_exact, MathError, Result};
 
 /// Precomputed tables for a negacyclic NTT of size `n` modulo `q`.
@@ -67,6 +68,9 @@ pub struct NttTable {
     inv_last_scaled: u64,
     inv_last_scaled_shoup: u64,
     psi: u64,
+    /// SIMD backend captured at construction ([`Backend::active`] unless
+    /// pinned via [`NttTable::with_backend`]). Strict twins ignore it.
+    backend: Backend,
 }
 
 impl NttTable {
@@ -79,6 +83,25 @@ impl NttTable {
     /// * [`MathError::NoNttSupport`] if the modulus cannot host a `2n`-th
     ///   root of unity.
     pub fn new(n: usize, q: Modulus) -> Result<Self> {
+        Self::with_backend(n, q, Backend::active())
+    }
+
+    /// Like [`NttTable::new`] but pins the table to a specific SIMD
+    /// [`Backend`] instead of the process-wide [`Backend::active`] choice —
+    /// the hook the `table3_ntt` ablation and the per-backend equivalence
+    /// suites use for in-process A/B comparisons.
+    ///
+    /// # Errors
+    /// In addition to the [`NttTable::new`] errors, returns
+    /// [`MathError::InvalidParameter`] when the backend cannot run on this
+    /// host (e.g. `avx2` without the CPU feature) — silently degrading a
+    /// pinned ablation arm would corrupt the measurement.
+    pub fn with_backend(n: usize, q: Modulus, backend: Backend) -> Result<Self> {
+        if !backend.available() {
+            return Err(MathError::InvalidParameter(
+                "requested SIMD backend is not available on this host",
+            ));
+        }
         if !n.is_power_of_two() || !(4..=(1 << 20)).contains(&n) {
             return Err(MathError::InvalidDegree(n));
         }
@@ -119,7 +142,14 @@ impl NttTable {
             inv_last_scaled,
             inv_last_scaled_shoup: q.shoup(inv_last_scaled),
             psi,
+            backend,
         })
+    }
+
+    /// The SIMD backend this table dispatches its lazy transforms to.
+    #[inline]
+    pub const fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Transform size.
@@ -157,33 +187,34 @@ impl NttTable {
         assert_eq!(a.len(), self.n, "operand length mismatch");
         crate::telemetry::ntt_forward(&self.q, self.n, self.log_n);
         let q = &self.q;
-        let two_q = q.two_q();
+        let backend = self.backend;
+        let half = (self.n / 2) as u64;
+        let (mut vec_bf, mut tail_bf) = (0u64, 0u64);
         let mut t = self.n;
         let mut m = 1usize;
         while m < self.n {
             t >>= 1;
-            for i in 0..m {
-                let w = self.root_powers[m + i];
-                let ws = self.root_powers_shoup[m + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    // Harvey butterfly: operands live in [0, 4q); one
-                    // conditional −2q on u is the only correction.
-                    let mut u = a[j];
-                    if u >= two_q {
-                        u -= two_q;
-                    }
-                    let v = q.mul_shoup_lazy(a[j + t], w, ws);
-                    a[j] = u + v;
-                    a[j + t] = u + two_q - v;
-                }
+            // Whole-stage dispatch: one branch per stage, lane-width blocks
+            // inside. Stages with stride below the lane width run scalar.
+            crate::simd::fwd_ntt_stage(
+                backend,
+                a,
+                m,
+                t,
+                &self.root_powers,
+                &self.root_powers_shoup,
+                q,
+            );
+            if backend.is_vector() && t >= backend.lanes() {
+                vec_bf += half;
+            } else {
+                tail_bf += half;
             }
             m <<= 1;
         }
+        crate::simd::record_kernel(Kernel::FwdButterfly, vec_bf, tail_bf);
         // Single normalization pass: [0, 4q) → [0, q).
-        for x in a.iter_mut() {
-            *x = q.reduce_from_lazy(*x);
-        }
+        crate::simd::reduce_from_lazy_slice(backend, a, q);
     }
 
     /// In-place inverse negacyclic NTT. Input in bit-reversed order, output
@@ -199,32 +230,33 @@ impl NttTable {
         crate::telemetry::ntt_inverse(&self.q, self.n, self.log_n);
         let q = &self.q;
         let two_q = q.two_q();
+        let backend = self.backend;
+        let half = (self.n / 2) as u64;
+        let (mut vec_bf, mut tail_bf) = (0u64, 0u64);
         let mut t = 1usize;
         let mut m = self.n;
         while m > 2 {
             let h = m >> 1;
-            let mut j1 = 0usize;
-            for i in 0..h {
-                let w = self.inv_root_powers[h + i];
-                let ws = self.inv_root_powers_shoup[h + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    // Lazy GS: one conditional −2q on the sum; the
-                    // difference leg absorbs its 2q offset in the Shoup
-                    // multiply's implicit reduction to [0, 2q).
-                    let mut s = u + v;
-                    if s >= two_q {
-                        s -= two_q;
-                    }
-                    a[j] = s;
-                    a[j + t] = q.mul_shoup_lazy(u + two_q - v, w, ws);
-                }
-                j1 += 2 * t;
+            crate::simd::inv_ntt_stage(
+                backend,
+                a,
+                h,
+                t,
+                &self.inv_root_powers,
+                &self.inv_root_powers_shoup,
+                q,
+            );
+            if backend.is_vector() && t >= backend.lanes() {
+                vec_bf += half;
+            } else {
+                tail_bf += half;
             }
             t <<= 1;
             m = h;
         }
+        // The fused final stage below stays scalar: it runs strict Shoup
+        // multiplies with per-leg constants, not the lazy GS kernel.
+        crate::simd::record_kernel(Kernel::InvButterfly, vec_bf, tail_bf + half);
         // Last stage (m == 2): a single twiddle across n/2 butterflies;
         // scale both legs by n^{-1} via pre-scaled constants, producing
         // canonical output directly — the full-array scaling loop is gone.

@@ -18,6 +18,7 @@
 
 use crate::modulus::Modulus;
 use crate::primality::min_primitive_root_of_unity;
+use crate::simd::{Backend, Kernel};
 use crate::{bit_reverse, log2_exact, MathError, Result};
 
 /// Precomputed twiddle ROMs for the constant-geometry NTT.
@@ -51,6 +52,9 @@ pub struct CgNttTable {
     /// ψ^{-j} · n^{-1} untwist factors (fused into the inverse epilogue).
     untwist: Vec<u64>,
     untwist_shoup: Vec<u64>,
+    /// SIMD backend captured at construction ([`Backend::active`] unless
+    /// pinned via [`CgNttTable::with_backend`]).
+    backend: Backend,
 }
 
 impl CgNttTable {
@@ -60,6 +64,23 @@ impl CgNttTable {
     /// Same conditions as [`crate::ntt::NttTable::new`]: `n` must be a power
     /// of two in `[4, 2^20]` and `q ≡ 1 (mod 2n)`.
     pub fn new(n: usize, q: Modulus) -> Result<Self> {
+        Self::with_backend(n, q, Backend::active())
+    }
+
+    /// Like [`CgNttTable::new`] but pins the table to a specific SIMD
+    /// [`Backend`] — the A/B hook matching
+    /// [`crate::ntt::NttTable::with_backend`].
+    ///
+    /// # Errors
+    /// In addition to the [`CgNttTable::new`] errors, returns
+    /// [`MathError::InvalidParameter`] when the backend cannot run on this
+    /// host.
+    pub fn with_backend(n: usize, q: Modulus, backend: Backend) -> Result<Self> {
+        if !backend.available() {
+            return Err(MathError::InvalidParameter(
+                "requested SIMD backend is not available on this host",
+            ));
+        }
         if !n.is_power_of_two() || !(4..=(1 << 20)).contains(&n) {
             return Err(MathError::InvalidDegree(n));
         }
@@ -105,7 +126,14 @@ impl CgNttTable {
             n,
             log_n,
             q,
+            backend,
         })
+    }
+
+    /// The SIMD backend this table dispatches its stages to.
+    #[inline]
+    pub const fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// Transform size.
@@ -140,21 +168,18 @@ impl CgNttTable {
     /// `u` leg per butterfly.
     #[inline]
     fn forward_stage_lazy(&self, i: usize, src: &[u64], dst: &mut [u64]) {
-        let q = &self.q;
-        let two_q = q.two_q();
         let half = self.n / 2;
         let base = i * half;
-        for j in 0..half {
-            let w = self.twiddles[base + j];
-            let ws = self.twiddles_shoup[base + j];
-            let mut u = src[j];
-            if u >= two_q {
-                u -= two_q;
-            }
-            let v = q.mul_shoup_lazy(src[j + half], w, ws);
-            dst[2 * j] = u + v;
-            dst[2 * j + 1] = u + two_q - v;
-        }
+        // Stage twiddles stream contiguously from the flat ROM — exactly
+        // the layout vector lanes want (per-lane loads, no gathers).
+        crate::simd::fwd_cg_stage(
+            self.backend,
+            src,
+            dst,
+            &self.twiddles[base..base + half],
+            &self.twiddles_shoup[base..base + half],
+            &self.q,
+        );
     }
 
     /// Forward negacyclic CG-NTT. Input normal order, output bit-reversed —
@@ -173,9 +198,7 @@ impl CgNttTable {
         let q = &self.q;
         // Twist: fold ψ^j into the load stage. Lazy product lands in
         // [0, 2q) ⊂ [0, 4q), the stage input invariant.
-        for j in 0..self.n {
-            a[j] = q.mul_shoup_lazy(a[j], self.twist[j], self.twist_shoup[j]);
-        }
+        crate::simd::mul_shoup_lazy_slice(self.backend, a, &self.twist, &self.twist_shoup, q);
         let mut scratch = vec![0u64; self.n];
         let mut in_a = true;
         for i in 0..self.log_n as usize {
@@ -186,38 +209,40 @@ impl CgNttTable {
             }
             in_a = !in_a;
         }
-        // Store stage: normalize [0, 4q) → [0, q), fused with the final
-        // RAM copy-back when the data ended in the scratch bank.
-        if in_a {
-            for x in a.iter_mut() {
-                *x = q.reduce_from_lazy(*x);
-            }
-        } else {
-            for (x, &s) in a.iter_mut().zip(scratch.iter()) {
-                *x = q.reduce_from_lazy(s);
-            }
+        self.record_butterflies(Kernel::FwdButterfly);
+        // Store stage: copy back from the scratch bank if the ping-pong
+        // ended there, then normalize [0, 4q) → [0, q).
+        if !in_a {
+            a.copy_from_slice(&scratch);
         }
+        crate::simd::reduce_from_lazy_slice(self.backend, a, q);
     }
 
     /// One inverse CG stage (gather dataflow) in lazy form: inputs and
     /// outputs both in `[0, 2q)`.
     #[inline]
     fn inverse_stage_lazy(&self, i: usize, src: &[u64], dst: &mut [u64]) {
-        let q = &self.q;
-        let two_q = q.two_q();
         let half = self.n / 2;
         let base = i * half;
-        for j in 0..half {
-            let winv = self.inv_twiddles[base + j];
-            let ws = self.inv_twiddles_shoup[base + j];
-            let x = src[2 * j];
-            let y = src[2 * j + 1];
-            let mut s = x + y;
-            if s >= two_q {
-                s -= two_q;
-            }
-            dst[j] = s;
-            dst[j + half] = q.mul_shoup_lazy(x + two_q - y, winv, ws);
+        crate::simd::inv_cg_stage(
+            self.backend,
+            src,
+            dst,
+            &self.inv_twiddles[base..base + half],
+            &self.inv_twiddles_shoup[base..base + half],
+            &self.q,
+        );
+    }
+
+    /// Books one transform's butterfly counts into the dispatch stats:
+    /// every CG stage has `n/2` butterflies, vectorized whenever the stage
+    /// width covers at least one lane block.
+    fn record_butterflies(&self, kernel: Kernel) {
+        let total = (self.n / 2) as u64 * u64::from(self.log_n);
+        if self.backend.is_vector() && self.n / 2 >= self.backend.lanes() {
+            crate::simd::record_kernel(kernel, total, 0);
+        } else {
+            crate::simd::record_kernel(kernel, 0, total);
         }
     }
 
@@ -246,6 +271,7 @@ impl CgNttTable {
             }
             in_a = !in_a;
         }
+        self.record_butterflies(Kernel::InvButterfly);
         // Untwist and scale (the deferred /2 per stage == 1/N overall).
         // `mul_shoup` fully reduces, so this also finishes the lazy values.
         if in_a {

@@ -309,12 +309,8 @@ pub const LAZY_ACC_BOUND: usize = 16;
 /// # Panics
 /// Panics if the slice lengths differ.
 pub fn mul_pointwise_accumulate(acc: &mut [u128], a: &[u64], b: &[u64]) {
-    assert_eq!(acc.len(), a.len(), "operand length mismatch");
-    assert_eq!(acc.len(), b.len(), "operand length mismatch");
     cham_telemetry::counter_add!("cham_math.poly.modmul_acc", 1);
-    for ((acc, &x), &y) in acc.iter_mut().zip(a).zip(b) {
-        *acc += x as u128 * y as u128;
-    }
+    crate::simd::mac_accumulate(crate::simd::Backend::active(), acc, a, b);
 }
 
 /// Overwriting variant of [`mul_pointwise_accumulate`]: stores `a[i]·b[i]`
@@ -324,12 +320,8 @@ pub fn mul_pointwise_accumulate(acc: &mut [u128], a: &[u64], b: &[u64]) {
 /// # Panics
 /// Panics if the slice lengths differ.
 pub fn mul_pointwise_write(acc: &mut [u128], a: &[u64], b: &[u64]) {
-    assert_eq!(acc.len(), a.len(), "operand length mismatch");
-    assert_eq!(acc.len(), b.len(), "operand length mismatch");
     cham_telemetry::counter_add!("cham_math.poly.modmul_acc", 1);
-    for ((acc, &x), &y) in acc.iter_mut().zip(a).zip(b) {
-        *acc = x as u128 * y as u128;
-    }
+    crate::simd::mac_write(crate::simd::Backend::active(), acc, a, b);
 }
 
 /// Reduces every accumulator lane back to its canonical residue (stored as a

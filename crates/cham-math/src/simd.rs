@@ -1,0 +1,1344 @@
+//! Runtime-dispatched SIMD backend for the NTT/modmul hot kernels.
+//!
+//! This is the CPU analogue of CHAM's BFU array: where the FPGA instantiates
+//! `n_bf` butterfly units that chew through a stage in lock-step, a vector
+//! register processes `lanes` butterflies per instruction. The four hot
+//! kernels of the lazy datapath (PR 4) get vector twins here:
+//!
+//! * the forward Harvey butterfly (`[0, 4q)` lazy, one conditional `−2q`),
+//! * the inverse Gentleman–Sande butterfly (`[0, 2q)` lazy),
+//! * element-wise [`Modulus::mul_shoup_lazy`] against a constant table
+//!   (the CG ψ-twist and any Shoup-prepared pointwise multiply),
+//! * the `u128` multiply-accumulate lanes behind
+//!   [`crate::rns::FusedAccumulator`] / [`crate::poly::mul_pointwise_accumulate`],
+//!
+//! plus the `[0, 4q) → [0, q)` normalization pass that finishes a lazy
+//! forward transform.
+//!
+//! ## Dispatch model
+//!
+//! A [`Backend`] is resolved **once** per process — `CHAM_SIMD`
+//! (`scalar|avx2|neon|auto`, default `auto`) combined with runtime feature
+//! detection (`is_x86_feature_detected!("avx2")`) — and then stored on every
+//! [`crate::NttTable`]/[`crate::CgNttTable`] at construction. Kernel entry
+//! points take the backend as a value, so there is exactly one branch per
+//! *stage or slice*, never per butterfly. Benches and tests can pin a table
+//! to a specific backend with the `with_backend` constructors (for in-process
+//! A/B ablations) or flip the process default with [`Backend::force`].
+//!
+//! ## Why the lazy ranges make the vector kernels branch-free
+//!
+//! Every arithmetic step of the lazy datapath is a pure function of the lane:
+//! wrapping multiplies, wrapping add/sub, and *conditional subtraction* —
+//! which vectorizes as `x - (m & (x >= m))` with an unsigned compare mask.
+//! There is no carry chain between lanes and no data-dependent branch, so a
+//! vector lane computes bit-for-bit what the scalar twin computes. The
+//! strict datapath's per-butterfly canonical corrections would need two such
+//! masked subtractions per leg; the lazy discipline pays one, which is why
+//! the vector kernels target the lazy twins only.
+//!
+//! ## Backends
+//!
+//! * `scalar` — the PR 4 lazy datapath, unchanged; always available and the
+//!   correctness oracle for everything else.
+//! * `avx2` — `std::arch::x86_64`, 4 × u64 lanes. AVX2 has no 64×64→128
+//!   multiply, so the Shoup high-half is computed exactly with the classic
+//!   32-bit split (`_mm256_mul_epu32` partial products + carry folding) —
+//!   the same construction Intel HEXL uses on pre-IFMA parts.
+//! * `neon` — the two-lane blocked datapath. On aarch64 the correction
+//!   passes use `std::arch::aarch64` vector compares (`vcgeq_u64`), while
+//!   the 64×64→128 products deliberately stay on the scalar `mul`/`umulh`
+//!   pair: A64 NEON has no 64-bit vector multiplier, and `mul`+`umulh`
+//!   dual-issue on every big core, so lane-blocking the loads and the
+//!   add/compare halves is the entire available win. The blocked form is
+//!   portable Rust, so it can be forced (and is tested) on any
+//!   architecture.
+//!
+//! Every vector kernel is bit-identical — lane for lane, including the lazy
+//! representative ranges — to its scalar twin. The equivalence suites in
+//! `tests/simd_equivalence.rs` and the per-backend golden KATs pin this.
+
+use crate::modulus::Modulus;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The vector datapath a table or kernel call dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Backend {
+    /// Per-element lazy datapath — the PR 4 scalar kernels, unchanged.
+    Scalar = 0,
+    /// AVX2 (`std::arch::x86_64`): 4 × u64 lanes, split-multiply Shoup.
+    Avx2 = 1,
+    /// Two-lane blocked datapath (NEON-tuned on aarch64, portable Rust
+    /// elsewhere — see the module docs for why there is no 64-bit NEON
+    /// multiplier to use).
+    Neon = 2,
+}
+
+/// Global backend choice: `u8::MAX` = not yet resolved, otherwise a
+/// [`Backend`] code. Resolved lazily from `CHAM_SIMD` + feature detection;
+/// overridable via [`Backend::force`] (last write wins — tables capture the
+/// value at construction, so a flip never changes an existing table).
+static GLOBAL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+impl Backend {
+    /// Number of `u64` lanes one kernel step processes.
+    #[inline]
+    #[must_use]
+    pub const fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Avx2 => 4,
+            Backend::Neon => 2,
+        }
+    }
+
+    /// Canonical lowercase name (the `CHAM_SIMD` vocabulary).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric code for wire formats and run records.
+    #[inline]
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Backend::code`].
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Backend::Scalar),
+            1 => Some(Backend::Avx2),
+            2 => Some(Backend::Neon),
+            _ => None,
+        }
+    }
+
+    /// Parses a `CHAM_SIMD` value. `auto` (and only `auto`) returns the
+    /// detected best backend; unknown strings return `None`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "avx2" => Some(Backend::Avx2),
+            "neon" => Some(Backend::Neon),
+            "auto" | "" => Some(Self::detect_auto()),
+            _ => None,
+        }
+    }
+
+    /// True when this backend processes more than one lane per step.
+    #[inline]
+    #[must_use]
+    pub const fn is_vector(self) -> bool {
+        self.lanes() > 1
+    }
+
+    /// True when this backend can execute on the current host.
+    /// `scalar` and `neon` (portable blocked form) always can; `avx2`
+    /// needs an x86-64 with the feature bit set.
+    #[must_use]
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar | Backend::Neon => true,
+            Backend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Every backend executable on this host, scalar first — the iteration
+    /// order of the per-backend equivalence suites and golden KATs.
+    #[must_use]
+    pub fn all_available() -> Vec<Self> {
+        [Backend::Scalar, Backend::Avx2, Backend::Neon]
+            .into_iter()
+            .filter(|b| b.available())
+            .collect()
+    }
+
+    /// The best backend the host supports: AVX2 on x86-64 with the feature
+    /// bit, the NEON-tuned blocked path on aarch64 (NEON is baseline
+    /// there), scalar everywhere else.
+    #[must_use]
+    pub fn detect_auto() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Backend::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return Backend::Neon;
+        }
+        #[allow(unreachable_code)]
+        Backend::Scalar
+    }
+
+    /// The process-wide backend, resolving `CHAM_SIMD` on first call.
+    /// An unknown value or a backend the host cannot run degrades to the
+    /// detected default / scalar rather than failing — a fleet config
+    /// naming `avx2` must not crash the one aarch64 node.
+    #[must_use]
+    pub fn active() -> Self {
+        match Self::from_code(GLOBAL.load(Ordering::Relaxed)) {
+            Some(b) => b,
+            None => {
+                let requested = std::env::var("CHAM_SIMD").unwrap_or_default();
+                let resolved = Self::from_name(&requested)
+                    .unwrap_or_else(Self::detect_auto)
+                    .or_available();
+                Self::force(resolved);
+                resolved
+            }
+        }
+    }
+
+    /// This backend if the host can run it, else the scalar fallback.
+    #[must_use]
+    fn or_available(self) -> Self {
+        if self.available() {
+            self
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// Pins the process-wide backend (benches, tests, embedders). Tables
+    /// built *before* the call keep their captured backend.
+    pub fn force(backend: Self) {
+        GLOBAL.store(backend.code(), Ordering::Relaxed);
+        record_dispatch(backend);
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ------------------------------------------------------------- telemetry
+
+/// The instrumented kernel families (indices into the stats arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Kernel {
+    /// Forward Harvey butterflies (count unit: butterflies).
+    FwdButterfly = 0,
+    /// Inverse Gentleman–Sande butterflies (count unit: butterflies).
+    InvButterfly = 1,
+    /// Element-wise Shoup-lazy multiplies (count unit: elements).
+    MulShoupLazy = 2,
+    /// Fused multiply-accumulate lanes (count unit: elements).
+    Mac = 3,
+    /// `[0, 4q) → [0, q)` normalization passes (count unit: elements).
+    Normalize = 4,
+}
+
+const KERNELS: usize = 5;
+
+impl Kernel {
+    /// Kernel family name as used in counter keys and run records.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Kernel::FwdButterfly => "fwd_butterfly",
+            Kernel::InvButterfly => "inv_butterfly",
+            Kernel::MulShoupLazy => "mul_shoup_lazy",
+            Kernel::Mac => "mac",
+            Kernel::Normalize => "normalize",
+        }
+    }
+
+    /// All kernel families, in stats-array order.
+    pub const ALL: [Kernel; KERNELS] = [
+        Kernel::FwdButterfly,
+        Kernel::InvButterfly,
+        Kernel::MulShoupLazy,
+        Kernel::Mac,
+        Kernel::Normalize,
+    ];
+}
+
+/// Always-on dispatch counters (like the pool and scratch stats): elements
+/// processed by full vector lanes vs the scalar tail, per kernel family.
+static VECTOR_ELEMS: [AtomicU64; KERNELS] = [const { AtomicU64::new(0) }; KERNELS];
+static TAIL_ELEMS: [AtomicU64; KERNELS] = [const { AtomicU64::new(0) }; KERNELS];
+
+/// Records one kernel invocation's lane accounting. Callers batch: one call
+/// per transform or per slice pass, never per butterfly.
+#[inline]
+pub(crate) fn record_kernel(kernel: Kernel, vector_elems: u64, tail_elems: u64) {
+    let i = kernel as usize;
+    if vector_elems > 0 {
+        VECTOR_ELEMS[i].fetch_add(vector_elems, Ordering::Relaxed);
+    }
+    if tail_elems > 0 {
+        TAIL_ELEMS[i].fetch_add(tail_elems, Ordering::Relaxed);
+    }
+    match kernel {
+        Kernel::FwdButterfly => {
+            cham_telemetry::counter_add!("cham_math.simd.fwd_butterfly.vector", vector_elems);
+            cham_telemetry::counter_add!("cham_math.simd.fwd_butterfly.tail", tail_elems);
+        }
+        Kernel::InvButterfly => {
+            cham_telemetry::counter_add!("cham_math.simd.inv_butterfly.vector", vector_elems);
+            cham_telemetry::counter_add!("cham_math.simd.inv_butterfly.tail", tail_elems);
+        }
+        Kernel::MulShoupLazy => {
+            cham_telemetry::counter_add!("cham_math.simd.mul_shoup_lazy.vector", vector_elems);
+            cham_telemetry::counter_add!("cham_math.simd.mul_shoup_lazy.tail", tail_elems);
+        }
+        Kernel::Mac => {
+            cham_telemetry::counter_add!("cham_math.simd.mac.vector", vector_elems);
+            cham_telemetry::counter_add!("cham_math.simd.mac.tail", tail_elems);
+        }
+        Kernel::Normalize => {
+            cham_telemetry::counter_add!("cham_math.simd.normalize.vector", vector_elems);
+            cham_telemetry::counter_add!("cham_math.simd.normalize.tail", tail_elems);
+        }
+    }
+}
+
+/// Records a backend selection into the `cham_math.simd.dispatch.*` family.
+fn record_dispatch(backend: Backend) {
+    match backend {
+        Backend::Scalar => cham_telemetry::counter_add!("cham_math.simd.dispatch.scalar", 1),
+        Backend::Avx2 => cham_telemetry::counter_add!("cham_math.simd.dispatch.avx2", 1),
+        Backend::Neon => cham_telemetry::counter_add!("cham_math.simd.dispatch.neon", 1),
+    }
+}
+
+/// One kernel family's lane accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Elements (or butterflies) processed by full vector lanes.
+    pub vector_elems: u64,
+    /// Elements processed by the scalar tail / sub-lane-width fallback.
+    pub tail_elems: u64,
+}
+
+/// Point-in-time dispatch statistics: the active backend plus per-kernel
+/// vector-vs-tail element counts since process start. Surfaced in run
+/// records and the `cham-serve` Introspect snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimdStats {
+    /// The process-wide backend at snapshot time.
+    pub backend: Backend,
+    /// Per-kernel counts, indexed like [`Kernel::ALL`].
+    pub kernels: [KernelStats; KERNELS],
+}
+
+impl SimdStats {
+    /// Total `(vector, tail)` elements across every kernel family.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64) {
+        self.kernels
+            .iter()
+            .fold((0, 0), |(v, t), k| (v + k.vector_elems, t + k.tail_elems))
+    }
+}
+
+/// Snapshot of the always-on dispatch counters.
+#[must_use]
+pub fn simd_stats() -> SimdStats {
+    let mut kernels = [KernelStats::default(); KERNELS];
+    for (i, k) in kernels.iter_mut().enumerate() {
+        k.vector_elems = VECTOR_ELEMS[i].load(Ordering::Relaxed);
+        k.tail_elems = TAIL_ELEMS[i].load(Ordering::Relaxed);
+    }
+    SimdStats {
+        backend: Backend::active(),
+        kernels,
+    }
+}
+
+// ------------------------------------------------------- kernel dispatch
+
+/// One forward CT stage over `a` in Harvey lazy form: `m` twiddle groups of
+/// `t` butterflies, constants from `roots[m..2m]`. Inputs/outputs `[0, 4q)`.
+#[inline]
+pub(crate) fn fwd_ntt_stage(
+    backend: Backend,
+    a: &mut [u64],
+    m: usize,
+    t: usize,
+    roots: &[u64],
+    shoups: &[u64],
+    q: &Modulus,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: an `Avx2` value only exists where detection succeeded
+        // (`or_available` in dispatch, `available()` in `with_backend`).
+        Backend::Avx2 => unsafe { avx2::fwd_ntt_stage(a, m, t, roots, shoups, q) },
+        Backend::Neon => blocked2::fwd_ntt_stage(a, m, t, roots, shoups, q),
+        _ => scalar::fwd_ntt_stage(a, m, t, roots, shoups, q),
+    }
+}
+
+/// One inverse GS stage over `a` in lazy form: `h` twiddle groups of `t`
+/// butterflies, constants from `roots[h..2h]`. Values stay in `[0, 2q)`.
+#[inline]
+pub(crate) fn inv_ntt_stage(
+    backend: Backend,
+    a: &mut [u64],
+    h: usize,
+    t: usize,
+    roots: &[u64],
+    shoups: &[u64],
+    q: &Modulus,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::inv_ntt_stage(a, h, t, roots, shoups, q) },
+        Backend::Neon => blocked2::inv_ntt_stage(a, h, t, roots, shoups, q),
+        _ => scalar::inv_ntt_stage(a, h, t, roots, shoups, q),
+    }
+}
+
+/// One forward constant-geometry (scatter) stage: butterfly `j` reads
+/// `src[j], src[j + half]`, writes `dst[2j], 2j+1]`, twiddles stream
+/// contiguously from `w`/`ws`. Lazy `[0, 4q)` in and out.
+#[inline]
+pub(crate) fn fwd_cg_stage(
+    backend: Backend,
+    src: &[u64],
+    dst: &mut [u64],
+    w: &[u64],
+    ws: &[u64],
+    q: &Modulus,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::fwd_cg_stage(src, dst, w, ws, q) },
+        Backend::Neon => blocked2::fwd_cg_stage(src, dst, w, ws, q),
+        _ => scalar::fwd_cg_stage(src, dst, w, ws, q),
+    }
+}
+
+/// One inverse constant-geometry (gather) stage: butterfly `j` reads
+/// `src[2j], 2j+1]`, writes `dst[j], dst[j + half]`. Lazy `[0, 2q)`.
+#[inline]
+pub(crate) fn inv_cg_stage(
+    backend: Backend,
+    src: &[u64],
+    dst: &mut [u64],
+    w: &[u64],
+    ws: &[u64],
+    q: &Modulus,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::inv_cg_stage(src, dst, w, ws, q) },
+        Backend::Neon => blocked2::inv_cg_stage(src, dst, w, ws, q),
+        _ => scalar::inv_cg_stage(src, dst, w, ws, q),
+    }
+}
+
+/// Element-wise lazy Shoup multiply against a prepared constant table:
+/// `a[i] = mul_shoup_lazy(a[i], w[i], ws[i])`. Any `u64` input, output in
+/// `[0, 2q)` — the vector twin of a ψ-twist or prepared pointwise multiply.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn mul_shoup_lazy_slice(backend: Backend, a: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+    assert_eq!(a.len(), w.len(), "operand length mismatch");
+    assert_eq!(a.len(), ws.len(), "operand length mismatch");
+    let (vec, tail) = split_elems(backend, a.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::mul_shoup_lazy_slice(a, w, ws, q) },
+        Backend::Neon => blocked2::mul_shoup_lazy_slice(a, w, ws, q),
+        _ => scalar::mul_shoup_lazy_slice(a, w, ws, q),
+    }
+    record_kernel(Kernel::MulShoupLazy, vec, tail);
+}
+
+/// Fused multiply-accumulate: `acc[i] += a[i] · b[i]` with the reduction
+/// deferred — the vector lanes behind [`crate::poly::mul_pointwise_accumulate`].
+/// Callers own the [`crate::poly::LAZY_ACC_BOUND`] headroom obligation.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn mac_accumulate(backend: Backend, acc: &mut [u128], a: &[u64], b: &[u64]) {
+    assert_eq!(acc.len(), a.len(), "operand length mismatch");
+    assert_eq!(acc.len(), b.len(), "operand length mismatch");
+    let (vec, tail) = split_elems(backend, acc.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::mac(acc, a, b, false) },
+        Backend::Neon => blocked2::mac(acc, a, b, false),
+        _ => scalar::mac(acc, a, b, false),
+    }
+    record_kernel(Kernel::Mac, vec, tail);
+}
+
+/// Overwriting MAC: `acc[i] = a[i] · b[i]` — lets the first term of an
+/// accumulation reuse a dirty scratch buffer without a zeroing pass.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn mac_write(backend: Backend, acc: &mut [u128], a: &[u64], b: &[u64]) {
+    assert_eq!(acc.len(), a.len(), "operand length mismatch");
+    assert_eq!(acc.len(), b.len(), "operand length mismatch");
+    let (vec, tail) = split_elems(backend, acc.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::mac(acc, a, b, true) },
+        Backend::Neon => blocked2::mac(acc, a, b, true),
+        _ => scalar::mac(acc, a, b, true),
+    }
+    record_kernel(Kernel::Mac, vec, tail);
+}
+
+/// Normalization pass: maps every `a[i] ∈ [0, 4q)` to canonical `[0, q)`
+/// with two masked subtractions — the single pass that finishes a lazy
+/// forward transform.
+pub fn reduce_from_lazy_slice(backend: Backend, a: &mut [u64], q: &Modulus) {
+    let (vec, tail) = split_elems(backend, a.len());
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: see `fwd_ntt_stage`.
+        Backend::Avx2 => unsafe { avx2::reduce_from_lazy_slice(a, q) },
+        Backend::Neon => blocked2::reduce_from_lazy_slice(a, q),
+        _ => scalar::reduce_from_lazy_slice(a, q),
+    }
+    record_kernel(Kernel::Normalize, vec, tail);
+}
+
+/// Splits a slice length into `(vector, tail)` element counts for the
+/// backend's lane width.
+#[inline]
+fn split_elems(backend: Backend, len: usize) -> (u64, u64) {
+    if backend.is_vector() {
+        let tail = len % backend.lanes();
+        ((len - tail) as u64, tail as u64)
+    } else {
+        (0, len as u64)
+    }
+}
+
+// ----------------------------------------------------------- scalar twin
+
+/// The PR 4 scalar lazy datapath, verbatim — the always-available fallback
+/// and the oracle the vector paths are tested against.
+mod scalar {
+    use super::Modulus;
+
+    pub(super) fn fwd_ntt_stage(
+        a: &mut [u64],
+        m: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        let two_q = q.two_q();
+        for i in 0..m {
+            let w = roots[m + i];
+            let ws = shoups[m + i];
+            let j1 = 2 * i * t;
+            for j in j1..j1 + t {
+                // Harvey butterfly: operands live in [0, 4q); one
+                // conditional −2q on u is the only correction.
+                let mut u = a[j];
+                if u >= two_q {
+                    u -= two_q;
+                }
+                let v = q.mul_shoup_lazy(a[j + t], w, ws);
+                a[j] = u + v;
+                a[j + t] = u + two_q - v;
+            }
+        }
+    }
+
+    pub(super) fn inv_ntt_stage(
+        a: &mut [u64],
+        h: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        let two_q = q.two_q();
+        let mut j1 = 0usize;
+        for i in 0..h {
+            let w = roots[h + i];
+            let ws = shoups[h + i];
+            for j in j1..j1 + t {
+                let u = a[j];
+                let v = a[j + t];
+                // Lazy GS: one conditional −2q on the sum; the difference
+                // leg absorbs its 2q offset in the Shoup multiply's
+                // implicit reduction to [0, 2q).
+                let mut s = u + v;
+                if s >= two_q {
+                    s -= two_q;
+                }
+                a[j] = s;
+                a[j + t] = q.mul_shoup_lazy(u + two_q - v, w, ws);
+            }
+            j1 += 2 * t;
+        }
+    }
+
+    pub(super) fn fwd_cg_stage(src: &[u64], dst: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let two_q = q.two_q();
+        let half = w.len();
+        for j in 0..half {
+            let mut u = src[j];
+            if u >= two_q {
+                u -= two_q;
+            }
+            let v = q.mul_shoup_lazy(src[j + half], w[j], ws[j]);
+            dst[2 * j] = u + v;
+            dst[2 * j + 1] = u + two_q - v;
+        }
+    }
+
+    pub(super) fn inv_cg_stage(src: &[u64], dst: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let two_q = q.two_q();
+        let half = w.len();
+        for j in 0..half {
+            let x = src[2 * j];
+            let y = src[2 * j + 1];
+            let mut s = x + y;
+            if s >= two_q {
+                s -= two_q;
+            }
+            dst[j] = s;
+            dst[j + half] = q.mul_shoup_lazy(x + two_q - y, w[j], ws[j]);
+        }
+    }
+
+    pub(super) fn mul_shoup_lazy_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        for (x, (&wi, &wsi)) in a.iter_mut().zip(w.iter().zip(ws)) {
+            *x = q.mul_shoup_lazy(*x, wi, wsi);
+        }
+    }
+
+    pub(super) fn mac(acc: &mut [u128], a: &[u64], b: &[u64], overwrite: bool) {
+        if overwrite {
+            for ((acc, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+                *acc = x as u128 * y as u128;
+            }
+        } else {
+            for ((acc, &x), &y) in acc.iter_mut().zip(a).zip(b) {
+                *acc += x as u128 * y as u128;
+            }
+        }
+    }
+
+    pub(super) fn reduce_from_lazy_slice(a: &mut [u64], q: &Modulus) {
+        for x in a.iter_mut() {
+            *x = q.reduce_from_lazy(*x);
+        }
+    }
+}
+
+// ------------------------------------------------- two-lane blocked (neon)
+
+/// Two-lane blocked datapath. Each loop body processes an aligned pair of
+/// butterflies/elements, so on aarch64 LLVM keeps the loads, stores, and
+/// masked-subtract halves in NEON `q` registers while the 64×64→128
+/// products use the scalar `mul`/`umulh` pair (there is no 64-bit NEON
+/// multiplier — see the module docs). The arithmetic is identical to the
+/// scalar twin, so bit-exactness holds by construction on every
+/// architecture, which is also what lets non-aarch64 hosts force and test
+/// this backend.
+mod blocked2 {
+    use super::Modulus;
+
+    /// Masked conditional subtraction over one pair: `x - (x >= m ? m : 0)`.
+    /// On aarch64 this is a genuine `std::arch::aarch64` vector step
+    /// (`vcgeq_u64` + `vandq_u64` + `vsubq_u64`); elsewhere a branch-free
+    /// scalar pair with the same semantics.
+    #[inline]
+    fn csub2(x: &mut [u64], m: u64) {
+        debug_assert_eq!(x.len(), 2);
+        #[cfg(target_arch = "aarch64")]
+        // Safety: NEON is baseline on aarch64; `x` holds two readable,
+        // writable lanes.
+        unsafe {
+            use std::arch::aarch64::{
+                vandq_u64, vcgeq_u64, vdupq_n_u64, vld1q_u64, vst1q_u64, vsubq_u64,
+            };
+            let p = x.as_mut_ptr();
+            let v = vld1q_u64(p);
+            let mv = vdupq_n_u64(m);
+            let ge = vcgeq_u64(v, mv);
+            vst1q_u64(p, vsubq_u64(v, vandq_u64(ge, mv)));
+        }
+        #[cfg(not(target_arch = "aarch64"))]
+        for lane in x.iter_mut() {
+            *lane -= m & (0u64.wrapping_sub(u64::from(*lane >= m)));
+        }
+    }
+
+    #[inline]
+    fn butterfly_pair_fwd(
+        lo: &mut [u64],
+        hi: &mut [u64],
+        w: u64,
+        ws: u64,
+        q: &Modulus,
+        two_q: u64,
+    ) {
+        let mut u = [lo[0], lo[1]];
+        csub2(&mut u, two_q);
+        let v = [
+            q.mul_shoup_lazy(hi[0], w, ws),
+            q.mul_shoup_lazy(hi[1], w, ws),
+        ];
+        lo[0] = u[0] + v[0];
+        lo[1] = u[1] + v[1];
+        hi[0] = u[0] + two_q - v[0];
+        hi[1] = u[1] + two_q - v[1];
+    }
+
+    pub(super) fn fwd_ntt_stage(
+        a: &mut [u64],
+        m: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        if t < 2 {
+            return super::scalar::fwd_ntt_stage(a, m, t, roots, shoups, q);
+        }
+        let two_q = q.two_q();
+        for i in 0..m {
+            let w = roots[m + i];
+            let ws = shoups[m + i];
+            let j1 = 2 * i * t;
+            let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+            for (lo2, hi2) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+                butterfly_pair_fwd(lo2, hi2, w, ws, q, two_q);
+            }
+        }
+    }
+
+    pub(super) fn inv_ntt_stage(
+        a: &mut [u64],
+        h: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        if t < 2 {
+            return super::scalar::inv_ntt_stage(a, h, t, roots, shoups, q);
+        }
+        let two_q = q.two_q();
+        let mut j1 = 0usize;
+        for i in 0..h {
+            let w = roots[h + i];
+            let ws = shoups[h + i];
+            let (lo, hi) = a[j1..j1 + 2 * t].split_at_mut(t);
+            for (lo2, hi2) in lo.chunks_exact_mut(2).zip(hi.chunks_exact_mut(2)) {
+                let mut s = [lo2[0] + hi2[0], lo2[1] + hi2[1]];
+                csub2(&mut s, two_q);
+                let d0 = lo2[0] + two_q - hi2[0];
+                let d1 = lo2[1] + two_q - hi2[1];
+                lo2[0] = s[0];
+                lo2[1] = s[1];
+                hi2[0] = q.mul_shoup_lazy(d0, w, ws);
+                hi2[1] = q.mul_shoup_lazy(d1, w, ws);
+            }
+            j1 += 2 * t;
+        }
+    }
+
+    pub(super) fn fwd_cg_stage(src: &[u64], dst: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let half = w.len();
+        if half < 2 {
+            return super::scalar::fwd_cg_stage(src, dst, w, ws, q);
+        }
+        let two_q = q.two_q();
+        let (src_lo, src_hi) = src.split_at(half);
+        for j in (0..half).step_by(2) {
+            let mut u = [src_lo[j], src_lo[j + 1]];
+            csub2(&mut u, two_q);
+            let v = [
+                q.mul_shoup_lazy(src_hi[j], w[j], ws[j]),
+                q.mul_shoup_lazy(src_hi[j + 1], w[j + 1], ws[j + 1]),
+            ];
+            dst[2 * j] = u[0] + v[0];
+            dst[2 * j + 1] = u[0] + two_q - v[0];
+            dst[2 * j + 2] = u[1] + v[1];
+            dst[2 * j + 3] = u[1] + two_q - v[1];
+        }
+    }
+
+    pub(super) fn inv_cg_stage(src: &[u64], dst: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let half = w.len();
+        if half < 2 {
+            return super::scalar::inv_cg_stage(src, dst, w, ws, q);
+        }
+        let two_q = q.two_q();
+        let (dst_lo, dst_hi) = dst.split_at_mut(half);
+        for j in (0..half).step_by(2) {
+            let x = [src[2 * j], src[2 * j + 2]];
+            let y = [src[2 * j + 1], src[2 * j + 3]];
+            let mut s = [x[0] + y[0], x[1] + y[1]];
+            csub2(&mut s, two_q);
+            dst_lo[j] = s[0];
+            dst_lo[j + 1] = s[1];
+            dst_hi[j] = q.mul_shoup_lazy(x[0] + two_q - y[0], w[j], ws[j]);
+            dst_hi[j + 1] = q.mul_shoup_lazy(x[1] + two_q - y[1], w[j + 1], ws[j + 1]);
+        }
+    }
+
+    pub(super) fn mul_shoup_lazy_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let pairs = a.len() / 2 * 2;
+        let (head, tail_a) = a.split_at_mut(pairs);
+        for (i, pair) in head.chunks_exact_mut(2).enumerate() {
+            let j = 2 * i;
+            pair[0] = q.mul_shoup_lazy(pair[0], w[j], ws[j]);
+            pair[1] = q.mul_shoup_lazy(pair[1], w[j + 1], ws[j + 1]);
+        }
+        for (k, x) in tail_a.iter_mut().enumerate() {
+            *x = q.mul_shoup_lazy(*x, w[pairs + k], ws[pairs + k]);
+        }
+    }
+
+    pub(super) fn mac(acc: &mut [u128], a: &[u64], b: &[u64], overwrite: bool) {
+        // u128 lanes already keep the scalar core saturated (`mul`/`umulh`
+        // plus a 128-bit add); the pair unroll exposes the independent
+        // chains to the scheduler.
+        let pairs = acc.len() / 2 * 2;
+        for j in (0..pairs).step_by(2) {
+            let p0 = a[j] as u128 * b[j] as u128;
+            let p1 = a[j + 1] as u128 * b[j + 1] as u128;
+            if overwrite {
+                acc[j] = p0;
+                acc[j + 1] = p1;
+            } else {
+                acc[j] += p0;
+                acc[j + 1] += p1;
+            }
+        }
+        if pairs < acc.len() {
+            let p = a[pairs] as u128 * b[pairs] as u128;
+            if overwrite {
+                acc[pairs] = p;
+            } else {
+                acc[pairs] += p;
+            }
+        }
+    }
+
+    pub(super) fn reduce_from_lazy_slice(a: &mut [u64], q: &Modulus) {
+        let two_q = q.two_q();
+        let qv = q.value();
+        let pairs = a.len() / 2 * 2;
+        let (head, tail) = a.split_at_mut(pairs);
+        for pair in head.chunks_exact_mut(2) {
+            csub2(pair, two_q);
+            csub2(pair, qv);
+        }
+        for x in tail.iter_mut() {
+            *x = q.reduce_from_lazy(*x);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ AVX2
+
+/// AVX2 datapath: 4 × u64 lanes. Every function is `target_feature(avx2)`
+/// and must only be reached through a [`Backend::Avx2`] value, which
+/// existence-proves detection.
+///
+/// AVX2 has no 64×64→128 multiply, so the Shoup high half is assembled
+/// exactly from `_mm256_mul_epu32` 32-bit partial products with full carry
+/// folding (`mul_hi_exact`); low halves wrap mod 2^64 like the scalar
+/// `wrapping_mul`. Unsigned 64-bit compares flip the sign bit and use the
+/// signed `_mm256_cmpgt_epi64`.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::Modulus;
+    use std::arch::x86_64::*;
+
+    const LANES: usize = 4;
+
+    /// Low 64 bits of the lane-wise 64×64 product (matches `wrapping_mul`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_lo(a: __m256i, b: __m256i) -> __m256i {
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lolo = _mm256_mul_epu32(a, b);
+        let cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+        _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32))
+    }
+
+    /// Exact high 64 bits of the lane-wise 64×64 product. The two partial
+    /// carry sums each stay below 2^64: `(2^32−1)^2 + (2^32−1) < 2^64`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_hi_exact(a: __m256i, b: __m256i) -> __m256i {
+        let mask = _mm256_set1_epi64x(0xffff_ffff);
+        let a_hi = _mm256_srli_epi64(a, 32);
+        let b_hi = _mm256_srli_epi64(b, 32);
+        let lolo = _mm256_mul_epu32(a, b);
+        let hilo = _mm256_mul_epu32(a_hi, b);
+        let lohi = _mm256_mul_epu32(a, b_hi);
+        let hihi = _mm256_mul_epu32(a_hi, b_hi);
+        let cross = _mm256_add_epi64(hilo, _mm256_srli_epi64(lolo, 32));
+        let cross2 = _mm256_add_epi64(lohi, _mm256_and_si256(cross, mask));
+        _mm256_add_epi64(
+            hihi,
+            _mm256_add_epi64(_mm256_srli_epi64(cross, 32), _mm256_srli_epi64(cross2, 32)),
+        )
+    }
+
+    /// Lane-wise unsigned `x >= m` mask (all-ones where true).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn ge_mask(x: __m256i, m: __m256i, sign: __m256i) -> __m256i {
+        // x >= m  ⟺  !(m > x); compute (m > x) signed on sign-flipped lanes.
+        let gt = _mm256_cmpgt_epi64(_mm256_xor_si256(m, sign), _mm256_xor_si256(x, sign));
+        // Invert by andnot at the use site; returning gt keeps one op.
+        gt
+    }
+
+    /// `x - (x >= m ? m : 0)` per lane.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn csub(x: __m256i, m: __m256i, sign: __m256i) -> __m256i {
+        let lt = ge_mask(x, m, sign); // all-ones where x < m
+        _mm256_sub_epi64(x, _mm256_andnot_si256(lt, m))
+    }
+
+    /// Lane-wise [`Modulus::mul_shoup_lazy`]: `a·w − ⌊a·ws/2^64⌋·q`,
+    /// wrapping — result in `[0, 2q)` for `w < q`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_shoup_lazy_v(a: __m256i, w: __m256i, ws: __m256i, qv: __m256i) -> __m256i {
+        let hi = mul_hi_exact(a, ws);
+        _mm256_sub_epi64(mul_lo(a, w), mul_lo(hi, qv))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fwd_ntt_stage(
+        a: &mut [u64],
+        m: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        if t < LANES {
+            return super::scalar::fwd_ntt_stage(a, m, t, roots, shoups, q);
+        }
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let two_qv = _mm256_set1_epi64x(q.two_q() as i64);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let base = a.as_mut_ptr();
+        for i in 0..m {
+            let wv = _mm256_set1_epi64x(roots[m + i] as i64);
+            let wsv = _mm256_set1_epi64x(shoups[m + i] as i64);
+            let lo = base.add(2 * i * t);
+            let hi = lo.add(t);
+            for j in (0..t).step_by(LANES) {
+                let u = csub(
+                    _mm256_loadu_si256(lo.add(j).cast::<__m256i>()),
+                    two_qv,
+                    sign,
+                );
+                let v =
+                    mul_shoup_lazy_v(_mm256_loadu_si256(hi.add(j).cast::<__m256i>()), wv, wsv, qv);
+                _mm256_storeu_si256(lo.add(j).cast::<__m256i>(), _mm256_add_epi64(u, v));
+                _mm256_storeu_si256(
+                    hi.add(j).cast::<__m256i>(),
+                    _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v),
+                );
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn inv_ntt_stage(
+        a: &mut [u64],
+        h: usize,
+        t: usize,
+        roots: &[u64],
+        shoups: &[u64],
+        q: &Modulus,
+    ) {
+        if t < LANES {
+            return super::scalar::inv_ntt_stage(a, h, t, roots, shoups, q);
+        }
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let two_qv = _mm256_set1_epi64x(q.two_q() as i64);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let base = a.as_mut_ptr();
+        for i in 0..h {
+            let wv = _mm256_set1_epi64x(roots[h + i] as i64);
+            let wsv = _mm256_set1_epi64x(shoups[h + i] as i64);
+            let lo = base.add(2 * i * t);
+            let hi = lo.add(t);
+            for j in (0..t).step_by(LANES) {
+                let u = _mm256_loadu_si256(lo.add(j).cast::<__m256i>());
+                let v = _mm256_loadu_si256(hi.add(j).cast::<__m256i>());
+                let s = csub(_mm256_add_epi64(u, v), two_qv, sign);
+                let d = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+                _mm256_storeu_si256(lo.add(j).cast::<__m256i>(), s);
+                _mm256_storeu_si256(
+                    hi.add(j).cast::<__m256i>(),
+                    mul_shoup_lazy_v(d, wv, wsv, qv),
+                );
+            }
+        }
+    }
+
+    /// Interleaves `[x0..x3]`/`[y0..y3]` into `([x0,y0,x1,y1], [x2,y2,x3,y3])`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn interleave(x: __m256i, y: __m256i) -> (__m256i, __m256i) {
+        let t0 = _mm256_unpacklo_epi64(x, y); // [x0,y0,x2,y2]
+        let t1 = _mm256_unpackhi_epi64(x, y); // [x1,y1,x3,y3]
+        (
+            _mm256_permute2x128_si256(t0, t1, 0x20),
+            _mm256_permute2x128_si256(t0, t1, 0x31),
+        )
+    }
+
+    /// Inverse of [`interleave`]: splits `[x0,y0,x1,y1], [x2,y2,x3,y3]`
+    /// back into `([x0..x3], [y0..y3])`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn deinterleave(p01: __m256i, p23: __m256i) -> (__m256i, __m256i) {
+        let t0 = _mm256_permute2x128_si256(p01, p23, 0x20); // [x0,y0,x2,y2]
+        let t1 = _mm256_permute2x128_si256(p01, p23, 0x31); // [x1,y1,x3,y3]
+        (_mm256_unpacklo_epi64(t0, t1), _mm256_unpackhi_epi64(t0, t1))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fwd_cg_stage(
+        src: &[u64],
+        dst: &mut [u64],
+        w: &[u64],
+        ws: &[u64],
+        q: &Modulus,
+    ) {
+        let half = w.len();
+        if half < LANES {
+            return super::scalar::fwd_cg_stage(src, dst, w, ws, q);
+        }
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let two_qv = _mm256_set1_epi64x(q.two_q() as i64);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let src_lo = src.as_ptr();
+        let src_hi = src_lo.add(half);
+        let out = dst.as_mut_ptr();
+        for j in (0..half).step_by(LANES) {
+            let u = csub(
+                _mm256_loadu_si256(src_lo.add(j).cast::<__m256i>()),
+                two_qv,
+                sign,
+            );
+            let v = mul_shoup_lazy_v(
+                _mm256_loadu_si256(src_hi.add(j).cast::<__m256i>()),
+                _mm256_loadu_si256(w.as_ptr().add(j).cast::<__m256i>()),
+                _mm256_loadu_si256(ws.as_ptr().add(j).cast::<__m256i>()),
+                qv,
+            );
+            let x = _mm256_add_epi64(u, v);
+            let y = _mm256_sub_epi64(_mm256_add_epi64(u, two_qv), v);
+            let (d01, d23) = interleave(x, y);
+            _mm256_storeu_si256(out.add(2 * j).cast::<__m256i>(), d01);
+            _mm256_storeu_si256(out.add(2 * j + LANES).cast::<__m256i>(), d23);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn inv_cg_stage(
+        src: &[u64],
+        dst: &mut [u64],
+        w: &[u64],
+        ws: &[u64],
+        q: &Modulus,
+    ) {
+        let half = w.len();
+        if half < LANES {
+            return super::scalar::inv_cg_stage(src, dst, w, ws, q);
+        }
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let two_qv = _mm256_set1_epi64x(q.two_q() as i64);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let inp = src.as_ptr();
+        let dst_lo = dst.as_mut_ptr();
+        let dst_hi = dst_lo.add(half);
+        for j in (0..half).step_by(LANES) {
+            let p01 = _mm256_loadu_si256(inp.add(2 * j).cast::<__m256i>());
+            let p23 = _mm256_loadu_si256(inp.add(2 * j + LANES).cast::<__m256i>());
+            let (x, y) = deinterleave(p01, p23);
+            let s = csub(_mm256_add_epi64(x, y), two_qv, sign);
+            let d = _mm256_sub_epi64(_mm256_add_epi64(x, two_qv), y);
+            _mm256_storeu_si256(dst_lo.add(j).cast::<__m256i>(), s);
+            _mm256_storeu_si256(
+                dst_hi.add(j).cast::<__m256i>(),
+                mul_shoup_lazy_v(
+                    d,
+                    _mm256_loadu_si256(w.as_ptr().add(j).cast::<__m256i>()),
+                    _mm256_loadu_si256(ws.as_ptr().add(j).cast::<__m256i>()),
+                    qv,
+                ),
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mul_shoup_lazy_slice(a: &mut [u64], w: &[u64], ws: &[u64], q: &Modulus) {
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let n = a.len();
+        let vec = n - n % LANES;
+        let p = a.as_mut_ptr();
+        for j in (0..vec).step_by(LANES) {
+            let x = _mm256_loadu_si256(p.add(j).cast::<__m256i>());
+            let r = mul_shoup_lazy_v(
+                x,
+                _mm256_loadu_si256(w.as_ptr().add(j).cast::<__m256i>()),
+                _mm256_loadu_si256(ws.as_ptr().add(j).cast::<__m256i>()),
+                qv,
+            );
+            _mm256_storeu_si256(p.add(j).cast::<__m256i>(), r);
+        }
+        for j in vec..n {
+            a[j] = q.mul_shoup_lazy(a[j], w[j], ws[j]);
+        }
+    }
+
+    /// Vector MAC over `u128` accumulator lanes. Each 256-bit register
+    /// holds two `(lo, hi)` little-endian accumulator words; the product's
+    /// lo/hi vectors are interleaved to match, added lane-wise, and the
+    /// lo-lane carry (`sum_lo < p_lo` unsigned) is shifted into the hi
+    /// lane with an in-128-bit-lane byte shift and folded in — exactly the
+    /// scalar `u128` wrapping add.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn mac(acc: &mut [u128], a: &[u64], b: &[u64], overwrite: bool) {
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let n = acc.len();
+        let vec = n - n % LANES;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let accp = acc.as_mut_ptr().cast::<u64>();
+        for j in (0..vec).step_by(LANES) {
+            let x = _mm256_loadu_si256(ap.add(j).cast::<__m256i>());
+            let y = _mm256_loadu_si256(bp.add(j).cast::<__m256i>());
+            let lo = mul_lo(x, y);
+            let hi = mul_hi_exact(x, y);
+            let (p01, p23) = super::avx2::interleave(lo, hi);
+            let a01 = accp.add(2 * j).cast::<__m256i>();
+            let a23 = accp.add(2 * j + 4).cast::<__m256i>();
+            if overwrite {
+                _mm256_storeu_si256(a01, p01);
+                _mm256_storeu_si256(a23, p23);
+            } else {
+                _mm256_storeu_si256(a01, add_u128x2(_mm256_loadu_si256(a01), p01, sign));
+                _mm256_storeu_si256(a23, add_u128x2(_mm256_loadu_si256(a23), p23, sign));
+            }
+        }
+        for j in vec..n {
+            let p = a[j] as u128 * b[j] as u128;
+            if overwrite {
+                acc[j] = p;
+            } else {
+                acc[j] += p;
+            }
+        }
+    }
+
+    /// Adds two pairs of 128-bit little-endian integers lane-wise with
+    /// carry propagation from the lo to the hi word.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_u128x2(acc: __m256i, p: __m256i, sign: __m256i) -> __m256i {
+        let sum = _mm256_add_epi64(acc, p);
+        // Unsigned sum < p per 64-bit lane: meaningful in lo-word lanes,
+        // where it flags a carry out of the low 64 bits.
+        let lt = _mm256_cmpgt_epi64(_mm256_xor_si256(p, sign), _mm256_xor_si256(sum, sign));
+        // Move each lo-lane mask onto its hi lane (per 128-bit half) and
+        // subtract: mask is −1, so subtracting adds exactly the carry.
+        _mm256_sub_epi64(sum, _mm256_slli_si256(lt, 8))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn reduce_from_lazy_slice(a: &mut [u64], q: &Modulus) {
+        let qv = _mm256_set1_epi64x(q.value() as i64);
+        let two_qv = _mm256_set1_epi64x(q.two_q() as i64);
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let n = a.len();
+        let vec = n - n % LANES;
+        let p = a.as_mut_ptr();
+        for j in (0..vec).step_by(LANES) {
+            let x = _mm256_loadu_si256(p.add(j).cast::<__m256i>());
+            let r = csub(csub(x, two_qv, sign), qv, sign);
+            _mm256_storeu_si256(p.add(j).cast::<__m256i>(), r);
+        }
+        for j in vec..n {
+            a[j] = q.reduce_from_lazy(a[j]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::{Q0, Q1, SPECIAL_P};
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0x51D0)
+    }
+
+    fn moduli() -> Vec<Modulus> {
+        [Q0, Q1, SPECIAL_P, (1u64 << 62) - 57]
+            .iter()
+            .map(|&q| Modulus::new(q).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn backend_codes_roundtrip() {
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            assert_eq!(Backend::from_code(b.code()), Some(b));
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_code(7), None);
+        assert_eq!(Backend::from_name("amx"), None);
+        assert_eq!(Backend::from_name("auto"), Some(Backend::detect_auto()));
+        assert_eq!(Backend::from_name("  AVX2 "), Some(Backend::Avx2));
+    }
+
+    #[test]
+    fn scalar_and_neon_always_available() {
+        assert!(Backend::Scalar.available());
+        assert!(Backend::Neon.available());
+        let all = Backend::all_available();
+        assert_eq!(all[0], Backend::Scalar);
+        assert!(all.contains(&Backend::Neon));
+        assert!(Backend::detect_auto().available());
+    }
+
+    #[test]
+    fn mul_shoup_lazy_slice_matches_scalar_per_backend() {
+        let mut rng = rng();
+        for q in moduli() {
+            // Inputs cover the full lazy domain [0, 4q), constants < q.
+            let n = 67; // odd: exercises every tail length
+            let a0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4 * q.value())).collect();
+            let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let ws: Vec<u64> = w.iter().map(|&x| q.shoup(x)).collect();
+            let mut expect = a0.clone();
+            for (i, x) in expect.iter_mut().enumerate() {
+                *x = q.mul_shoup_lazy(*x, w[i], ws[i]);
+            }
+            for backend in Backend::all_available() {
+                let mut got = a0.clone();
+                mul_shoup_lazy_slice(backend, &mut got, &w, &ws, &q);
+                assert_eq!(got, expect, "backend={backend} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_matches_scalar_per_backend_including_worst_case() {
+        let mut rng = rng();
+        for q in moduli() {
+            let n = 37;
+            let worst = vec![q.value() - 1; n];
+            let rand_a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let rand_b: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            for (a, b) in [(&worst, &worst), (&rand_a, &rand_b)] {
+                let mut expect = vec![0u128; n];
+                let mut got = vec![u128::MAX; n]; // dirty scratch
+                for backend in Backend::all_available() {
+                    expect.fill(0);
+                    // LAZY_ACC_BOUND accumulations on top of an overwrite.
+                    for round in 0..crate::poly::LAZY_ACC_BOUND {
+                        for i in 0..n {
+                            let p = a[i] as u128 * b[i] as u128;
+                            if round == 0 {
+                                expect[i] = p;
+                            } else {
+                                expect[i] += p;
+                            }
+                        }
+                    }
+                    mac_write(backend, &mut got, a, b);
+                    for _ in 1..crate::poly::LAZY_ACC_BOUND {
+                        mac_accumulate(backend, &mut got, a, b);
+                    }
+                    assert_eq!(got, expect, "backend={backend} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_from_lazy_slice_matches_scalar_per_backend() {
+        let mut rng = rng();
+        for q in moduli() {
+            let n = 33;
+            let mut a0: Vec<u64> = (0..n).map(|_| rng.gen_range(0..4 * q.value())).collect();
+            // Pin the boundary representatives.
+            a0[0] = 0;
+            a0[1] = q.value() - 1;
+            a0[2] = q.value();
+            a0[3] = 2 * q.value() - 1;
+            a0[4] = 2 * q.value();
+            a0[5] = 4 * q.value() - 1;
+            let expect: Vec<u64> = a0.iter().map(|&x| q.reduce_from_lazy(x)).collect();
+            for backend in Backend::all_available() {
+                let mut got = a0.clone();
+                reduce_from_lazy_slice(backend, &mut got, &q);
+                assert_eq!(got, expect, "backend={backend} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accounting_splits_vector_and_tail() {
+        let q = Modulus::new(Q0).unwrap();
+        let before = simd_stats();
+        let mut a = vec![1u64; 11];
+        reduce_from_lazy_slice(Backend::Neon, &mut a, &q);
+        let after = simd_stats();
+        let k = Kernel::Normalize as usize;
+        assert_eq!(
+            after.kernels[k].vector_elems - before.kernels[k].vector_elems,
+            10
+        );
+        assert_eq!(
+            after.kernels[k].tail_elems - before.kernels[k].tail_elems,
+            1
+        );
+        assert!(after.totals().0 >= after.kernels[k].vector_elems);
+    }
+}

@@ -14,7 +14,7 @@
 //! `cargo run --release -p cham-math --example gen_ntt_golden`.
 
 use cham_math::ntt_cg::CgNttTable;
-use cham_math::{Modulus, NttTable};
+use cham_math::{Backend, Modulus, NttTable};
 use std::path::Path;
 
 struct Golden {
@@ -63,17 +63,19 @@ fn pointwise(x: &[u64], y: &[u64], q: &Modulus) -> Vec<u64> {
     x.iter().zip(y).map(|(&a, &b)| q.mul(a, b)).collect()
 }
 
-/// Negacyclic multiply through the iterative CT/GS tables.
-fn mul_via_ntt(g: &Golden) -> Vec<u64> {
-    let table = NttTable::new(g.n, g.q).expect("NttTable");
+/// Negacyclic multiply through the iterative CT/GS tables, pinned to one
+/// SIMD backend.
+fn mul_via_ntt(g: &Golden, backend: Backend) -> Vec<u64> {
+    let table = NttTable::with_backend(g.n, g.q, backend).expect("NttTable");
     let fa = table.forward_to_vec(&g.a);
     let fb = table.forward_to_vec(&g.b);
     table.inverse_to_vec(&pointwise(&fa, &fb, &g.q))
 }
 
-/// Negacyclic multiply through the constant-geometry (Pease) datapath.
-fn mul_via_cg(g: &Golden) -> Vec<u64> {
-    let table = CgNttTable::new(g.n, g.q).expect("CgNttTable");
+/// Negacyclic multiply through the constant-geometry (Pease) datapath,
+/// pinned to one SIMD backend.
+fn mul_via_cg(g: &Golden, backend: Backend) -> Vec<u64> {
+    let table = CgNttTable::with_backend(g.n, g.q, backend).expect("CgNttTable");
     let fa = table.forward_to_vec(&g.a);
     let fb = table.forward_to_vec(&g.b);
     table.inverse_to_vec(&pointwise(&fa, &fb, &g.q))
@@ -102,10 +104,14 @@ fn mul_via_ntt_strict(g: &Golden) -> Vec<u64> {
 #[test]
 fn cooley_tukey_matches_schoolbook_golden() {
     // `forward`/`inverse` run the lazy Harvey datapath, so this KAT pins
-    // the production path to the schoolbook oracle.
-    for name in GOLDEN_FILES {
-        let g = load(name);
-        assert_eq!(mul_via_ntt(&g), g.c, "{name}");
+    // the production path to the schoolbook oracle — once per SIMD backend
+    // the host can execute, so every vector variant answers to the same
+    // golden vectors.
+    for backend in Backend::all_available() {
+        for name in GOLDEN_FILES {
+            let g = load(name);
+            assert_eq!(mul_via_ntt(&g, backend), g.c, "{name} backend={backend}");
+        }
     }
 }
 
@@ -119,27 +125,34 @@ fn strict_datapath_matches_schoolbook_golden() {
 
 #[test]
 fn lazy_and_strict_agree_lane_for_lane_on_golden_inputs() {
-    for name in GOLDEN_FILES {
-        let g = load(name);
-        let table = NttTable::new(g.n, g.q).expect("NttTable");
-        for input in [&g.a, &g.b] {
-            let mut lazy = input.clone();
-            table.forward(&mut lazy);
-            let mut strict = input.clone();
-            table.forward_strict(&mut strict);
-            assert_eq!(lazy, strict, "{name}: forward");
-            table.inverse(&mut lazy);
-            table.inverse_strict(&mut strict);
-            assert_eq!(lazy, strict, "{name}: inverse");
+    // The strict twins always run scalar, so with the table pinned to each
+    // available backend this doubles as the SIMD-vs-scalar lane-for-lane
+    // KAT on the golden inputs.
+    for backend in Backend::all_available() {
+        for name in GOLDEN_FILES {
+            let g = load(name);
+            let table = NttTable::with_backend(g.n, g.q, backend).expect("NttTable");
+            for input in [&g.a, &g.b] {
+                let mut lazy = input.clone();
+                table.forward(&mut lazy);
+                let mut strict = input.clone();
+                table.forward_strict(&mut strict);
+                assert_eq!(lazy, strict, "{name}: forward backend={backend}");
+                table.inverse(&mut lazy);
+                table.inverse_strict(&mut strict);
+                assert_eq!(lazy, strict, "{name}: inverse backend={backend}");
+            }
         }
     }
 }
 
 #[test]
 fn constant_geometry_matches_schoolbook_golden() {
-    for name in GOLDEN_FILES {
-        let g = load(name);
-        assert_eq!(mul_via_cg(&g), g.c, "{name}");
+    for backend in Backend::all_available() {
+        for name in GOLDEN_FILES {
+            let g = load(name);
+            assert_eq!(mul_via_cg(&g, backend), g.c, "{name} backend={backend}");
+        }
     }
 }
 
@@ -148,22 +161,61 @@ fn variants_agree_in_the_transform_domain() {
     // Stronger than product equality: the Pease network must land every
     // lane exactly where the iterative transform does, or downstream
     // pointwise kernels could not mix outputs from the two datapaths.
-    for name in GOLDEN_FILES {
-        let g = load(name);
-        let ct = NttTable::new(g.n, g.q).expect("NttTable");
-        let cg = CgNttTable::new(g.n, g.q).expect("CgNttTable");
-        assert_eq!(ct.forward_to_vec(&g.a), cg.forward_to_vec(&g.a), "{name}");
-        assert_eq!(ct.forward_to_vec(&g.b), cg.forward_to_vec(&g.b), "{name}");
+    for backend in Backend::all_available() {
+        for name in GOLDEN_FILES {
+            let g = load(name);
+            let ct = NttTable::with_backend(g.n, g.q, backend).expect("NttTable");
+            let cg = CgNttTable::with_backend(g.n, g.q, backend).expect("CgNttTable");
+            assert_eq!(
+                ct.forward_to_vec(&g.a),
+                cg.forward_to_vec(&g.a),
+                "{name} backend={backend}"
+            );
+            assert_eq!(
+                ct.forward_to_vec(&g.b),
+                cg.forward_to_vec(&g.b),
+                "{name} backend={backend}"
+            );
+        }
     }
 }
 
 #[test]
 fn inverse_recovers_golden_inputs() {
+    for backend in Backend::all_available() {
+        for name in GOLDEN_FILES {
+            let g = load(name);
+            let ct = NttTable::with_backend(g.n, g.q, backend).expect("NttTable");
+            let cg = CgNttTable::with_backend(g.n, g.q, backend).expect("CgNttTable");
+            let tag = format!("{name} backend={backend}");
+            assert_eq!(ct.inverse_to_vec(&ct.forward_to_vec(&g.a)), g.a, "{tag}");
+            assert_eq!(cg.inverse_to_vec(&cg.forward_to_vec(&g.a)), g.a, "{tag}");
+        }
+    }
+}
+
+#[test]
+fn backends_agree_lane_for_lane_in_the_transform_domain() {
+    // Cross-backend KAT: scalar is the oracle; every vector backend must
+    // reproduce its transform-domain output (not just the roundtrip) on
+    // the golden inputs, for both table flavours.
     for name in GOLDEN_FILES {
         let g = load(name);
-        let ct = NttTable::new(g.n, g.q).expect("NttTable");
-        let cg = CgNttTable::new(g.n, g.q).expect("CgNttTable");
-        assert_eq!(ct.inverse_to_vec(&ct.forward_to_vec(&g.a)), g.a, "{name}");
-        assert_eq!(cg.inverse_to_vec(&cg.forward_to_vec(&g.a)), g.a, "{name}");
+        let ct_ref = NttTable::with_backend(g.n, g.q, Backend::Scalar).expect("NttTable");
+        let cg_ref = CgNttTable::with_backend(g.n, g.q, Backend::Scalar).expect("CgNttTable");
+        let ct_fwd = ct_ref.forward_to_vec(&g.a);
+        let cg_fwd = cg_ref.forward_to_vec(&g.a);
+        let ct_inv = ct_ref.inverse_to_vec(&ct_fwd);
+        for backend in Backend::all_available() {
+            if backend == Backend::Scalar {
+                continue;
+            }
+            let ct = NttTable::with_backend(g.n, g.q, backend).expect("NttTable");
+            let cg = CgNttTable::with_backend(g.n, g.q, backend).expect("CgNttTable");
+            let tag = format!("{name} backend={backend}");
+            assert_eq!(ct.forward_to_vec(&g.a), ct_fwd, "{tag}: ct fwd");
+            assert_eq!(cg.forward_to_vec(&g.a), cg_fwd, "{tag}: cg fwd");
+            assert_eq!(ct.inverse_to_vec(&ct_fwd), ct_inv, "{tag}: ct inv");
+        }
     }
 }

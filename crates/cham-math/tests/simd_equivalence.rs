@@ -1,0 +1,188 @@
+//! SIMD backend equivalence suite.
+//!
+//! The scalar lazy datapath (and, transitively, the strict twins from the
+//! PR 4 equivalence suites) is the correctness oracle: for every backend the
+//! host can execute, every vector kernel must produce **bit-identical**
+//! output — lane for lane, including the lazy representative ranges — on
+//! random inputs, the `q − 1` worst case, and all workspace moduli, at
+//! N = 16 / 1024 / 4096.
+
+use cham_math::modulus::{Q0, Q1, SPECIAL_P};
+use cham_math::ntt_cg::CgNttTable;
+use cham_math::{simd, Backend, Modulus, NttTable};
+use rand::{Rng, SeedableRng};
+
+const SIZES: [usize; 3] = [16, 1024, 4096];
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0x0051_D0E9)
+}
+
+fn moduli() -> Vec<Modulus> {
+    [Q0, Q1, SPECIAL_P]
+        .iter()
+        .map(|&q| Modulus::new(q).unwrap())
+        .collect()
+}
+
+fn vector_backends() -> Vec<Backend> {
+    Backend::all_available()
+        .into_iter()
+        .filter(|b| *b != Backend::Scalar)
+        .collect()
+}
+
+/// Random canonical poly plus the all-(q−1) worst case.
+fn test_inputs(n: usize, q: &Modulus, rng: &mut impl Rng) -> Vec<Vec<u64>> {
+    let mut random: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+    // Pin boundary coefficients into the random vector too.
+    random[0] = 0;
+    random[1] = q.value() - 1;
+    vec![random, vec![q.value() - 1; n], vec![0u64; n]]
+}
+
+#[test]
+fn forward_and_inverse_match_scalar_bit_for_bit() {
+    let mut rng = rng();
+    for q in moduli() {
+        for n in SIZES {
+            let scalar = NttTable::with_backend(n, q, Backend::Scalar).unwrap();
+            for backend in vector_backends() {
+                let table = NttTable::with_backend(n, q, backend).unwrap();
+                assert_eq!(table.backend(), backend);
+                for input in test_inputs(n, &q, &mut rng) {
+                    let mut expect = input.clone();
+                    scalar.forward(&mut expect);
+                    let mut got = input.clone();
+                    table.forward(&mut got);
+                    assert_eq!(got, expect, "fwd n={n} q={q} backend={backend}");
+                    scalar.inverse(&mut expect);
+                    table.inverse(&mut got);
+                    assert_eq!(got, expect, "inv n={n} q={q} backend={backend}");
+                    assert_eq!(got, input, "roundtrip n={n} q={q} backend={backend}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn constant_geometry_matches_scalar_bit_for_bit() {
+    let mut rng = rng();
+    for q in moduli() {
+        for n in SIZES {
+            let scalar = CgNttTable::with_backend(n, q, Backend::Scalar).unwrap();
+            for backend in vector_backends() {
+                let table = CgNttTable::with_backend(n, q, backend).unwrap();
+                for input in test_inputs(n, &q, &mut rng) {
+                    let mut expect = input.clone();
+                    scalar.forward(&mut expect);
+                    let mut got = input.clone();
+                    table.forward(&mut got);
+                    assert_eq!(got, expect, "cg fwd n={n} q={q} backend={backend}");
+                    scalar.inverse(&mut expect);
+                    table.inverse(&mut got);
+                    assert_eq!(got, expect, "cg inv n={n} q={q} backend={backend}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vector_lazy_path_matches_strict_twins() {
+    // Transitivity check straight against the PR 4 strict datapath — not
+    // just scalar-lazy — so a correlated bug in both lazy paths would
+    // still be caught.
+    let mut rng = rng();
+    for q in moduli() {
+        for n in SIZES {
+            for backend in Backend::all_available() {
+                let table = NttTable::with_backend(n, q, backend).unwrap();
+                for input in test_inputs(n, &q, &mut rng) {
+                    let mut lazy = input.clone();
+                    table.forward(&mut lazy);
+                    let mut strict = input.clone();
+                    table.forward_strict(&mut strict);
+                    assert_eq!(lazy, strict, "fwd n={n} q={q} backend={backend}");
+                    table.inverse(&mut lazy);
+                    table.inverse_strict(&mut strict);
+                    assert_eq!(lazy, strict, "inv n={n} q={q} backend={backend}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mul_shoup_lazy_slice_matches_scalar_over_full_lazy_domain() {
+    let mut rng = rng();
+    for q in moduli() {
+        for n in [16usize, 1024, 4096, 17, 63] {
+            // Operands span the whole documented domain: any u64 `a` works,
+            // so include values far above 4q alongside lazy-range ones.
+            let a0: Vec<u64> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        rng.gen_range(0..4 * q.value())
+                    } else {
+                        rng.gen()
+                    }
+                })
+                .collect();
+            let w: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q.value())).collect();
+            let ws: Vec<u64> = w.iter().map(|&x| q.shoup(x)).collect();
+            let mut expect = a0.clone();
+            simd::mul_shoup_lazy_slice(Backend::Scalar, &mut expect, &w, &ws, &q);
+            for backend in vector_backends() {
+                let mut got = a0.clone();
+                simd::mul_shoup_lazy_slice(backend, &mut got, &w, &ws, &q);
+                assert_eq!(got, expect, "n={n} q={q} backend={backend}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mac_matches_scalar_at_the_accumulation_bound() {
+    // LAZY_ACC_BOUND worst-case products on a dirty accumulator — the
+    // exact headroom limit FusedAccumulator runs at.
+    for q in moduli() {
+        for n in [16usize, 1024, 37] {
+            let worst = vec![q.value() - 1; n];
+            let mut expect = vec![0xDEAD_BEEFu128; n];
+            simd::mac_write(Backend::Scalar, &mut expect, &worst, &worst);
+            for _ in 1..cham_math::poly::LAZY_ACC_BOUND {
+                simd::mac_accumulate(Backend::Scalar, &mut expect, &worst, &worst);
+            }
+            for backend in vector_backends() {
+                let mut got = vec![0xDEAD_BEEFu128; n];
+                simd::mac_write(backend, &mut got, &worst, &worst);
+                for _ in 1..cham_math::poly::LAZY_ACC_BOUND {
+                    simd::mac_accumulate(backend, &mut got, &worst, &worst);
+                }
+                assert_eq!(got, expect, "n={n} q={q} backend={backend}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dispatch_counters_advance_for_vector_backends() {
+    let q = Modulus::new(Q0).unwrap();
+    let before = simd::simd_stats();
+    for backend in vector_backends() {
+        let table = NttTable::with_backend(1024, q, backend).unwrap();
+        let mut a = vec![1u64; 1024];
+        table.forward(&mut a);
+    }
+    let after = simd::simd_stats();
+    if vector_backends().is_empty() {
+        return;
+    }
+    let fwd = simd::Kernel::FwdButterfly as usize;
+    assert!(
+        after.kernels[fwd].vector_elems > before.kernels[fwd].vector_elems,
+        "vector butterflies should be booked for vector backends"
+    );
+}

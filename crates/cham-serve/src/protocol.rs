@@ -920,11 +920,13 @@ enum ResponseTag {
 /// without breaking older readers (which parse the prefix they know).
 const PONG_FIELDS: usize = 11;
 
-/// Counters appended to the `IntrospectReport` stats block in protocol
-/// v4: `node_id`, `shard_index`, `shard_count`. Pre-v4 readers skip
-/// them by count; pre-v4 *senders* simply omit them and the parser
-/// reads zeros (standalone).
-const INTROSPECT_EXTRA_FIELDS: usize = 3;
+/// Counters appended to the `IntrospectReport` stats block. Protocol
+/// v4 added `node_id`, `shard_index`, `shard_count`; v5 appends the
+/// SIMD dispatch quartet `simd_backend`, `simd_lanes`,
+/// `simd_vector_elems`, `simd_tail_elems`. Older readers skip unknown
+/// trailing counters by count; older *senders* simply omit them and
+/// the parser reads zeros (standalone / scalar).
+const INTROSPECT_EXTRA_FIELDS: usize = 7;
 
 fn snapshot_fields(s: &StatsSnapshot) -> [u64; PONG_FIELDS] {
     [
@@ -1103,6 +1105,10 @@ impl Response {
                     snapshot.node_id,
                     u64::from(snapshot.shard_index),
                     u64::from(snapshot.shard_count),
+                    u64::from(snapshot.simd_backend),
+                    u64::from(snapshot.simd_lanes),
+                    snapshot.simd_vector_elems,
+                    snapshot.simd_tail_elems,
                 ] {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
@@ -1300,6 +1306,12 @@ impl Response {
                         node_id: extras.first().copied().unwrap_or(0),
                         shard_index: extras.get(1).map_or(0, |&v| v as u32),
                         shard_count: extras.get(2).map_or(0, |&v| v as u32),
+                        // SIMD dispatch rides the v5 counters; a pre-v5
+                        // report has none and reads scalar/zeros.
+                        simd_backend: extras.get(3).map_or(0, |&v| v as u32),
+                        simd_lanes: extras.get(4).map_or(0, |&v| v as u32),
+                        simd_vector_elems: extras.get(5).copied().unwrap_or(0),
+                        simd_tail_elems: extras.get(6).copied().unwrap_or(0),
                         phases,
                     },
                 }
@@ -1659,6 +1671,10 @@ mod tests {
                     node_id: 0xC0FFEE,
                     shard_index: 2,
                     shard_count: 3,
+                    simd_backend: 1,
+                    simd_lanes: 4,
+                    simd_vector_elems: 1 << 40,
+                    simd_tail_elems: 17,
                     phases,
                 },
             },

@@ -161,6 +161,8 @@ impl ServerShared {
         let (key_cache_len, matrix_cache_len) = self.cache.lens();
         let pool = cham_pool::global_stats();
         let (flight_traces, flight_dropped) = self.flight.lens();
+        let simd = cham_math::simd_stats();
+        let (simd_vector_elems, simd_tail_elems) = simd.totals();
         IntrospectSnapshot {
             stats: self.stats.snapshot(),
             queue_depth: self.scheduler.queue_len() as u32,
@@ -185,6 +187,10 @@ impl ServerShared {
                 .shard
                 .as_ref()
                 .map_or(0, |s| u32::from(s.ring.nodes())),
+            simd_backend: u32::from(simd.backend.code()),
+            simd_lanes: simd.backend.lanes() as u32,
+            simd_vector_elems,
+            simd_tail_elems,
             phases: self.phases.snapshot(),
         }
     }

@@ -314,6 +314,16 @@ pub struct IntrospectSnapshot {
     pub shard_index: u32,
     /// Total ring slots in the server's cluster (`0` = standalone).
     pub shard_count: u32,
+    /// Resolved SIMD backend code (`cham_math::Backend::code`):
+    /// 0 = scalar, 1 = avx2, 2 = neon (protocol v5, additive).
+    pub simd_backend: u32,
+    /// Lane width of the resolved backend (1 = scalar fallback).
+    pub simd_lanes: u32,
+    /// Elements processed by vector kernels since process start
+    /// (`cham_math.simd.dispatch` counter family).
+    pub simd_vector_elems: u64,
+    /// Elements handled by scalar tails/fallback since process start.
+    pub simd_tail_elems: u64,
     /// Per-phase latency summaries (phases with at least one sample).
     pub phases: Vec<PhaseStat>,
 }
@@ -378,6 +388,11 @@ impl IntrospectSnapshot {
             ("node_id".into(), self.node_id.into()),
             ("shard_index".into(), u64::from(self.shard_index).into()),
             ("shard_count".into(), u64::from(self.shard_count).into()),
+            // SIMD dispatch (v5): additive keys, same compatibility rule.
+            ("simd_backend".into(), u64::from(self.simd_backend).into()),
+            ("simd_lanes".into(), u64::from(self.simd_lanes).into()),
+            ("simd_vector_elems".into(), self.simd_vector_elems.into()),
+            ("simd_tail_elems".into(), self.simd_tail_elems.into()),
             ("phases".into(), phases),
         ])
     }

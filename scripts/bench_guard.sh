@@ -6,8 +6,12 @@
 #   scripts/bench_guard.sh <baseline.json> <current.json>
 #
 # The guarded metric set is chosen by the record's "name" field:
-#   table3_ntt       -> cpu_ntt_ops_per_sec (higher is better),
-#                       ntt_lazy_seconds    (lower is better)
+#   table3_ntt       -> cpu_ntt_ops_per_sec, simd_speedup_fwd_ntt (higher
+#                       is better), ntt_lazy_seconds, ntt_simd_seconds
+#                       (lower is better); additionally fails on a silent
+#                       scalar fallback — a record whose params say the
+#                       host should vectorize (simd_expect_vector = 1) but
+#                       whose resolved backend is scalar (simd_lanes <= 1)
 #   fig8_hmvp        -> dot_phase_serial_seconds, dot_phase_parallel_seconds,
 #                       dot_phase_unfused_seconds (lower is better)
 #   serve_throughput -> served_seconds, latency_p99_ns (lower is better),
@@ -45,6 +49,8 @@ GUARDS = {
     "table3_ntt": {
         "cpu_ntt_ops_per_sec": "higher",
         "ntt_lazy_seconds": "lower",
+        "ntt_simd_seconds": "lower",
+        "simd_speedup_fwd_ntt": "higher",
     },
     "fig8_hmvp": {
         "dot_phase_serial_seconds": "lower",
@@ -127,6 +133,33 @@ for metric in ZERO_GATES.get(name, []):
     print(f"  {status:>4}  {metric}: {c:.6g} (must be exactly 0)")
     if c != 0:
         failures.append(metric)
+
+# Silent-scalar-fallback gate: the run record stamps two independent
+# views of the SIMD story — `simd_expect_vector` is computed straight from
+# host feature detection + the raw CHAM_SIMD request (bypassing the
+# dispatch code entirely), while `simd_lanes` reports what the dispatcher
+# actually resolved. If the host should vectorize but the dispatcher fell
+# back to scalar, every "simd" metric above silently benchmarks scalar
+# against scalar and passes — so this is a hard failure, not a tolerance.
+if name == "table3_ntt":
+    params = cur.get("params", {})
+    expect = params.get("simd_expect_vector")
+    lanes = params.get("simd_lanes")
+    if isinstance(expect, (int, float)) and isinstance(lanes, (int, float)):
+        checked += 1
+        if expect == 1 and lanes <= 1:
+            print(
+                f"  FAIL  simd dispatch: host expects a vector backend but "
+                f"resolved simd_lanes={lanes:.0f} (silent scalar fallback)"
+            )
+            failures.append("simd_silent_fallback")
+        else:
+            print(
+                f"  ok    simd dispatch: simd_expect_vector={expect:.0f}, "
+                f"simd_lanes={lanes:.0f}"
+            )
+    else:
+        print("  skip  simd dispatch: simd_expect_vector/simd_lanes not in current params")
 
 if checked == 0:
     sys.exit(f"{name}: no guarded metrics present in both records")
