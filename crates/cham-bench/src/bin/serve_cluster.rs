@@ -9,9 +9,11 @@
 //! the standard correction for coordinated omission.
 //!
 //! The run record (`--json`, `cham-run-record/v1`) carries the tail
-//! latencies (p50/p99/p999), goodput, per-shard balance, and the
-//! recovery counters (failovers, retries, re-uploads). The headline
-//! assertions — the resilience claim of the cluster layer:
+//! latencies (p50/p99/p999), goodput, per-shard balance, the recovery
+//! counters (failovers, retries, re-uploads), and the
+//! degraded-replication window (kill → first request completed through
+//! a failover). The headline assertions — the resilience claim of the
+//! cluster layer:
 //!
 //! * `failed_requests == 0`: a replica dying mid-run and a faulty peer
 //!   cost latency, never answers;
@@ -136,10 +138,16 @@ fn main() {
         max_backoff: Duration::from_millis(50),
         jitter_seed: 0xC1,
         total_deadline: Some(Duration::from_secs(60)),
+        ..RetryPolicy::default()
     };
 
     let start = Instant::now();
     let done_requests = std::sync::atomic::AtomicUsize::new(0);
+    // Degraded-replication window: from the kill to the first request
+    // that *completed through a failover* — how long the fleet ran with
+    // a band's only copy serving before routing demonstrably healed.
+    let kill_ns = std::sync::atomic::AtomicU64::new(0);
+    let degraded_ns = std::sync::atomic::AtomicU64::new(u64::MAX);
     let outcome = std::thread::scope(|scope| {
         // The reaper: once half the requests have completed (so the
         // victim demonstrably served live traffic first — setup time
@@ -147,11 +155,16 @@ fn main() {
         let reaper = {
             let victim = servers[usize::from(VICTIM)].take().expect("victim");
             let done_requests = &done_requests;
+            let kill_ns = &kill_ns;
             scope.spawn(move || {
                 while done_requests.load(std::sync::atomic::Ordering::Relaxed) < total / 2 {
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 victim.shutdown();
+                kill_ns.store(
+                    start.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::SeqCst,
+                );
             })
         };
         let mut handles = Vec::new();
@@ -166,6 +179,8 @@ fn main() {
             let inputs = &inputs;
             let vectors = &vectors;
             let done_requests = &done_requests;
+            let kill_ns = &kill_ns;
+            let degraded_ns = &degraded_ns;
             let mut policy = policy;
             policy.jitter_seed = 0xC1 ^ (c as u64 + 1);
             handles.push(scope.spawn(move || {
@@ -193,9 +208,17 @@ fn main() {
                     }
                     let scheduled = t0 + due;
                     let i = c * PER_CLIENT + k;
+                    let failovers_before = client.stats().failovers;
                     match client.hmvp_sharded(key_id, &sharded, &inputs[i], None) {
                         Ok(result) => {
                             latencies_ns.push(scheduled.elapsed().as_nanos() as u64);
+                            let killed_at = kill_ns.load(std::sync::atomic::Ordering::SeqCst);
+                            if killed_at != 0 && client.stats().failovers > failovers_before {
+                                degraded_ns.fetch_min(
+                                    (start.elapsed().as_nanos() as u64).saturating_sub(killed_at),
+                                    std::sync::atomic::Ordering::SeqCst,
+                                );
+                            }
                             let got = hmvp.decrypt_result(&result, dec).expect("decrypt");
                             assert_eq!(
                                 got,
@@ -261,9 +284,14 @@ fn main() {
         p99 as f64 / 1e6,
         p999 as f64 / 1e6,
     );
+    let degraded = degraded_ns.load(std::sync::atomic::Ordering::SeqCst);
     println!(
         "failed {failed}  failovers {failovers}  retries {retries}  reuploads {reuploads}  \
          recovered {recovered}  refreshes {refreshes}  per-shard {per_shard:?}"
+    );
+    println!(
+        "degraded replication window (kill -> first failed-over answer): {:.2} ms",
+        degraded as f64 / 1e6
     );
 
     // The resilience claim: a dead replica and a faulty one cost
@@ -276,6 +304,11 @@ fn main() {
     assert!(
         failovers >= 1,
         "the killed replica was never failed over — the kill did not bite"
+    );
+    assert_ne!(
+        degraded,
+        u64::MAX,
+        "no request completed through a failover after the kill"
     );
     // Balance: every surviving shard served (the victim may legitimately
     // drop to its pre-kill share, but never to zero — it served the
@@ -318,7 +351,8 @@ fn main() {
         .metric("retries", retries)
         .metric("reuploads", reuploads)
         .metric("faults_recovered", recovered)
-        .metric("refreshes", refreshes);
+        .metric("refreshes", refreshes)
+        .metric("degraded_replication_ns", degraded);
     for (slot, &served) in per_shard.iter().enumerate() {
         run.metric(format!("per_shard_requests_{slot}"), served);
     }

@@ -471,6 +471,23 @@ impl ClusterClient {
         })
     }
 
+    /// Quarantines one node's address in every route that can reach it
+    /// — the sink for the health loop's confirmed-down verdicts. The
+    /// cooldown is the policy's `down_quarantine` (`None`) or an
+    /// explicit override; either way it outlasts the optimistic
+    /// per-failure cooldown, so routing stops re-dialing a node the
+    /// monitor has condemned until it has actually answered probes
+    /// again. Returns how many routes held the address.
+    pub fn quarantine_node(&mut self, addr: &str, cooldown: Option<Duration>) -> usize {
+        let mut hit = 0;
+        for rc in self.routes.values_mut() {
+            if rc.quarantine_endpoint(addr, cooldown) {
+                hit += 1;
+            }
+        }
+        hit
+    }
+
     /// Rebuilds the slot→address assignment from the fleet's own hello
     /// answers: every reachable node reports the `shard_index` it
     /// enforces, the client adopts that placement and the highest

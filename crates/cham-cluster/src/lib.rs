@@ -21,6 +21,17 @@
 //!   fails over between replicas (via `cham_serve`'s `RetryClient`
 //!   endpoint pool), and re-routes through a topology refresh when a
 //!   server answers `WrongShard`.
+//! * [`health`] — [`HealthMonitor`]: a seeded-jitter heartbeat loop
+//!   over the protocol's `Ping` frames with a per-node
+//!   up/suspect/down state machine; confirmed-down verdicts feed
+//!   [`ClusterClient::quarantine_node`] so routing stops dialing dead
+//!   replicas for longer than the optimistic per-failure cooldown.
+//! * [`repair`] — anti-entropy: diff each node's reported inventory
+//!   (protocol v6 `StoreList`) against the ring's replica sets, then
+//!   stream missing segments replica→replica over the resumable
+//!   chunked-upload path until the fleet converges back to full
+//!   replication — including backfilling a restarted node that
+//!   rejoined with a stale (or empty) store.
 //!
 //! The wire protocol is unchanged except for protocol v4's trailing
 //! cluster block in the hello response (`node_id`, `shard_index`,
@@ -29,9 +40,13 @@
 //! single-node, and vice versa.
 
 pub mod client;
+pub mod health;
+pub mod repair;
 pub mod ring;
 pub mod topology;
 
 pub use client::{Band, ClusterClient, ClusterStatsSnapshot, MatrixHandle, ShardedMatrix};
+pub use health::{HealthConfig, HealthMonitor, HealthTransition, NodeHealth};
+pub use repair::{RepairPlan, RepairReport, Transfer};
 pub use ring::{distribution, remap_fraction, HashRing};
 pub use topology::Topology;

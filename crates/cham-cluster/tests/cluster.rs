@@ -19,21 +19,31 @@
 //!    full workload against a v4 shard-configured server (and sees no
 //!    cluster block); a v4 client against a v3-era server downgrades
 //!    and reads no cluster block.
+//! 5. **The fleet self-heals**: a killed replica is condemned by the
+//!    heartbeat monitor (feeding the router's quarantine), rejoins
+//!    empty on restart, and anti-entropy repair streams its replica
+//!    share back until the inventory diff is zero — post-repair
+//!    answers bit-identical to pre-kill.
+//! 6. **The repair surface is version-gated**: v5 peers run the full
+//!    pre-repair workload against a v6 server (hello bodies byte-equal
+//!    but for the revision echo) while `StoreList`/`StoreFetch`/segment
+//!    transfers are refused typed on both sides of the wire.
 //!
 //! Everything runs on degree-64 parameters: band alignment is the ring
 //! dimension, so small `N` keeps multi-band matrices cheap.
 
-use cham_cluster::{ClusterClient, Topology};
+use cham_cluster::{repair, ClusterClient, HealthConfig, HealthMonitor, NodeHealth, Topology};
 use cham_he::encrypt::{Decryptor, Encryptor};
 use cham_he::hmvp::{Hmvp, HmvpResult, Matrix};
 use cham_he::keys::{GaloisKeys, SecretKey};
 use cham_he::params::{ChamParams, ChamParamsBuilder};
-use cham_serve::protocol::{self, FrameKind, Hello, Response};
+use cham_serve::protocol::{self, ErrorCode, FrameKind, Hello, Response};
 use cham_serve::server::{Server, ServerConfig};
 use cham_serve::shard::{HashRing, ShardSpec};
-use cham_serve::{ClientConfig, RetryClient, RetryPolicy, ServeClient};
+use cham_serve::{ClientConfig, RetryClient, RetryPolicy, ServeClient, ServeError};
 use rand::{Rng, SeedableRng};
-use std::net::TcpListener;
+use std::collections::BTreeSet;
+use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -73,6 +83,7 @@ fn quick_policy(seed: u64) -> RetryPolicy {
         max_backoff: Duration::from_millis(20),
         jitter_seed: seed,
         total_deadline: Some(Duration::from_secs(60)),
+        ..RetryPolicy::default()
     }
 }
 
@@ -386,6 +397,372 @@ fn v4_client_downgrades_against_v3_server() {
         "client must settle on the server's revision"
     );
     assert_eq!(info.cluster, None, "no cluster block exists below v4");
+    drop(client);
+    handle.join().unwrap();
+}
+
+/// The self-healing loop end to end: a replica dies under load (zero
+/// failed requests), the heartbeat condemns it and quarantines routing,
+/// the node rejoins empty, and anti-entropy repair streams its replica
+/// share back over resumable chunks until the inventory diff is zero —
+/// with post-repair answers bit-identical to pre-kill.
+#[test]
+fn killed_replica_rejoins_and_repair_converges() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x4EA1);
+    // 192 rows over a 64-degree ring: three full bands.
+    let matrix = Matrix::random(192, DEGREE, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+
+    let (mut servers, topology) = start_fleet(2, 1);
+    let mut cc = ClusterClient::with_config(
+        topology.clone(),
+        Arc::clone(&f.params),
+        ClientConfig::default(),
+        quick_policy(0x4EA1),
+    );
+    let key_id = cc.load_keys(&f.gkeys, &f.indices).unwrap();
+    let sharded = cc.load_matrix_sharded(&matrix, DEGREE).unwrap();
+    let band_ids: Vec<u64> = sharded.bands.iter().map(|b| b.id).collect();
+
+    // Fixed ciphertext inputs: encryption is randomized, so bit-level
+    // reproducibility must replay the *same* ciphertexts pre- and
+    // post-repair (the server-side pipeline is deterministic).
+    let cts_list: Vec<_> = (0..3)
+        .map(|_| {
+            let v: Vec<u64> = (0..matrix.cols())
+                .map(|_| rng.gen_range(0..t.value()))
+                .collect();
+            hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap()
+        })
+        .collect();
+    let reference: Vec<HmvpResult> = cts_list
+        .iter()
+        .map(|cts| cc.hmvp_sharded(key_id, &sharded, cts, None).unwrap())
+        .collect();
+
+    // Kill the primary of the first band.
+    let victim = sharded.bands[0].replicas[0];
+    let victim_addr = topology.nodes()[usize::from(victim)].clone();
+    servers[usize::from(victim)].take().unwrap().shutdown();
+
+    // The heartbeat loop condemns it over real probes — Up -> Suspect
+    // -> Down — and the Down verdict feeds the router's quarantine.
+    let mut monitor = HealthMonitor::new(
+        topology.clone(),
+        Arc::clone(&f.params),
+        HealthConfig {
+            suspect_after: 1,
+            down_after: 2,
+            recover_after: 1,
+            probe_timeout: Duration::from_millis(200),
+            ..HealthConfig::default()
+        },
+    );
+    let t1 = monitor.tick();
+    assert_eq!(t1.len(), 1);
+    assert_eq!((t1[0].slot, t1[0].to), (victim, NodeHealth::Suspect));
+    let t2 = monitor.tick();
+    assert_eq!(t2.len(), 1);
+    assert_eq!(
+        (t2[0].from, t2[0].to),
+        (NodeHealth::Suspect, NodeHealth::Down)
+    );
+    assert_eq!(monitor.down_slots(), vec![victim]);
+    for tr in &t2 {
+        if tr.to == NodeHealth::Down {
+            assert!(
+                cc.quarantine_node(&tr.addr, None) >= 1,
+                "the dead node was in no route"
+            );
+        }
+    }
+
+    // Degraded window: every request still answers, bit-identical.
+    for (cts, expect) in cts_list.iter().zip(&reference) {
+        let got = cc.hmvp_sharded(key_id, &sharded, cts, None).unwrap();
+        assert_bit_identical(expect, &got);
+    }
+
+    // Rejoin: same slot and node id, fresh (empty) state, new port —
+    // loopback tests cannot rebind the old port without tripping
+    // TIME_WAIT, so the topology is patched to the new address.
+    let ring = HashRing::new(NODES, VNODES, 2);
+    let restarted = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&f.params),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 2,
+            shard: Some(ShardSpec::new(ring, victim, 1)),
+            node_id: 0xA0 + u64::from(victim),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let new_addr = restarted.local_addr().to_string();
+    servers[usize::from(victim)] = Some(restarted);
+    let mut nodes2 = topology.nodes().to_vec();
+    nodes2[usize::from(victim)] = new_addr.clone();
+    let topology2 = Topology::new(nodes2)
+        .unwrap()
+        .with_vnodes(VNODES)
+        .with_replication(2)
+        .with_epoch(1);
+
+    // Health sees it come back sticky: Down -> Suspect on the first
+    // answered probe, Up only after the recover streak. The monitor
+    // still probes the old address, so the probe maps it to the new
+    // port — exactly what a same-port restart looks like to it.
+    let mut probe = |addr: &str| {
+        let real = if addr == victim_addr {
+            new_addr.as_str()
+        } else {
+            addr
+        };
+        ServeClient::connect_with(real, Arc::clone(&f.params), &ClientConfig::default())
+            .and_then(|mut c| c.ping())
+            .is_ok()
+    };
+    let back = monitor.tick_with(&mut probe);
+    assert_eq!(back.len(), 1);
+    assert_eq!(
+        (back[0].from, back[0].to),
+        (NodeHealth::Down, NodeHealth::Suspect)
+    );
+    let back = monitor.tick_with(&mut probe);
+    assert_eq!(back.len(), 1);
+    assert_eq!(
+        (back[0].from, back[0].to),
+        (NodeHealth::Suspect, NodeHealth::Up)
+    );
+    assert!(monitor.down_slots().is_empty());
+
+    // Anti-entropy: the first plan is exactly "backfill the rejoiner",
+    // then rounds run until one plans nothing.
+    let repair_cfg = ClientConfig::default();
+    let inv = repair::fetch_inventories(&topology2, &f.params, &repair_cfg);
+    let pre = repair::plan(&topology2.ring(), &inv, &band_ids);
+    assert!(!pre.is_converged(), "the empty rejoiner must need repair");
+    assert!(
+        pre.transfers.iter().all(|tr| tr.target == victim),
+        "survivors lost nothing: {:?}",
+        pre.transfers
+    );
+
+    let mut repaired = 0u64;
+    let mut chunks_sent = 0u64;
+    let mut rounds = 0;
+    loop {
+        let (plan, report) = repair::repair_round(&topology2, &f.params, &repair_cfg);
+        repaired += report.repaired_segments;
+        chunks_sent += report.chunks_sent;
+        assert_eq!(report.unsourced, 0, "survivors hold every band");
+        if plan.is_converged() {
+            break;
+        }
+        rounds += 1;
+        assert!(rounds < 8, "repair failed to converge");
+    }
+    assert!(repaired > 0, "the rejoin must transfer segments");
+    assert!(chunks_sent > 0, "repair must ride the chunked path");
+
+    // Converged exactly: the diff against the known upload set is
+    // empty, and the rejoined node holds precisely its replica share.
+    let inv_after = repair::fetch_inventories(&topology2, &f.params, &repair_cfg);
+    assert!(repair::plan(&topology2.ring(), &inv_after, &band_ids).is_converged());
+    let victim_inv: BTreeSet<u64> = inv_after[usize::from(victim)]
+        .clone()
+        .unwrap()
+        .into_iter()
+        .collect();
+    let ring2 = topology2.ring();
+    for &id in &band_ids {
+        assert_eq!(
+            victim_inv.contains(&id),
+            ring2.replicas(id).contains(&victim),
+            "band {id:#x} placement after repair"
+        );
+    }
+
+    // And it serves: a fresh client on the patched topology replays the
+    // same ciphertexts and gets bits identical to the pre-kill fleet —
+    // with the rejoined node actually answering (it is the primary of
+    // at least band 0).
+    let mut cc2 = ClusterClient::with_config(
+        topology2,
+        Arc::clone(&f.params),
+        ClientConfig::default(),
+        quick_policy(0x4EA2),
+    );
+    assert_eq!(cc2.load_keys(&f.gkeys, &f.indices).unwrap(), key_id);
+    for (cts, expect) in cts_list.iter().zip(&reference) {
+        let got = cc2.hmvp_sharded(key_id, &sharded, cts, None).unwrap();
+        assert_bit_identical(expect, &got);
+    }
+    let served = cc2.stats().per_node_requests;
+    assert!(
+        served[usize::from(victim)] > 0,
+        "the rejoined node never served: {served:?}"
+    );
+
+    for s in &mut servers {
+        if let Some(s) = s.take() {
+            s.shutdown();
+        }
+    }
+}
+
+/// v5-pinned client against a v6 server: the full pre-repair workload
+/// serves, the repair surface is version-gated on *both* sides of the
+/// wire, and the v5/v6 hello response bodies agree on every byte except
+/// the two-byte revision echo.
+#[test]
+fn v5_client_runs_against_v6_server() {
+    let f = fixture();
+    let t = f.params.plain_modulus();
+    // One-slot ring so the hello carries a full cluster block — the
+    // byte-shape comparison below then covers the identity fields too.
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::clone(&f.params),
+        &ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 2,
+            shard: Some(ShardSpec::new(HashRing::new(1, VNODES, 1), 0, 9)),
+            node_id: 0xCAFE,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let v5_config = ClientConfig {
+        protocol_version: 5,
+        ..ClientConfig::default()
+    };
+    let mut client =
+        ServeClient::connect_with(server.local_addr(), Arc::clone(&f.params), &v5_config).unwrap();
+    assert_eq!(client.server_info().version, 5);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x55);
+    let matrix = Matrix::random(DEGREE, DEGREE, t.value(), &mut rng);
+    let hmvp = Hmvp::from_arc(Arc::clone(&f.params));
+    let enc = Encryptor::new(&f.params, &f.sk);
+    let dec = Decryptor::new(&f.params, &f.sk);
+    let key_id = client.load_keys(&f.gkeys, &f.indices).unwrap();
+    let matrix_id = client.load_matrix(&matrix).unwrap();
+    let v: Vec<u64> = (0..matrix.cols())
+        .map(|_| rng.gen_range(0..t.value()))
+        .collect();
+    let cts = hmvp.encrypt_vector(&v, &enc, &mut rng).unwrap();
+    let result = client.hmvp(key_id, matrix_id, &cts, None).unwrap();
+    assert_eq!(
+        hmvp.decrypt_result(&result, &dec).unwrap(),
+        matrix.mul_vector_mod(&v, t).unwrap()
+    );
+
+    // Client-side gate: the repair surface refuses below v6 without
+    // touching the wire.
+    assert!(matches!(
+        client.store_list(),
+        Err(ServeError::Incompatible(_))
+    ));
+    assert!(matches!(
+        client.store_fetch(1),
+        Err(ServeError::Incompatible(_))
+    ));
+
+    // Raw handshakes at both revisions, for the server-side gate and
+    // the byte-shape pin.
+    let hello_at = |version: u16| {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let hello = Hello {
+            version,
+            ..Hello::for_params(&f.params)
+        };
+        protocol::write_frame(&mut stream, FrameKind::Hello, &hello.to_bytes()).unwrap();
+        let (kind, body) = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Result);
+        (stream, body)
+    };
+
+    // Server-side gate: a misbehaving v5 peer that sends `StoreList`
+    // anyway gets a typed Incompatible, not a hang or a close.
+    let (mut raw5, body5) = hello_at(5);
+    protocol::write_frame(&mut raw5, FrameKind::StoreList, &[]).unwrap();
+    let (kind, body) = protocol::read_frame(&mut raw5).unwrap();
+    assert_eq!(kind, FrameKind::Error);
+    let (code, message) = protocol::error_from_body(&body).unwrap();
+    assert_eq!(code, ErrorCode::Incompatible, "{message}");
+
+    // Byte-exact hello interop: bodies identical but for the revision
+    // echo at offsets 11..13.
+    let (_raw6, body6) = hello_at(6);
+    assert_eq!(
+        body5.len(),
+        body6.len(),
+        "hello shape diverged across v5/v6"
+    );
+    assert_eq!(body5[..11], body6[..11]);
+    assert_eq!(body5[13..], body6[13..]);
+    assert_eq!(u16::from_le_bytes([body5[11], body5[12]]), 5);
+    assert_eq!(u16::from_le_bytes([body6[11], body6[12]]), 6);
+    match Response::from_bytes(&body6, &f.params).unwrap() {
+        Response::Hello {
+            version, cluster, ..
+        } => {
+            assert_eq!(version, 6);
+            let id = cluster.expect("shard-configured server advertises identity");
+            assert_eq!((id.node_id, id.epoch), (0xCAFE, 9));
+        }
+        other => panic!("unexpected hello reply: {other:?}"),
+    }
+
+    drop(client);
+    server.shutdown();
+}
+
+/// v6 client against a v5-era server: negotiates down to 5 and the
+/// repair surface turns off client-side — no wire traffic (the server
+/// thread below answers exactly one hello and exits).
+#[test]
+fn v6_client_downgrades_against_v5_server() {
+    let f = fixture();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (kind, body) = protocol::read_frame(&mut stream).unwrap();
+        assert_eq!(kind, FrameKind::Hello);
+        let hello = Hello::from_bytes(&body).unwrap();
+        assert_eq!(hello.version, protocol::PROTOCOL_VERSION);
+        let resp = Response::Hello {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 4,
+            version: 5,
+            cluster: None,
+        };
+        protocol::write_frame(&mut stream, FrameKind::Result, &resp.to_bytes()).unwrap();
+    });
+    let mut client = ServeClient::connect(addr, Arc::clone(&f.params)).unwrap();
+    assert_eq!(
+        client.server_info().version,
+        5,
+        "client must settle on the server's revision"
+    );
+    assert!(matches!(
+        client.store_list(),
+        Err(ServeError::Incompatible(_))
+    ));
+    assert!(matches!(
+        client.load_segment_streamed(0x1, &[0u8; 16], 8),
+        Err(ServeError::Incompatible(_))
+    ));
     drop(client);
     handle.join().unwrap();
 }

@@ -112,6 +112,38 @@ proptest! {
     }
 
     #[test]
+    fn replication_factor_changes_are_prefix_stable(
+        nodes in 1..24u16,
+        vnodes in 1..96u32,
+        replication in 1..6u16,
+        key in any::<u64>(),
+    ) {
+        // Changing R must never reshuffle existing copies: the replica
+        // walk is R-independent, so R -> R+1 appends exactly one slot
+        // (when the fleet has one to give) and R -> R-1 drops exactly
+        // the last. This is what lets the repair planner treat a
+        // replication bump as "backfill the new tail replica" instead
+        // of a fleet-wide re-placement.
+        let ring = HashRing::new(nodes, vnodes, replication);
+        let grown = HashRing::new(nodes, vnodes, replication + 1);
+        let reps = ring.replicas(key);
+        let more = grown.replicas(key);
+        prop_assert_eq!(&more[..reps.len()], &reps[..], "R+1 reordered the prefix");
+        prop_assert!(more.len() - reps.len() <= 1);
+        if replication < nodes {
+            prop_assert_eq!(more.len(), reps.len() + 1, "R+1 must add a replica");
+        }
+        if replication > 1 {
+            let shrunk = HashRing::new(nodes, vnodes, replication - 1);
+            let fewer = shrunk.replicas(key);
+            prop_assert_eq!(&reps[..fewer.len()], &fewer[..], "R-1 reordered the prefix");
+            if replication <= nodes {
+                prop_assert_eq!(fewer.len(), reps.len() - 1, "R-1 must drop only the last");
+            }
+        }
+    }
+
+    #[test]
     fn shrinking_the_fleet_by_one_remaps_at_most_2_over_n(
         nodes in 3..14u16,
         vnodes in 64..257u32,

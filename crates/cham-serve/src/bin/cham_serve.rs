@@ -7,13 +7,17 @@
 //!            [--max-frame BYTES] [--faults SPEC] [--stats-every SECS]
 //!            [--flight N] [--flight-dump PATH]
 //!            [--store-dir PATH] [--store-cap-bytes N]
+//!            [--max-pending-uploads N] [--upload-reap-secs N]
 //! ```
 //!
 //! `--store-dir` arms the persistent data plane: encoded matrices spill
 //! to a crash-safe segment store there, and a restart against the same
 //! directory comes back warm (no re-encode). `--store-cap-bytes` bounds
 //! the store's on-disk footprint (LRU-evicted past it; default
-//! unbounded).
+//! unbounded). `--max-pending-uploads` caps concurrent chunked-upload
+//! assemblies, and `--upload-reap-secs` sets the idle age past which an
+//! abandoned assembly may be reclaimed under pressure (reaps show up as
+//! `reaped_uploads` in stats and introspection).
 //!
 //! Prints `listening on <addr>` once ready (scripts wait for that line),
 //! then serves until the process is killed. With `--stats-every` it also
@@ -120,6 +124,13 @@ fn parse_args() -> Result<Args, String> {
             "--store-cap-bytes" => {
                 args.config.store_cap_bytes = parse_num(&value("--store-cap-bytes")?)? as u64;
             }
+            "--max-pending-uploads" => {
+                args.config.max_pending_uploads = parse_num(&value("--max-pending-uploads")?)?;
+            }
+            "--upload-reap-secs" => {
+                args.config.upload_idle_reap =
+                    Duration::from_secs(parse_num(&value("--upload-reap-secs")?)? as u64);
+            }
             "--cluster" => args.cluster = Some(parse_cluster_list(&value("--cluster")?)?),
             "--shard-index" => {
                 args.shard_index = Some(
@@ -150,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
                             [--faults SPEC] [--stats-every SECS] \
                             [--flight N] [--flight-dump PATH] \
                             [--store-dir PATH] [--store-cap-bytes N] \
+                            [--max-pending-uploads N] [--upload-reap-secs N] \
                             [--cluster HOST:PORT,...] [--shard-index N] [--node-id N] \
                             [--vnodes N] [--replication N] [--epoch N]"
                         .into(),

@@ -94,6 +94,10 @@ impl<V> LruMap<V> {
     fn contains(&self, id: u64) -> bool {
         self.entries.contains_key(&id)
     }
+
+    fn ids(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
 }
 
 /// Shared session state: the parameter set, the HMVP engine built on it,
@@ -337,6 +341,75 @@ impl SessionCache {
         self.restore_matrix(id).ok_or(ServeError::UnknownMatrix(id))
     }
 
+    /// Every matrix content id this node can serve — the RAM LRU and
+    /// the persistent store combined, sorted ascending. This is the
+    /// inventory the v6 `StoreList` op reports and the repair planner
+    /// diffs against the ring's expected replica sets.
+    #[must_use]
+    pub fn matrix_inventory(&self) -> Vec<u64> {
+        let mut ids = self.matrices.lock().expect("matrix cache poisoned").ids();
+        if let Some(store) = &self.store {
+            ids.extend(store.ids());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The encoded (NTT-form) wire bytes of matrix `id`, for a
+    /// replica→replica repair transfer. Prefers the persistent segment
+    /// (already serialized, CRC-verified); a store miss re-serializes
+    /// the RAM entry.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownMatrix`] when the id is resident nowhere;
+    /// HE-layer errors re-serializing a RAM entry.
+    pub fn segment_bytes(&self, id: u64) -> Result<Vec<u8>> {
+        if let Some(store) = &self.store {
+            if let Some(bytes) = store.get(id) {
+                return Ok(bytes);
+            }
+        }
+        let encoded = self
+            .matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .get(id)
+            .ok_or(ServeError::UnknownMatrix(id))?;
+        cham_he::wire::encoded_matrix_to_bytes(&encoded).map_err(ServeError::He)
+    }
+
+    /// Installs an encoded matrix received from another replica (the v6
+    /// segment-mode commit path): validates the wire bytes against this
+    /// cache's params, inserts into the RAM LRU under `id`, and persists
+    /// to the segment store (best-effort, like any fresh encode).
+    /// Returns the accepted shape. No NTT encode happens here — that is
+    /// the whole point of transferring the encoded form.
+    ///
+    /// # Errors
+    /// HE-layer validation errors for bytes that do not decode against
+    /// this parameter set.
+    pub fn put_segment_bytes(&self, id: u64, bytes: &[u8]) -> Result<(usize, usize)> {
+        let encoded = cham_he::wire::encoded_matrix_from_bytes(bytes, &self.params)?;
+        let shape = encoded.shape();
+        if let Some(store) = &self.store {
+            if store.put(id, bytes).is_err() {
+                counter_add!("cham_serve.store.spill_errors", 1);
+            }
+        }
+        let evicted = self
+            .matrices
+            .lock()
+            .expect("matrix cache poisoned")
+            .insert(id, Arc::new(encoded));
+        counter_add!("cham_serve.cache.matrix_insert", 1);
+        if evicted {
+            counter_add!("cham_serve.cache.matrix_evict", 1);
+            self.on_evict("matrix (lru, repair install)".into());
+        }
+        Ok(shape)
+    }
+
     /// Evicts a cached key set by id; returns whether it was present.
     ///
     /// Eviction is always safe mid-flight: entries are handed out as
@@ -456,5 +529,39 @@ mod tests {
         assert!(held.col_tiles() >= 1);
         assert!(cache.evict_keys(id));
         assert!(matches!(cache.get_keys(id), Err(ServeError::UnknownKey(_))));
+    }
+
+    #[test]
+    fn segment_bytes_roundtrip_between_caches() {
+        // A segment pulled off one cache installs into another without
+        // any NTT encode — the replica→replica repair transfer in
+        // miniature, store-less on both ends (RAM serialization path).
+        let params = Arc::new(ChamParams::insecure_test_default().unwrap());
+        let source = SessionCache::new(Arc::clone(&params), 1, 4);
+        let target = SessionCache::new(Arc::clone(&params), 1, 4);
+        let t = params.plain_modulus().value();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let m = Matrix::random(2, 3, t, &mut rng);
+        let bytes = crate::protocol::matrix_to_bytes(&m);
+        let id = source.put_matrix(&bytes, &m).unwrap();
+
+        assert_eq!(source.matrix_inventory(), vec![id]);
+        assert!(target.matrix_inventory().is_empty());
+        let segment = source.segment_bytes(id).unwrap();
+        assert!(matches!(
+            source.segment_bytes(id ^ 1),
+            Err(ServeError::UnknownMatrix(_))
+        ));
+        let shape = target.put_segment_bytes(id, &segment).unwrap();
+        assert_eq!(shape, (2, 3));
+        assert_eq!(target.matrix_inventory(), vec![id]);
+        // The installed encoding is the same artifact bit for bit.
+        assert_eq!(target.segment_bytes(id).unwrap(), segment);
+        // Garbage bytes are rejected, not installed.
+        assert!(target.put_segment_bytes(7, &[0u8; 16]).is_err());
+        assert!(matches!(
+            target.get_matrix(7),
+            Err(ServeError::UnknownMatrix(_))
+        ));
     }
 }

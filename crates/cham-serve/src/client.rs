@@ -370,6 +370,117 @@ impl ServeClient {
         }
     }
 
+    /// Lists the server's matrix inventory — every content id resident
+    /// in RAM or the persistent store (protocol v6). The repair planner
+    /// diffs this against the ring's expected replica set.
+    ///
+    /// # Errors
+    /// [`ServeError::Incompatible`] below protocol v6, transport errors.
+    pub fn store_list(&mut self) -> Result<Vec<u64>> {
+        if self.info.version < 6 {
+            return Err(ServeError::Incompatible("store listing needs protocol v6"));
+        }
+        match self.roundtrip(FrameKind::StoreList, &[])? {
+            Response::StoreListReport { ids } => Ok(ids),
+            _ => Err(ServeError::BadFrame(
+                "store-list answered with wrong response",
+            )),
+        }
+    }
+
+    /// Fetches one encoded segment's bytes by content id (protocol v6)
+    /// — the source side of a replica→replica repair transfer.
+    ///
+    /// # Errors
+    /// [`ServeError::Incompatible`] below protocol v6,
+    /// [`ServeError::UnknownMatrix`] when the server holds no such
+    /// segment, transport errors.
+    pub fn store_fetch(&mut self, store_id: u64) -> Result<Vec<u8>> {
+        if self.info.version < 6 {
+            return Err(ServeError::Incompatible("store fetch needs protocol v6"));
+        }
+        match self.roundtrip(
+            FrameKind::StoreFetch,
+            &protocol::store_fetch_to_bytes(store_id),
+        )? {
+            Response::SegmentData {
+                store_id: id,
+                bytes,
+            } => {
+                if id != store_id {
+                    return Err(ServeError::BadFrame("server fetched a different segment"));
+                }
+                Ok(bytes)
+            }
+            _ => Err(ServeError::BadFrame(
+                "store-fetch answered with wrong response",
+            )),
+        }
+    }
+
+    /// Streams an already-encoded segment to this server under its
+    /// store id (protocol v6) — the target side of a repair transfer.
+    /// Rides the resumable chunked-upload path end to end: the body is
+    /// `[store_id][segment bytes]`, the synthetic upload id is that
+    /// body's content hash, so per-chunk checksums, the received-bitmap
+    /// resume, and the whole-body verification all apply unchanged.
+    ///
+    /// # Errors
+    /// [`ServeError::Incompatible`] below protocol v6,
+    /// [`ServeError::WrongShard`] when the target does not own the id,
+    /// [`ServeError::ChunkMismatch`] on a failed content check,
+    /// transport or server-side validation errors.
+    pub fn load_segment_streamed(
+        &mut self,
+        store_id: u64,
+        segment: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<ChunkUpload> {
+        if self.info.version < 6 {
+            return Err(ServeError::Incompatible(
+                "segment transfers need protocol v6",
+            ));
+        }
+        let body = protocol::segment_body_to_bytes(store_id, segment);
+        let chunk_bytes = chunk_bytes
+            .max(body.len().div_ceil(protocol::MAX_CHUNK_COUNT))
+            .clamp(1, protocol::MAX_CHUNK_BYTES);
+        let upload_id = content_hash(&body);
+        let start = MatrixChunkStart::for_segment(upload_id, body.len(), chunk_bytes);
+        let mut bitmap = self.chunk_ack(FrameKind::MatrixChunkStart, &start.to_bytes(), &start)?;
+        let mut chunks_sent = 0u32;
+        let mut chunks_skipped = 0u32;
+        for index in 0..start.chunk_count {
+            if protocol::bitmap_get(&bitmap, index as usize) {
+                chunks_skipped += 1;
+                continue;
+            }
+            let off = index as usize * chunk_bytes;
+            let data = &body[off..off + start.len_of_chunk(index)];
+            let frame = protocol::matrix_chunk_to_bytes(upload_id, index, content_hash(data), data);
+            bitmap = self.chunk_ack(FrameKind::MatrixChunk, &frame, &start)?;
+            chunks_sent += 1;
+        }
+        match self.roundtrip(
+            FrameKind::MatrixChunkCommit,
+            &protocol::matrix_chunk_commit_to_bytes(upload_id),
+        )? {
+            Response::MatrixLoaded { matrix_id: id, .. } => {
+                if id != store_id {
+                    return Err(ServeError::BadFrame("server installed a different segment"));
+                }
+                Ok(ChunkUpload {
+                    matrix_id: store_id,
+                    chunks_sent,
+                    chunks_skipped,
+                })
+            }
+            _ => Err(ServeError::BadFrame(
+                "segment commit answered with wrong response",
+            )),
+        }
+    }
+
     /// One chunk-op round trip expecting a [`Response::ChunkAck`] that
     /// matches `start`'s declaration; returns the received-bitmap.
     fn chunk_ack(

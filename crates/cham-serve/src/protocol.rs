@@ -7,7 +7,7 @@
 //! ```
 //!
 //! `len` counts the kind byte plus the body, so an empty body frames as
-//! `len = 1`. Twelve frame kinds exist; ciphertext and key payloads inside
+//! `len = 1`. Fourteen frame kinds exist; ciphertext and key payloads inside
 //! bodies reuse the versioned `cham_he::wire` codecs unchanged, so the
 //! serving layer inherits their parameter validation (foreign modulus
 //! chains, out-of-range coefficients and truncation are rejected at the
@@ -27,6 +27,8 @@
 //! | `MatrixChunkStart` (10) | c→s | `[matrix_id u64] [total_len u64] [chunk_size u32] [chunk_count u32] [rows u32] [cols u32]` (v5) |
 //! | `MatrixChunk` (11) | c→s | `[matrix_id u64] [index u32] [checksum u64] [data]` (v5) |
 //! | `MatrixChunkCommit` (12) | c→s | `[matrix_id u64]` (v5) |
+//! | `StoreList` (13) | c→s | empty — segment inventory; answered with a [`Response::StoreListReport`] (v6) |
+//! | `StoreFetch` (14) | c→s | `[store_id u64]` — answered with a [`Response::SegmentData`] encoded segment (v6) |
 //!
 //! ## Streamed matrix uploads (protocol v5)
 //!
@@ -43,6 +45,25 @@
 //! what makes re-upload resumable: after a disconnect the client replays
 //! `MatrixChunkStart`, reads the bitmap, and sends only the missing
 //! chunks. Chunks may arrive in any order and duplicates are idempotent.
+//!
+//! ## Anti-entropy repair (protocol v6)
+//!
+//! Re-replicating a lost matrix after a node dies needs two things the
+//! wire lacked before revision 6: a way to ask a replica *what it has*
+//! (`StoreList` answers with every content id resident in RAM or on
+//! disk) and a way to pull the *encoded* segment back out
+//! (`StoreFetch` returns the `cham_he::wire` encoded-matrix bytes — the
+//! plaintext was discarded at encode time, so the NTT-form segment is
+//! the only transferable artifact). The repaired bytes travel
+//! replica→replica over the **same** resumable chunk frames as client
+//! uploads, in *segment mode*: a `MatrixChunkStart` whose `rows` and
+//! `cols` are both the `0` sentinel declares a body of shape
+//! `[store_id u64][encoded segment bytes]`, content-hashed exactly like
+//! a monolithic upload so the per-chunk checksums, received-bitmaps and
+//! whole-body verification of revision 5 apply unchanged. At commit the
+//! server strips the prefix, validates the segment through the wire
+//! codec, installs it under `store_id` (RAM + persistent store), and
+//! answers `MatrixLoaded` for that id.
 //!
 //! ## Version negotiation
 //!
@@ -96,8 +117,15 @@ use std::io::{Read, Write};
 /// `ChunkAck` response, and the `ChunkMismatch` error code; the hello
 /// bodies are byte-identical to v4 — the echoed revision alone gates
 /// whether a client may stream, so v4-and-older peers fall back to the
-/// monolithic `LoadMatrix` in both skew directions.
-pub const PROTOCOL_VERSION: u16 = 5;
+/// monolithic `LoadMatrix` in both skew directions. Revision 6 added
+/// the anti-entropy repair ops (`StoreList`/`StoreFetch`, answered by
+/// `StoreListReport`/`SegmentData`), the segment mode of
+/// `MatrixChunkStart` (`rows = cols = 0`) for replica→replica encoded
+/// transfers, and the trailing `reaped_uploads` counter on
+/// `Pong`/`IntrospectReport` stats blocks; hello bodies are again
+/// byte-identical to the previous revision — the echoed revision alone
+/// gates the new ops, so v5-and-older peers interop unchanged.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Oldest protocol revision this crate still accepts from a peer.
 /// Revision 2 clients interoperate (their requests simply carry no trace
@@ -171,6 +199,14 @@ pub enum FrameKind {
     /// whole-body hash, encodes, and answers `MatrixLoaded`
     /// (protocol v5).
     MatrixChunkCommit = 12,
+    /// Asks for the node's segment inventory — every matrix content id
+    /// resident in RAM or the persistent store; empty body, answered
+    /// with a [`Response::StoreListReport`] (protocol v6).
+    StoreList = 13,
+    /// Pulls one encoded matrix segment back off the node for
+    /// replica→replica repair; answered with a
+    /// [`Response::SegmentData`] (protocol v6).
+    StoreFetch = 14,
 }
 
 impl FrameKind {
@@ -192,6 +228,8 @@ impl FrameKind {
             10 => Ok(FrameKind::MatrixChunkStart),
             11 => Ok(FrameKind::MatrixChunk),
             12 => Ok(FrameKind::MatrixChunkCommit),
+            13 => Ok(FrameKind::StoreList),
+            14 => Ok(FrameKind::StoreFetch),
             _ => Err(ServeError::BadFrame("unknown frame kind")),
         }
     }
@@ -660,8 +698,11 @@ pub struct MatrixChunkStart {
     /// Number of chunks (`⌈total_len / chunk_size⌉`).
     pub chunk_count: u32,
     /// Declared row count (validated against `total_len` up front).
+    /// `rows == 0 && cols == 0` is the v6 *segment mode* sentinel: the
+    /// body is `[store_id u64][encoded segment bytes]` instead of a
+    /// monolithic `LoadMatrix` body, and no shape validation applies.
     pub rows: u32,
-    /// Declared column count.
+    /// Declared column count (see `rows` for the v6 zero sentinel).
     pub cols: u32,
 }
 
@@ -678,6 +719,20 @@ impl MatrixChunkStart {
             rows,
             cols,
         }
+    }
+
+    /// Builds the declaration for a v6 segment-mode transfer: the body
+    /// is `[store_id u64][encoded segment bytes]` and `upload_id` is its
+    /// content hash (distinct from the `store_id` it installs under).
+    #[must_use]
+    pub fn for_segment(upload_id: u64, total_len: usize, chunk_size: usize) -> Self {
+        Self::new(upload_id, total_len, chunk_size, 0, 0)
+    }
+
+    /// Whether this declaration is a v6 segment-mode transfer.
+    #[must_use]
+    pub fn is_segment(&self) -> bool {
+        self.rows == 0 && self.cols == 0
     }
 
     /// The byte length chunk `index` must carry.
@@ -732,6 +787,15 @@ impl MatrixChunkStart {
         }
         if start.chunk_count as usize > MAX_CHUNK_COUNT {
             return Err(ServeError::BadFrame("too many chunks"));
+        }
+        if start.is_segment() {
+            // v6 segment mode: the body is an opaque prefixed segment,
+            // so no plaintext-shape arithmetic applies — but it must at
+            // least hold the 8-byte store-id prefix plus one byte.
+            if start.total_len <= 8 {
+                return Err(ServeError::BadFrame("segment transfer too short"));
+            }
+            return Ok(start);
         }
         if start.rows == 0 || start.cols == 0 {
             return Err(ServeError::BadFrame("empty matrix"));
@@ -793,6 +857,52 @@ pub fn matrix_chunk_commit_from_bytes(body: &[u8]) -> Result<u64> {
     let matrix_id = r.u64()?;
     r.done()?;
     Ok(matrix_id)
+}
+
+// ------------------------------------------- repair transfers (v6)
+
+/// Serializes a `StoreFetch` body.
+#[must_use]
+pub fn store_fetch_to_bytes(store_id: u64) -> Vec<u8> {
+    store_id.to_le_bytes().to_vec()
+}
+
+/// Parses a `StoreFetch` body.
+///
+/// # Errors
+/// [`ServeError::BadFrame`] for truncation or trailing bytes.
+pub fn store_fetch_from_bytes(body: &[u8]) -> Result<u64> {
+    let mut r = Reader::new(body);
+    let store_id = r.u64()?;
+    r.done()?;
+    Ok(store_id)
+}
+
+/// Builds the monolithic body of a v6 segment-mode transfer:
+/// `[store_id u64][encoded segment bytes]`. Its FNV-1a content hash is
+/// the transfer's upload id, so the v5 per-chunk checksums and
+/// whole-body commit verification apply to repair traffic unchanged.
+#[must_use]
+pub fn segment_body_to_bytes(store_id: u64, segment: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + segment.len());
+    out.extend_from_slice(&store_id.to_le_bytes());
+    out.extend_from_slice(segment);
+    out
+}
+
+/// Splits a reassembled v6 segment-mode body back into
+/// `(store_id, encoded segment bytes)`.
+///
+/// # Errors
+/// [`ServeError::BadFrame`] when the prefix or segment is missing.
+pub fn segment_body_from_bytes(body: &[u8]) -> Result<(u64, &[u8])> {
+    let mut r = Reader::new(body);
+    let store_id = r.u64()?;
+    let segment = r.take(r.remaining())?;
+    if segment.is_empty() {
+        return Err(ServeError::BadFrame("segment transfer carries no bytes"));
+    }
+    Ok((store_id, segment))
 }
 
 /// Reads bit `i` of a received-chunk bitmap.
@@ -913,6 +1023,8 @@ enum ResponseTag {
     IntrospectReport = 6,
     FlightDump = 7,
     ChunkAck = 8,
+    StoreListReport = 9,
+    SegmentData = 10,
 }
 
 /// Number of `u64` counter fields a `Pong` body carries. The body is
@@ -923,10 +1035,11 @@ const PONG_FIELDS: usize = 11;
 /// Counters appended to the `IntrospectReport` stats block. Protocol
 /// v4 added `node_id`, `shard_index`, `shard_count`; v5 appends the
 /// SIMD dispatch quartet `simd_backend`, `simd_lanes`,
-/// `simd_vector_elems`, `simd_tail_elems`. Older readers skip unknown
-/// trailing counters by count; older *senders* simply omit them and
-/// the parser reads zeros (standalone / scalar).
-const INTROSPECT_EXTRA_FIELDS: usize = 7;
+/// `simd_vector_elems`, `simd_tail_elems`; v6 appends
+/// `reaped_uploads`. Older readers skip unknown trailing counters by
+/// count; older *senders* simply omit them and the parser reads zeros
+/// (standalone / scalar / no reaps).
+const INTROSPECT_EXTRA_FIELDS: usize = 8;
 
 fn snapshot_fields(s: &StatsSnapshot) -> [u64; PONG_FIELDS] {
     [
@@ -1018,6 +1131,22 @@ pub enum Response {
         /// Received-chunk bitmap, `⌈chunk_count/8⌉` bytes, LSB-first.
         bitmap: Vec<u8>,
     },
+    /// Answer to `StoreList` (protocol v6): every matrix content id this
+    /// node can serve — RAM cache and persistent store combined. The
+    /// repair planner diffs these inventories against the ring's
+    /// expected replica sets.
+    StoreListReport {
+        /// Resident content ids, sorted ascending.
+        ids: Vec<u64>,
+    },
+    /// Answer to `StoreFetch` (protocol v6): one encoded matrix segment
+    /// pulled for replica→replica repair.
+    SegmentData {
+        /// The content id the segment is stored under.
+        store_id: u64,
+        /// `cham_he::wire` encoded-matrix bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 impl Response {
@@ -1087,10 +1216,13 @@ impl Response {
             }
             Response::Pong { stats } => {
                 out.push(ResponseTag::Pong as u8);
-                out.push(PONG_FIELDS as u8);
+                // v6 appends reaped_uploads as a trailing counter; older
+                // readers skip it by count.
+                out.push((PONG_FIELDS + 1) as u8);
                 for field in snapshot_fields(stats) {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
+                out.extend_from_slice(&stats.reaped_uploads.to_le_bytes());
             }
             Response::IntrospectReport { snapshot } => {
                 out.push(ResponseTag::IntrospectReport as u8);
@@ -1109,6 +1241,7 @@ impl Response {
                     u64::from(snapshot.simd_lanes),
                     snapshot.simd_vector_elems,
                     snapshot.simd_tail_elems,
+                    snapshot.stats.reaped_uploads,
                 ] {
                     out.extend_from_slice(&field.to_le_bytes());
                 }
@@ -1157,6 +1290,19 @@ impl Response {
                 out.extend_from_slice(&matrix_id.to_le_bytes());
                 out.extend_from_slice(&chunk_count.to_le_bytes());
                 out.extend_from_slice(bitmap);
+            }
+            Response::StoreListReport { ids } => {
+                out.push(ResponseTag::StoreListReport as u8);
+                out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+            Response::SegmentData { store_id, bytes } => {
+                out.push(ResponseTag::SegmentData as u8);
+                out.extend_from_slice(&store_id.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
             }
         }
         out
@@ -1256,11 +1402,17 @@ impl Response {
                 }
                 Response::HmvpDone { len, packed }
             }
-            t if t == ResponseTag::Pong as u8 => Response::Pong {
-                stats: read_stats_block(&mut r)?.0,
-            },
+            t if t == ResponseTag::Pong as u8 => {
+                let (mut stats, extras) = read_stats_block(&mut r)?;
+                // v6 appends reaped_uploads; a pre-v6 pong reads zero.
+                stats.reaped_uploads = extras.first().copied().unwrap_or(0);
+                Response::Pong { stats }
+            }
             t if t == ResponseTag::IntrospectReport as u8 => {
-                let (stats, extras) = read_stats_block(&mut r)?;
+                let (mut stats, extras) = read_stats_block(&mut r)?;
+                // v6 appends reaped_uploads to the extras; pre-v6
+                // reports read zero.
+                stats.reaped_uploads = extras.get(7).copied().unwrap_or(0);
                 let queue_depth = r.u32()?;
                 let queue_capacity = r.u32()?;
                 let workers = r.u32()?;
@@ -1335,6 +1487,26 @@ impl Response {
                     bitmap,
                 }
             }
+            t if t == ResponseTag::StoreListReport as u8 => {
+                let count = r.u32()? as usize;
+                if count.checked_mul(8).is_none_or(|b| b > r.remaining()) {
+                    return Err(ServeError::BadFrame("store list count out of bounds"));
+                }
+                let mut ids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    ids.push(r.u64()?);
+                }
+                Response::StoreListReport { ids }
+            }
+            t if t == ResponseTag::SegmentData as u8 => {
+                let store_id = r.u64()?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?.to_vec();
+                if bytes.is_empty() {
+                    return Err(ServeError::BadFrame("segment data carries no bytes"));
+                }
+                Response::SegmentData { store_id, bytes }
+            }
             _ => return Err(ServeError::BadFrame("unknown response tag")),
         };
         r.done()?;
@@ -1372,6 +1544,7 @@ fn read_stats_block(r: &mut Reader<'_>) -> Result<(StatsSnapshot, Vec<u64>)> {
             internal_errors: fields[8],
             rejected_shutdown: fields[9],
             faults_injected: fields[10],
+            reaped_uploads: 0,
         },
         extras,
     ))
@@ -1647,6 +1820,7 @@ mod tests {
                     internal_errors: 9,
                     rejected_shutdown: 10,
                     faults_injected: 11,
+                    reaped_uploads: 12,
                 },
             },
             Response::IntrospectReport {
@@ -1680,6 +1854,13 @@ mod tests {
             },
             Response::FlightDump {
                 json: "{\"traceEvents\":[]}".into(),
+            },
+            Response::StoreListReport {
+                ids: vec![3, 0xFEED, u64::MAX],
+            },
+            Response::SegmentData {
+                store_id: 0xFEED,
+                bytes: vec![1, 2, 3, 4],
             },
         ];
         for case in cases {
@@ -1736,6 +1917,19 @@ mod tests {
                 (Response::FlightDump { json: a }, Response::FlightDump { json: b }) => {
                     assert_eq!(a, b);
                 }
+                (Response::StoreListReport { ids: a }, Response::StoreListReport { ids: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    Response::SegmentData {
+                        store_id: a,
+                        bytes: ab,
+                    },
+                    Response::SegmentData {
+                        store_id: b,
+                        bytes: bb,
+                    },
+                ) => assert_eq!((a, ab), (b, bb)),
                 _ => panic!("response kind changed across the wire"),
             }
             // Trailing garbage rejected for every tag.
@@ -2052,6 +2246,157 @@ mod tests {
             wire_to_error(ErrorCode::ChunkMismatch, "garbled".into()),
             ServeError::Remote { .. }
         ));
+    }
+
+    #[test]
+    fn hello_response_v6_shape_matches_v5() {
+        let p = params();
+        let id = ClusterIdentity {
+            node_id: 42,
+            shard_index: 2,
+            shard_count: 3,
+            epoch: 5,
+        };
+        // The v6 hello response is byte-identical in *shape* to v5 —
+        // only the echoed revision value differs — in both the
+        // clustered and standalone forms. This is the interop pin: a v5
+        // peer's strict parser accepts a v6 server's response and vice
+        // versa, and the echoed revision alone gates the repair ops.
+        for cluster in [None, Some(id)] {
+            let mk = |version: u16| Response::Hello {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 3,
+                version,
+                cluster,
+            };
+            let v5_bytes = mk(5).to_bytes();
+            let v6_bytes = mk(6).to_bytes();
+            assert_eq!(v5_bytes.len(), v6_bytes.len());
+            // Everything but the two version-echo bytes (offsets 11–12,
+            // after tag + workers + queue + max_batch) is identical.
+            assert_eq!(v5_bytes[..11], v6_bytes[..11]);
+            assert_eq!(v5_bytes[13..], v6_bytes[13..]);
+            match Response::from_bytes(&v6_bytes, &p).unwrap() {
+                Response::Hello {
+                    version,
+                    cluster: back,
+                    ..
+                } => {
+                    assert_eq!(version, 6);
+                    assert_eq!(back, cluster);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+            match Response::from_bytes(&v5_bytes, &p).unwrap() {
+                Response::Hello { version, .. } => assert_eq!(version, 5),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn segment_mode_chunk_start() {
+        // rows = cols = 0 declares a segment transfer: shape checks are
+        // skipped, the structural bounds still apply.
+        let start = MatrixChunkStart::for_segment(0xABCD, 200, 64);
+        assert!(start.is_segment());
+        assert_eq!(start.chunk_count, 4);
+        let back = MatrixChunkStart::from_bytes(&start.to_bytes()).unwrap();
+        assert_eq!(back, start);
+        assert!(back.is_segment());
+
+        // A body that cannot hold the store-id prefix is malformed.
+        let tiny = MatrixChunkStart::for_segment(1, 8, 8);
+        assert!(matches!(
+            MatrixChunkStart::from_bytes(&tiny.to_bytes()),
+            Err(ServeError::BadFrame(_))
+        ));
+        // Half-zero shapes are still plain empty matrices, not segments.
+        let mut half = MatrixChunkStart::new(1, 176, 64, 0, 7);
+        assert!(!half.is_segment());
+        assert!(MatrixChunkStart::from_bytes(&half.to_bytes()).is_err());
+        half.rows = 3;
+        half.cols = 0;
+        assert!(MatrixChunkStart::from_bytes(&half.to_bytes()).is_err());
+        // Structural bounds survive segment mode.
+        let mut huge = start;
+        huge.total_len = (MAX_FRAME_BYTES as u64) + 1;
+        assert!(MatrixChunkStart::from_bytes(&huge.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn segment_body_roundtrip() {
+        let body = segment_body_to_bytes(0xFEED, &[9, 8, 7]);
+        let (store_id, segment) = segment_body_from_bytes(&body).unwrap();
+        assert_eq!(store_id, 0xFEED);
+        assert_eq!(segment, &[9, 8, 7]);
+        // Prefix-only and truncated bodies are malformed.
+        assert!(segment_body_from_bytes(&segment_body_to_bytes(1, &[])).is_err());
+        assert!(segment_body_from_bytes(&body[..7]).is_err());
+        // StoreFetch bodies round-trip and reject trailing bytes.
+        let fetch = store_fetch_to_bytes(0xFEED);
+        assert_eq!(store_fetch_from_bytes(&fetch).unwrap(), 0xFEED);
+        let mut bad = fetch;
+        bad.push(0);
+        assert!(store_fetch_from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn store_list_report_bounds() {
+        let p = params();
+        // Empty inventories are legal (a cold node answers honestly).
+        let empty = Response::StoreListReport { ids: vec![] };
+        match Response::from_bytes(&empty.to_bytes(), &p).unwrap() {
+            Response::StoreListReport { ids } => assert!(ids.is_empty()),
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A count claiming more ids than the body holds is rejected
+        // before any allocation.
+        let mut lying = Vec::new();
+        lying.push(9u8); // StoreListReport tag
+        lying.extend_from_slice(&u32::MAX.to_le_bytes());
+        lying.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(
+            Response::from_bytes(&lying, &p),
+            Err(ServeError::BadFrame(_))
+        ));
+    }
+
+    #[test]
+    fn pong_reaped_uploads_shapes() {
+        let p = params();
+        // A v6 pong carries the trailing reaped counter...
+        let pong = Response::Pong {
+            stats: StatsSnapshot {
+                accepted: 1,
+                reaped_uploads: 42,
+                ..StatsSnapshot::default()
+            },
+        };
+        match Response::from_bytes(&pong.to_bytes(), &p).unwrap() {
+            Response::Pong { stats } => {
+                assert_eq!(stats.accepted, 1);
+                assert_eq!(stats.reaped_uploads, 42);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // ...and a pre-v6 sender's 11-field block still parses, reading
+        // the missing counter as zero.
+        let mut old = Vec::new();
+        old.push(5u8); // Pong tag
+        old.push(11u8);
+        for v in 1u64..=11 {
+            old.extend_from_slice(&v.to_le_bytes());
+        }
+        match Response::from_bytes(&old, &p).unwrap() {
+            Response::Pong { stats } => {
+                assert_eq!(stats.accepted, 1);
+                assert_eq!(stats.faults_injected, 11);
+                assert_eq!(stats.reaped_uploads, 0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 
     #[test]

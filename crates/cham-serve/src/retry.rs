@@ -67,6 +67,18 @@ pub struct RetryPolicy {
     /// Bound on the total wall-clock an operation may spend across all
     /// attempts and sleeps; `None` bounds only by `max_attempts`.
     pub total_deadline: Option<Duration>,
+    /// How long a failed endpoint sits out of rotation before it is
+    /// dialed again — long enough that a dead replica is not hot-looped
+    /// on every reconnect, short enough that a restarted one rejoins
+    /// promptly. Scaled by jitter in `[1.0, 1.5]` at quarantine time so
+    /// a fleet of clients does not re-dial a recovering node in
+    /// lockstep. Overridden per-pool by [`Endpoints::with_cooldown`].
+    pub quarantine: Duration,
+    /// Quarantine applied when an *external authority* (the cluster
+    /// health loop) has confirmed an endpoint dead — much longer than
+    /// the optimistic per-failure `quarantine`, because a down verdict
+    /// already absorbed several consecutive probe misses.
+    pub down_quarantine: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -77,6 +89,8 @@ impl Default for RetryPolicy {
             max_backoff: Duration::from_secs(2),
             jitter_seed: 0,
             total_deadline: None,
+            quarantine: DEFAULT_QUARANTINE,
+            down_quarantine: Duration::from_secs(5),
         }
     }
 }
@@ -91,9 +105,8 @@ fn backoff_for(policy: &RetryPolicy, rng: &mut SplitMix64, attempt: u32) -> Dura
     capped.mul_f64(0.5 + 0.5 * rng.next_f64())
 }
 
-/// How long a failed endpoint sits out of rotation before it is dialed
-/// again. Long enough that a dead replica is not hot-looped on every
-/// reconnect, short enough that a restarted one rejoins promptly.
+/// Default for [`RetryPolicy::quarantine`] and the cooldown of a pool
+/// built outside a [`RetryClient`].
 const DEFAULT_QUARANTINE: Duration = Duration::from_millis(500);
 
 /// One address in a fixed endpoint pool, with its quarantine state.
@@ -110,6 +123,9 @@ enum EndpointsKind {
         list: Vec<FixedEndpoint>,
         cursor: usize,
         cooldown: Duration,
+        /// Whether [`Endpoints::with_cooldown`] pinned the cooldown —
+        /// a pinned value wins over the owning client's policy.
+        cooldown_pinned: bool,
     },
     /// Caller-supplied resolution: invoked with a monotonically
     /// increasing attempt counter on every (re)connect, so DNS-style
@@ -149,6 +165,7 @@ impl Endpoints {
                     .collect(),
                 cursor: 0,
                 cooldown: DEFAULT_QUARANTINE,
+                cooldown_pinned: false,
             },
         }
     }
@@ -169,10 +186,46 @@ impl Endpoints {
     /// provider endpoints — the closure owns rotation policy there).
     #[must_use]
     pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
-        if let EndpointsKind::Fixed { cooldown: c, .. } = &mut self.kind {
+        if let EndpointsKind::Fixed {
+            cooldown: c,
+            cooldown_pinned,
+            ..
+        } = &mut self.kind
+        {
             *c = cooldown;
+            *cooldown_pinned = true;
         }
         self
+    }
+
+    /// Adopts a policy-level cooldown unless [`Self::with_cooldown`]
+    /// already pinned one (explicit per-pool configuration wins).
+    fn adopt_policy_cooldown(&mut self, cooldown: Duration) {
+        if let EndpointsKind::Fixed {
+            cooldown: c,
+            cooldown_pinned: false,
+            ..
+        } = &mut self.kind
+        {
+            *c = cooldown;
+        }
+    }
+
+    /// Quarantines a specific address for `cooldown` regardless of the
+    /// pool's per-failure cooldown — the entry point for externally
+    /// confirmed down verdicts (the cluster health loop). Returns
+    /// whether the address was found in a fixed pool; provider pools
+    /// own their rotation policy and ignore this.
+    pub fn quarantine_addr(&mut self, addr: &str, cooldown: Duration) -> bool {
+        if let EndpointsKind::Fixed { list, .. } = &mut self.kind {
+            for ep in list.iter_mut() {
+                if ep.addr == addr {
+                    ep.quarantined_until = Some(Instant::now() + cooldown);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Whether failover can reach a *different* endpoint — the condition
@@ -192,11 +245,7 @@ impl Endpoints {
     /// the retry policy, not the pool, decides when to give up).
     fn current(&mut self) -> Result<String> {
         match &mut self.kind {
-            EndpointsKind::Fixed {
-                list,
-                cursor,
-                cooldown: _,
-            } => {
+            EndpointsKind::Fixed { list, cursor, .. } => {
                 if list.is_empty() {
                     return Err(ServeError::Io(std::io::Error::new(
                         std::io::ErrorKind::InvalidInput,
@@ -237,17 +286,27 @@ impl Endpoints {
     /// cached address so the closure resolves afresh. Returns whether
     /// the next [`Self::current`] can name a different endpoint (i.e.
     /// whether this counts as a failover).
+    #[cfg(test)]
     fn fail_current(&mut self) -> bool {
+        self.fail_current_jittered(1.0)
+    }
+
+    /// [`Self::fail_current`] with the cooldown scaled by `factor` —
+    /// the retry client passes a seeded factor in `[1.0, 1.5]` so
+    /// replicas of one fleet do not re-dial a dead node in lockstep.
+    fn fail_current_jittered(&mut self, factor: f64) -> bool {
         match &mut self.kind {
             EndpointsKind::Fixed {
                 list,
                 cursor,
                 cooldown,
+                ..
             } => {
                 if list.is_empty() {
                     return false;
                 }
-                list[*cursor].quarantined_until = Some(Instant::now() + *cooldown);
+                list[*cursor].quarantined_until =
+                    Some(Instant::now() + cooldown.mul_f64(factor.max(0.0)));
                 *cursor = (*cursor + 1) % list.len();
                 list.len() > 1
             }
@@ -332,8 +391,10 @@ impl RetryClient {
         config: ClientConfig,
         policy: RetryPolicy,
     ) -> Self {
+        let mut endpoints = endpoints.into();
+        endpoints.adopt_policy_cooldown(policy.quarantine);
         Self {
-            endpoints: endpoints.into(),
+            endpoints,
             params,
             config,
             policy,
@@ -598,9 +659,25 @@ impl RetryClient {
     fn fail_over(&mut self) {
         self.client = None;
         self.connected_addr = None;
-        if self.endpoints.fail_current() {
+        let factor = 1.0 + 0.5 * self.rng.next_f64();
+        if self.endpoints.fail_current_jittered(factor) {
             self.stats.failovers += 1;
         }
+    }
+
+    /// Quarantines a specific endpoint address for `cooldown` (the
+    /// policy's `down_quarantine` when `None`), dropping the live
+    /// connection if it points there. This is how the cluster health
+    /// loop's confirmed-down verdicts outlast the optimistic
+    /// per-failure cooldown: the node stays out of rotation until the
+    /// monitor has seen it answer again.
+    pub fn quarantine_endpoint(&mut self, addr: &str, cooldown: Option<Duration>) -> bool {
+        let cooldown = cooldown.unwrap_or(self.policy.down_quarantine);
+        if self.connected_addr.as_deref() == Some(addr) {
+            self.client = None;
+            self.connected_addr = None;
+        }
+        self.endpoints.quarantine_addr(addr, cooldown)
     }
 
     fn ensure_connected(&mut self) -> Result<&mut ServeClient> {
@@ -619,7 +696,8 @@ impl RetryClient {
                     // The endpoint refused or timed out — quarantine it
                     // so the next attempt dials the next replica instead
                     // of hot-looping a dead address.
-                    if self.endpoints.fail_current() {
+                    let factor = 1.0 + 0.5 * self.rng.next_f64();
+                    if self.endpoints.fail_current_jittered(factor) {
                         self.stats.failovers += 1;
                     }
                     return Err(e);
@@ -818,6 +896,50 @@ mod tests {
         assert_eq!(eps.current().unwrap(), "node-1:9");
         assert!(eps.fail_current());
         assert_eq!(eps.current().unwrap(), "node-2:9");
+    }
+
+    #[test]
+    fn addr_quarantine_and_policy_cooldown() {
+        // A health-style address quarantine takes one endpoint out of
+        // rotation without that endpoint ever failing a dial here.
+        let mut eps = Endpoints::fixed(["a:1", "b:2"]).with_cooldown(Duration::from_millis(30));
+        assert!(eps.quarantine_addr("a:1", Duration::from_millis(60)));
+        assert!(!eps.quarantine_addr("nope:0", Duration::from_millis(60)));
+        assert_eq!(eps.current().unwrap(), "b:2");
+        std::thread::sleep(Duration::from_millis(80));
+        // Cursor stays where the live endpoint was; "a:1" is dialable
+        // again after its cooldown.
+        assert!(eps.fail_current());
+        assert_eq!(eps.current().unwrap(), "a:1");
+
+        // An explicit with_cooldown pin survives policy adoption; an
+        // unpinned pool takes the policy's quarantine.
+        let mut pinned = Endpoints::fixed(["x:1"]).with_cooldown(Duration::from_millis(7));
+        pinned.adopt_policy_cooldown(Duration::from_secs(9));
+        if let EndpointsKind::Fixed { cooldown, .. } = &pinned.kind {
+            assert_eq!(*cooldown, Duration::from_millis(7));
+        } else {
+            unreachable!("fixed pool");
+        }
+        let mut plain = Endpoints::fixed(["x:1"]);
+        plain.adopt_policy_cooldown(Duration::from_secs(9));
+        if let EndpointsKind::Fixed { cooldown, .. } = &plain.kind {
+            assert_eq!(*cooldown, Duration::from_secs(9));
+        } else {
+            unreachable!("fixed pool");
+        }
+
+        // The client-level entry point honours the down-quarantine
+        // default and reports unknown addresses.
+        let params = Arc::new(cham_he::params::ChamParams::insecure_test_default().unwrap());
+        let mut client = RetryClient::new(
+            vec!["a:1".to_string(), "b:2".to_string()],
+            params,
+            ClientConfig::default(),
+            RetryPolicy::default(),
+        );
+        assert!(client.quarantine_endpoint("b:2", None));
+        assert!(!client.quarantine_endpoint("ghost:3", None));
     }
 
     #[test]

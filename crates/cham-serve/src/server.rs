@@ -45,16 +45,6 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Upper bound on concurrently pending streamed uploads. Together with
-/// the per-upload `total_len` bound this caps the server's assembly
-/// memory; a further `MatrixChunkStart` is answered `Busy` unless an
-/// existing assembly has sat idle past [`UPLOAD_IDLE_REAP`].
-const MAX_PENDING_UPLOADS: usize = 4;
-
-/// Idle age after which a pending upload is reclaimed under pressure — a
-/// client that vanished mid-stream must not pin an assembly slot forever.
-const UPLOAD_IDLE_REAP: Duration = Duration::from_secs(30);
-
 /// Server-side state of one in-flight streamed matrix upload. Lives in
 /// [`ServerShared`] (not the connection) so a client that reconnects
 /// after a disconnect resumes the same assembly.
@@ -116,6 +106,16 @@ pub struct ServerConfig {
     /// Byte cap on the persistent store's live segments (`0` =
     /// unbounded); past it the least recently used segments are evicted.
     pub store_cap_bytes: u64,
+    /// Upper bound on concurrently pending streamed uploads. Together
+    /// with the per-upload `total_len` bound this caps the server's
+    /// assembly memory; a further `MatrixChunkStart` is answered `Busy`
+    /// unless an existing assembly has sat idle past
+    /// [`ServerConfig::upload_idle_reap`].
+    pub max_pending_uploads: usize,
+    /// Idle age after which a pending upload is reclaimed under pressure
+    /// — a client that vanished mid-stream must not pin an assembly slot
+    /// forever. Reaps are counted in `StatsSnapshot::reaped_uploads`.
+    pub upload_idle_reap: Duration,
 }
 
 impl Default for ServerConfig {
@@ -136,6 +136,8 @@ impl Default for ServerConfig {
             node_id: 0,
             store_dir: None,
             store_cap_bytes: 0,
+            max_pending_uploads: 4,
+            upload_idle_reap: Duration::from_secs(30),
         }
     }
 }
@@ -796,13 +798,25 @@ fn handle_frame(
                 ));
             }
             let start = protocol::MatrixChunkStart::from_bytes(body)?;
-            shared.check_owned(start.matrix_id)?;
+            if start.is_segment() {
+                // Repair transfers need the v6 segment framing; ownership
+                // is enforced against the *store id* inside the body at
+                // commit time — the upload id here is a synthetic content
+                // hash of the prefixed body, which the ring never keyed.
+                if *version < 6 {
+                    return Err(ServeError::Incompatible(
+                        "segment transfers need protocol v6",
+                    ));
+                }
+            } else {
+                shared.check_owned(start.matrix_id)?;
+            }
             let bitmap_len = (start.chunk_count as usize).div_ceil(8);
             // Already resident (RAM, or restored from the persistent
             // store): ack everything received so the client skips
             // straight to commit — content addressing makes the
             // streamed re-upload as idempotent as the monolithic one.
-            if cache.get_matrix(start.matrix_id).is_ok() {
+            if !start.is_segment() && cache.get_matrix(start.matrix_id).is_ok() {
                 let mut bitmap = vec![0u8; bitmap_len];
                 for i in 0..start.chunk_count as usize {
                     protocol::bitmap_set(&mut bitmap, i);
@@ -830,16 +844,17 @@ fn handle_frame(
                     bitmap: asm.bitmap.clone(),
                 }));
             }
-            if uploads.len() >= MAX_PENDING_UPLOADS {
+            if uploads.len() >= config.max_pending_uploads.max(1) {
                 // Reclaim an abandoned assembly before refusing.
                 let stale = uploads
                     .iter()
-                    .filter(|(_, a)| a.touched.elapsed() >= UPLOAD_IDLE_REAP)
+                    .filter(|(_, a)| a.touched.elapsed() >= config.upload_idle_reap)
                     .min_by_key(|(_, a)| a.touched)
                     .map(|(&k, _)| k);
                 match stale {
                     Some(k) => {
                         uploads.remove(&k);
+                        stats.on_reaped_uploads(1);
                         counter_add!("cham_serve.chunks.reaped_uploads", 1);
                     }
                     None => return Err(ServeError::Busy),
@@ -947,6 +962,22 @@ fn handle_frame(
                     index: protocol::CHUNK_INDEX_NONE,
                 });
             }
+            if asm.start.is_segment() {
+                // Repair install: the body is `[store_id][encoded
+                // segment]`. Ownership is enforced on the *store id* —
+                // the synthetic upload id was never a ring key — and the
+                // segment lands in the store + RAM cache exactly as if
+                // this node had encoded it itself.
+                let (store_id, segment) = protocol::segment_body_from_bytes(&asm.buf)?;
+                shared.check_owned(store_id)?;
+                let (rows, cols) = cache.put_segment_bytes(store_id, segment)?;
+                counter_add!("cham_serve.chunks.segments_committed", 1);
+                return Ok(FrameOutcome::plain(Response::MatrixLoaded {
+                    matrix_id: store_id,
+                    rows: rows as u32,
+                    cols: cols as u32,
+                }));
+            }
             let matrix = protocol::matrix_from_bytes(&asm.buf, cache.params())?;
             let loaded_id = cache.put_matrix(&asm.buf, &matrix)?;
             debug_assert_eq!(loaded_id, matrix_id);
@@ -955,6 +986,29 @@ fn handle_frame(
                 matrix_id: loaded_id,
                 rows: matrix.rows() as u32,
                 cols: matrix.cols() as u32,
+            }))
+        }
+        FrameKind::StoreList => {
+            if *version < 6 {
+                return Err(ServeError::Incompatible("store listing needs protocol v6"));
+            }
+            if !body.is_empty() {
+                return Err(ServeError::BadFrame("store-list frame with a body"));
+            }
+            Ok(FrameOutcome::plain(Response::StoreListReport {
+                ids: cache.matrix_inventory(),
+            }))
+        }
+        FrameKind::StoreFetch => {
+            if *version < 6 {
+                return Err(ServeError::Incompatible("store fetch needs protocol v6"));
+            }
+            let store_id = protocol::store_fetch_from_bytes(body)?;
+            let bytes = cache.segment_bytes(store_id)?;
+            counter_add!("cham_serve.chunks.segments_served", 1);
+            Ok(FrameOutcome::plain(Response::SegmentData {
+                store_id,
+                bytes,
             }))
         }
         FrameKind::Result | FrameKind::Error => {

@@ -34,6 +34,7 @@ pub struct ServeStats {
     internal_errors: AtomicU64,
     rejected_shutdown: AtomicU64,
     faults_injected: AtomicU64,
+    reaped_uploads: AtomicU64,
 }
 
 impl ServeStats {
@@ -94,6 +95,11 @@ impl ServeStats {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// `n` idle pending chunk-upload assemblies were reaped.
+    pub fn on_reaped_uploads(&self, n: usize) {
+        self.reaped_uploads.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of every counter.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -109,6 +115,7 @@ impl ServeStats {
             internal_errors: self.internal_errors.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            reaped_uploads: self.reaped_uploads.load(Ordering::Relaxed),
         }
     }
 }
@@ -139,6 +146,9 @@ pub struct StatsSnapshot {
     pub rejected_shutdown: u64,
     /// Fault-injection sites that fired (0 on a production server).
     pub faults_injected: u64,
+    /// Pending chunk-upload assemblies reaped for idling past the
+    /// configured deadline (protocol v6, additive).
+    pub reaped_uploads: u64,
 }
 
 impl StatsSnapshot {
@@ -346,6 +356,9 @@ impl IntrospectSnapshot {
             ("internal_errors".into(), s.internal_errors.into()),
             ("rejected_shutdown".into(), s.rejected_shutdown.into()),
             ("faults_injected".into(), s.faults_injected.into()),
+            // v6: additive key, same compatibility rule as the ones
+            // appended before it.
+            ("reaped_uploads".into(), s.reaped_uploads.into()),
         ]);
         let phases = JsonValue::Array(
             self.phases
@@ -424,6 +437,7 @@ mod tests {
         s.on_fault_injected();
         s.on_fault_injected();
         s.on_fault_injected();
+        s.on_reaped_uploads(2);
         let snap = s.snapshot();
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.rejected_busy, 1);
@@ -436,6 +450,7 @@ mod tests {
         assert_eq!(snap.internal_errors, 2);
         assert_eq!(snap.rejected_shutdown, 1);
         assert_eq!(snap.faults_injected, 3);
+        assert_eq!(snap.reaped_uploads, 2);
         assert!((snap.avg_batch_size() - 3.0).abs() < f64::EPSILON);
         assert_eq!(StatsSnapshot::default().avg_batch_size(), 0.0);
     }

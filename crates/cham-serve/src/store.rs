@@ -226,6 +226,22 @@ impl SegmentStore {
             .contains_key(&id)
     }
 
+    /// Every live segment id, sorted ascending (no file I/O) — the
+    /// node's persistent inventory as the `StoreList` op reports it.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .index
+            .lock()
+            .expect("store index poisoned")
+            .entries
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Point-in-time store shape.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -505,6 +521,9 @@ mod tests {
         assert_eq!(store.get(7).as_deref(), Some(payload.as_slice()));
         assert!(store.get(8).is_none());
         assert_eq!(store.stats().segments, 1);
+        store.put(3, b"second segment").unwrap();
+        assert_eq!(store.ids(), vec![3, 7]);
+        assert!(store.remove(3));
         drop(store);
 
         let reopened = SegmentStore::open(&dir, 0).unwrap();

@@ -24,6 +24,11 @@
 #                       and warm_chunks_sent gate at exactly zero — a warm
 #                       restart that re-encodes or re-streams is a
 #                       persistence bug, not a perf regression
+#   serve_repair     -> time_to_converged_seconds (lower is better);
+#                       failed_requests and post_repair_inventory_diff gate
+#                       at exactly zero — a lost request during the outage
+#                       or a segment repair left behind is a self-healing
+#                       bug, not a perf regression
 # Metrics missing from either file are skipped (so a pre-ablation baseline
 # still guards the metrics it has — new observability fields like
 # latency_p50/p99/p999_ns and the phase_ns.* map never fail on their first
@@ -70,6 +75,9 @@ GUARDS = {
         "cold_first_result_seconds": "lower",
         "warm_first_result_seconds": "lower",
         "warm_speedup": "higher",
+    },
+    "serve_repair": {
+        "time_to_converged_seconds": "lower",
     },
 }
 
@@ -122,6 +130,7 @@ for metric, direction in guards.items():
 ZERO_GATES = {
     "serve_cluster": ["failed_requests"],
     "serve_store": ["warm_matrix_encodes", "warm_chunks_sent"],
+    "serve_repair": ["failed_requests", "post_repair_inventory_diff"],
 }
 for metric in ZERO_GATES.get(name, []):
     c = cur.get("metrics", {}).get(metric)
